@@ -1,0 +1,47 @@
+// fig02_eviction_probability — reproduces Figure 2: "Probability of worker
+// eviction as a function of its availability time, taken from physics
+// analysis runs performed over several months.  Uncertainties are estimated
+// using the binomial model."
+//
+// The original curve came from HTCondor logs of the Notre Dame
+// opportunistic pool; here the availability log is synthesized from the
+// Weibull availability model (decreasing hazard: the longer a worker has
+// survived, the likelier it is to keep surviving) and binned exactly as the
+// paper describes, with binomial errors.
+#include <cstdio>
+
+#include "core/task_size_model.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lobster;
+
+  std::puts("=== Figure 2: Worker Eviction Probability ===");
+  std::puts("Synthetic availability log: 50000 worker lifetimes, Weibull");
+  std::puts("(shape 0.8, scale 4 h), binned per availability-time interval.\n");
+
+  const auto log = core::synthesize_availability_log(
+      50000, util::Rng(2015).stream("fig2"), /*shape=*/0.8,
+      /*scale_hours=*/4.0);
+  const auto curve = core::eviction_probability_curve(log, 16, 16.0);
+
+  util::Table table({"availability", "P(eviction)", "+/- sigma", "at risk",
+                     "profile"});
+  for (const auto& pt : curve) {
+    table.row({util::format_duration(pt.t_lo) + " - " +
+                   util::format_duration(pt.t_hi),
+               util::Table::num(pt.probability, 4),
+               util::Table::num(pt.sigma, 4),
+               util::Table::integer(static_cast<long long>(pt.at_risk)),
+               util::bar(pt.probability, 0.5, 40)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nPaper-shape check: eviction probability is highest for young");
+  std::puts("workers and falls with availability time (decreasing hazard);");
+  std::printf("measured: P(first bin) = %.3f vs P(bin 9) = %.3f\n",
+              curve.front().probability, curve[8].probability);
+  return 0;
+}

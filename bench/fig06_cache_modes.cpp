@@ -1,0 +1,136 @@
+// fig06_cache_modes — ablation of the Figure 6 cache configurations:
+//
+//   (a) exclusive   — one cache directory, whole-cache write lock: cold
+//                     instances serialise behind a single writer;
+//   (b/c) per-instance — one cache per task slot: full concurrency, but
+//                     every slot re-downloads the shared files;
+//   (d/e) alien     — shared concurrent cache: each object fetched once per
+//                     node, all instances make progress ("has been
+//                     activated in Parrot with good results").
+//
+// Part 1 exercises the real, thread-based cvmfs::CacheGroup with actual
+// std::threads racing on a synthetic release.  Part 2 repeats the ablation
+// at cluster scale on the DES engine.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/repository.hpp"
+#include "lobsim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace lobster;
+
+struct RealResult {
+  double wall_seconds = 0.0;
+  std::uint64_t fetches = 0;
+  double bytes_fetched = 0.0;
+  std::uint64_t lock_waits = 0;
+};
+
+RealResult run_real(cvmfs::CacheMode mode, const cvmfs::Release& release) {
+  // Fetcher latency models the proxy RTT + transfer: 1 us per 100 kB.
+  cvmfs::CacheGroup group(mode, [](const cvmfs::FileObject& obj) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        50 + static_cast<long>(obj.size_bytes / 1e5)));
+    return cvmfs::digest_of(obj.path, obj.size_bytes);
+  });
+  constexpr int kSlots = 8;
+  constexpr int kTasksPerSlot = 3;
+  std::vector<cvmfs::CacheGroup::Instance> instances;
+  for (int s = 0; s < kSlots; ++s) instances.push_back(group.make_instance());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSlots; ++s) {
+    threads.emplace_back([&, s] {
+      util::Rng rng(static_cast<std::uint64_t>(s) + 77);
+      for (int task = 0; task < kTasksPerSlot; ++task) {
+        for (const auto& obj : release.sample_working_set(rng))
+          instances[static_cast<std::size_t>(s)].access(obj);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  RealResult r;
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.fetches = group.stats().fetches.load();
+  r.bytes_fetched = group.stats().bytes_fetched.load();
+  r.lock_waits = group.stats().lock_waits.load();
+  return r;
+}
+
+struct SimResult {
+  double service_bytes = 0.0;
+  double setup_total = 0.0;
+  double makespan = 0.0;
+};
+
+SimResult run_sim(cvmfs::CacheMode mode) {
+  lobsim::ClusterParams cluster;
+  cluster.target_cores = 256;
+  cluster.cores_per_worker = 8;
+  cluster.ramp_seconds = 300.0;
+  cluster.evictions = false;
+  cluster.squid.request_latency = 5.0;
+  lobsim::WorkloadParams wl;
+  wl.num_tasklets = 1200;
+  wl.tasklets_per_task = 6;
+  wl.cache_mode = mode;
+  wl.merge_mode = core::MergeMode::Sequential;
+  wl.merge_policy.target_bytes = 1e12;
+  lobsim::Engine engine(cluster, wl, 2015);
+  const auto& m = engine.run(30.0 * 86400.0);
+  return SimResult{engine.squid(0).service_link().bytes_moved(),
+                   m.monitor.breakdown().other, m.makespan};
+}
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 6 ablation: Parrot cache concurrency modes ===\n");
+
+  std::puts("-- Part 1: real threads on cvmfs::CacheGroup (8 slots x 3 tasks,");
+  std::puts("   synthetic 2000-file release, ~1.5 GB working set) --");
+  cvmfs::ReleaseSpec spec;
+  const cvmfs::Release release(spec, util::Rng(2015).stream("fig6"));
+
+  util::Table real_table({"mode", "wall (s)", "fetches", "bytes fetched",
+                          "blocked waits"});
+  RealResult alien{};
+  for (const auto mode :
+       {cvmfs::CacheMode::Exclusive, cvmfs::CacheMode::PerInstance,
+        cvmfs::CacheMode::Alien}) {
+    const auto r = run_real(mode, release);
+    if (mode == cvmfs::CacheMode::Alien) alien = r;
+    real_table.row({cvmfs::to_string(mode), util::Table::num(r.wall_seconds, 3),
+                    util::Table::integer(static_cast<long long>(r.fetches)),
+                    util::format_bytes(r.bytes_fetched),
+                    util::Table::integer(static_cast<long long>(r.lock_waits))});
+  }
+  std::fputs(real_table.str().c_str(), stdout);
+
+  std::puts("\n-- Part 2: DES engine at 256 cores (squid traffic & setup) --");
+  util::Table sim_table(
+      {"mode", "proxy->worker bytes", "total setup time", "makespan"});
+  for (const auto mode :
+       {cvmfs::CacheMode::Exclusive, cvmfs::CacheMode::PerInstance,
+        cvmfs::CacheMode::Alien}) {
+    const auto r = run_sim(mode);
+    sim_table.row({cvmfs::to_string(mode), util::format_bytes(r.service_bytes),
+                   util::format_duration(r.setup_total),
+                   util::format_duration(r.makespan)});
+  }
+  std::fputs(sim_table.str().c_str(), stdout);
+
+  std::puts("\nPaper-shape check (paper §4.3): per-instance multiplies the");
+  std::puts("bandwidth demand by the slots per node; exclusive serialises");
+  std::puts("cold access; alien gives concurrency with one fetch per object.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// fig10_processing_timeline — reproduces Figure 10: "The time evolution of
+// a data processing run on nearly 10K cores over two days.  The top graph
+// shows the number of concurrent tasks running, the middle shows the number
+// of tasks completed or failed in each time unit, and the bottom graph
+// shows the (CPU-time/wall-clock) ratio in each time unit.  Note that the
+// maximum possible ratio is approximately 70%, as discussed in Section 4.1.
+// The burst of failures midway is due to a transient outage of the
+// wide-area data handling system."
+#include <algorithm>
+#include <cstdio>
+
+#include "lobsim/scenarios.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lobster;
+
+  std::puts("=== Figure 10: Timeline of the Data Processing Run ===");
+
+  auto s = lobsim::data_processing_scenario();
+  lobsim::Engine engine(s.cluster, s.workload, s.seed);
+  engine.schedule_outage(s.outage_start, s.outage_duration);
+  const auto& m = engine.run(10.0 * 86400.0);
+
+  const auto& mon = m.monitor;
+  const auto eff = mon.efficiency_timeline();
+  const std::size_t bins =
+      std::max({mon.completed_timeline().nbins(), mon.failed_timeline().nbins(),
+                mon.running_timeline().nbins()});
+  const double bin_w = mon.completed_timeline().bin_width();
+
+  std::printf("Outage window: %s - %s\n\n",
+              util::format_duration(s.outage_start).c_str(),
+              util::format_duration(s.outage_start + s.outage_duration).c_str());
+  std::puts("-- top: concurrent tasks running (1 char = 250 tasks) --");
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double running = mon.running_timeline().mean_level(b);
+    std::printf("  %7s |%s %.0f\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                util::bar(running, 10000.0, 40).c_str(), running);
+  }
+
+  std::puts("\n-- middle: tasks completed '#' / failed 'x' per bin (1 char =");
+  std::puts("   25 tasks) --");
+  for (std::size_t b = 0; b < bins; ++b) {
+    std::string bar;
+    bar.append(
+        static_cast<std::size_t>(mon.completed_timeline().sum(b) / 25.0), '#');
+    bar.append(static_cast<std::size_t>(mon.failed_timeline().sum(b) / 25.0),
+               'x');
+    std::printf("  %7s |%s\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                bar.c_str());
+  }
+
+  std::puts("\n-- bottom: CPU-time / wall-clock per bin (max ~0.70, Fig. 3) --");
+  for (std::size_t b = 0; b < bins && b < eff.size(); ++b) {
+    std::printf("  %7s |%s %.2f\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                util::bar(eff[b], 1.0, 40).c_str(), eff[b]);
+  }
+
+  // Plateau efficiency: mean over the saturated middle of the run.
+  double plateau = 0.0;
+  int plateau_bins = 0;
+  for (std::size_t b = 0; b < eff.size(); ++b) {
+    const double t = static_cast<double>(b) * bin_w;
+    if (t >= 2.5 * 3600.0 && t <= 6.0 * 3600.0 && eff[b] > 0.0) {
+      plateau += eff[b];
+      ++plateau_bins;
+    }
+  }
+  if (plateau_bins > 0) plateau /= plateau_bins;
+  std::printf(
+      "\nRun summary: peak %zu concurrent tasks; %llu completed, %llu failed,"
+      "\n%llu evicted; plateau efficiency %.2f; makespan %s.\n",
+      m.peak_running, static_cast<unsigned long long>(m.tasks_completed),
+      static_cast<unsigned long long>(m.tasks_failed),
+      static_cast<unsigned long long>(m.tasks_evicted), plateau,
+      util::format_duration(m.makespan).c_str());
+  std::puts("\nPaper-shape check: ramp to ~10k running tasks, failure burst");
+  std::puts("at the outage with an efficiency dip, efficiency otherwise near");
+  std::puts("the ~0.70 ceiling of Section 4.1.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// fig11_simulation_timeline — reproduces Figure 11: "The time evolution of
+// a simulation run on nearly 20K cores over eight hours.  From the top:
+// number of concurrent tasks running; time to setup the software release
+// and initialize the environment; time to stage-out data from local to
+// permanent storage; and exit code of failed tasks as a function of time.
+// At the beginning of the run, the release setup time peaks around 400
+// minutes as cold worker caches are filled simultaneously.  During this
+// period, high load on the squid proxy cache is responsible for a small
+// number of task failures. After most caches are filled, the release setup
+// time drops, as does the prevalence of tasks exiting with squid related
+// failures."
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "lobsim/scenarios.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lobster;
+
+  std::puts("=== Figure 11: Timeline of the Simulation (MC) Run ===");
+
+  auto s = lobsim::simulation_run_scenario();
+  lobsim::Engine engine(s.cluster, s.workload, s.seed);
+  const auto& m = engine.run(10.0 * 86400.0);
+
+  const auto& mon = m.monitor;
+  const auto setup = mon.setup_time_timeline();
+  const auto stageout = mon.stageout_time_timeline();
+  const std::size_t bins = mon.running_timeline().nbins();
+  const double bin_w = mon.completed_timeline().bin_width();
+
+  std::puts("-- top: concurrent tasks running (1 char = 500 tasks) --");
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double running = mon.running_timeline().mean_level(b);
+    std::printf("  %7s |%s %.0f\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                util::bar(running, 20000.0, 40).c_str(), running);
+  }
+
+  double setup_peak = 0.0;
+  for (double v : setup) setup_peak = std::max(setup_peak, v);
+  std::puts("\n-- second: mean software setup time per bin --");
+  for (std::size_t b = 0; b < setup.size(); ++b) {
+    std::printf("  %7s |%s %s\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                util::bar(setup[b], setup_peak, 40).c_str(),
+                util::format_duration(setup[b]).c_str());
+  }
+
+  double so_peak = 0.0;
+  for (double v : stageout) so_peak = std::max(so_peak, v);
+  std::puts("\n-- third: mean stage-out time per bin (Chirp waves) --");
+  for (std::size_t b = 0; b < stageout.size(); ++b) {
+    std::printf("  %7s |%s %s\n",
+                util::format_duration(static_cast<double>(b) * bin_w).c_str(),
+                util::bar(stageout[b], so_peak, 40).c_str(),
+                util::format_duration(stageout[b]).c_str());
+  }
+
+  std::puts("\n-- bottom: failed-task exit codes over time --");
+  std::map<int, util::Histogram> by_code;
+  for (const auto& [t, code] : m.failure_events) {
+    auto it = by_code.find(code);
+    if (it == by_code.end())
+      it = by_code
+               .emplace(code, util::Histogram(
+                                  std::max<std::size_t>(bins, 1), 0.0,
+                                  static_cast<double>(bins) * bin_w))
+               .first;
+    it->second.fill(t);
+  }
+  for (auto& [code, hist] : by_code) {
+    std::printf("  exit %d (%s): %zu failures\n", code,
+                code == 174 ? "squid/env setup" : "other", hist.entries());
+    std::fputs(hist.ascii(40).c_str(), stdout);
+  }
+
+  std::printf(
+      "\nRun summary: peak %zu concurrent tasks; %llu completed; %llu squid"
+      "\ntimeouts; setup-time peak %s; makespan %s.\n",
+      m.peak_running, static_cast<unsigned long long>(m.tasks_completed),
+      static_cast<unsigned long long>(engine.squid(0).timeouts()),
+      util::format_duration(setup_peak).c_str(),
+      util::format_duration(m.makespan).c_str());
+  std::puts("\nPaper-shape check: ~20k concurrent tasks; setup-time peak of");
+  std::puts("hundreds of minutes while cold caches fill, then a sharp drop;");
+  std::puts("periodic stage-out waves; squid-related failures concentrated");
+  std::puts("early and decaying after caches are hot.");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// fig14_multi_site — extension experiment for paper §7: "Furthermore,
+// Lobster's design makes it possible to harvest resources from several
+// clusters, and even commercial clouds, together to achieve the desired
+// scale."
+//
+// A 150k-core-hour analysis is run three ways: on the home campus alone,
+// with a borrowed (hostile) HPC partition added, and with a commercial
+// cloud burst on top.  Each site has its own WAN path, squid and eviction
+// climate; output always returns to the home Chirp server.
+#include <cstdio>
+
+#include "lobsim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace lobster;
+
+namespace {
+lobsim::ClusterParams home_campus() {
+  lobsim::ClusterParams c;
+  c.target_cores = 6000;
+  c.cores_per_worker = 8;
+  c.ramp_seconds = util::hours(1);
+  c.availability_scale_hours = 10.0;
+  c.federation.campus_uplink_rate = util::gbit_per_s(10);
+  c.chirp.max_connections = 24;
+  c.chirp.nic_rate = 8e8;
+  return c;
+}
+
+lobsim::SiteParams hpc_partition() {
+  lobsim::SiteParams s;
+  s.name = "HPC backfill";
+  s.target_cores = 3000;
+  s.ramp_seconds = util::hours(0.5);
+  s.availability_scale_hours = 5.0;  // backfill: frequent preemption
+  s.federation.campus_uplink_rate = util::gbit_per_s(4);
+  return s;
+}
+
+lobsim::SiteParams cloud_burst() {
+  lobsim::SiteParams s;
+  s.name = "cloud burst";
+  s.target_cores = 4000;
+  s.ramp_seconds = util::hours(0.25);  // instances boot fast
+  s.evictions = false;                 // dedicated while paid for
+  s.federation.campus_uplink_rate = util::gbit_per_s(5);
+  return s;
+}
+
+lobsim::WorkloadParams workload() {
+  lobsim::WorkloadParams w;
+  w.num_tasklets = 80000;
+  w.tasklets_per_task = 6;
+  w.tasklet_input_bytes = 300e6;
+  w.read_fraction = 0.3;
+  w.tasklet_output_bytes = 15e6;
+  w.merge_mode = lobster::core::MergeMode::Interleaved;
+  // Without tail adaptivity, eviction-retry chains of the last stragglers
+  // erase the multi-site win; enable the SS8 feature for this experiment.
+  w.tail_shrink = true;
+  return w;
+}
+}  // namespace
+
+int main() {
+  std::puts("=== Multi-cluster harvesting (paper SS7 extension) ===\n");
+
+  struct Row {
+    const char* label;
+    lobsim::ClusterParams cluster;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"campus only (6k cores)", home_campus()});
+  {
+    auto c = home_campus();
+    c.extra_sites = {hpc_partition()};
+    rows.push_back({"campus + HPC backfill (9k)", c});
+  }
+  {
+    auto c = home_campus();
+    c.extra_sites = {hpc_partition(), cloud_burst()};
+    rows.push_back({"campus + HPC + cloud (13k)", c});
+  }
+
+  util::Table table({"fleet", "makespan", "peak tasks", "evictions",
+                     "per-site tasklets"});
+  for (const auto& row : rows) {
+    lobsim::Engine engine(row.cluster, workload(), 2015);
+    const auto& m = engine.run(30.0 * 86400.0);
+    std::string split;
+    for (std::size_t s = 0; s < engine.num_sites(); ++s) {
+      if (s) split += " / ";
+      split += util::Table::integer(
+          static_cast<long long>(engine.per_site_tasklets()[s]));
+    }
+    table.row({row.label, util::format_duration(m.makespan),
+               util::Table::integer(static_cast<long long>(m.peak_running)),
+               util::Table::integer(static_cast<long long>(m.tasks_evicted)),
+               split});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nShape check: each added site cuts the makespan; the evicting");
+  std::puts("HPC partition contributes less per core than the dedicated");
+  std::puts("cloud burst, and outputs still funnel to the home Chirp server.");
+  std::puts("(Caveat found while modelling: a site whose WAN path is too");
+  std::puts("slow for its core count turns into a task sink — its slots");
+  std::puts("keep claiming tasklets they cannot finish before eviction —");
+  std::puts("so harvested sites must be provisioned with matching I/O.)");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// micro_cache — google-benchmark microbenchmarks for the real Parrot cache
+// under multithreaded access, per locking mode, and the squid LRU.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/repository.hpp"
+#include "cvmfs/squid.hpp"
+#include "util/rng.hpp"
+
+namespace cv = lobster::cvmfs;
+namespace lu = lobster::util;
+
+namespace {
+std::vector<cv::FileObject> objects(std::size_t n) {
+  std::vector<cv::FileObject> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    cv::FileObject o;
+    o.path = "/cvmfs/bench/obj" + std::to_string(i);
+    o.size_bytes = 1e5;
+    o.digest = cv::digest_of(o.path, o.size_bytes);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+cv::Fetcher instant_fetcher() {
+  return [](const cv::FileObject& obj) {
+    return cv::digest_of(obj.path, obj.size_bytes);
+  };
+}
+}  // namespace
+
+static void BM_CacheHotAccess(benchmark::State& state) {
+  const auto mode = static_cast<cv::CacheMode>(state.range(0));
+  cv::CacheGroup group(mode, instant_fetcher());
+  auto inst = group.make_instance();
+  const auto objs = objects(256);
+  for (const auto& o : objs) inst.access(o);  // warm
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.access(objs[i++ % objs.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cv::to_string(mode));
+}
+BENCHMARK(BM_CacheHotAccess)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_CacheColdConcurrent(benchmark::State& state) {
+  const auto mode = static_cast<cv::CacheMode>(state.range(0));
+  const auto objs = objects(512);
+  for (auto _ : state) {
+    cv::CacheGroup group(mode, instant_fetcher());
+    std::vector<cv::CacheGroup::Instance> instances;
+    for (int t = 0; t < 8; ++t) instances.push_back(group.make_instance());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (const auto& o : objs)
+          instances[static_cast<std::size_t>(t)].access(o);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 512);
+  state.SetLabel(cv::to_string(mode));
+}
+BENCHMARK(BM_CacheColdConcurrent)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SquidLru(benchmark::State& state) {
+  cv::SquidProxy squid(1e7 /* forces eviction */, instant_fetcher());
+  const auto objs = objects(512);
+  lu::Rng rng(3);
+  for (auto _ : state) {
+    const auto& o = objs[static_cast<std::size_t>(rng.zipf(512, 1.1)) - 1];
+    benchmark::DoNotOptimize(squid.fetch(o));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquidLru);
+
+BENCHMARK_MAIN();

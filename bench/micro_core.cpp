@@ -1,0 +1,81 @@
+// micro_core — google-benchmark microbenchmarks for core Lobster logic:
+// Lobster DB ingest, merge planning over large output sets, decomposition,
+// and single points of the §4.1 task-size model.
+#include <benchmark/benchmark.h>
+
+#include "core/db.hpp"
+#include "core/merge.hpp"
+#include "core/task_size_model.hpp"
+#include "core/workflow.hpp"
+#include "dbs/dbs.hpp"
+#include "util/rng.hpp"
+
+namespace core = lobster::core;
+namespace dbs = lobster::dbs;
+namespace lu = lobster::util;
+
+static void BM_Decompose(benchmark::State& state) {
+  dbs::SyntheticDatasetSpec spec;
+  spec.num_files = static_cast<std::size_t>(state.range(0));
+  const auto ds = dbs::make_synthetic_dataset(spec, lu::Rng(1));
+  for (auto _ : state) {
+    auto tasklets = core::decompose(ds, {.lumis_per_tasklet = 5});
+    benchmark::DoNotOptimize(tasklets.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Decompose)->Arg(100)->Arg(1000);
+
+static void BM_DbTaskLifecycle(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Db db;
+    std::vector<core::Tasklet> tasklets(1000);
+    for (std::size_t i = 0; i < tasklets.size(); ++i) tasklets[i].id = i + 1;
+    db.register_tasklets(tasklets);
+    for (std::uint64_t i = 1; i + 5 <= 1000; i += 5) {
+      const auto id = db.create_task(core::TaskKind::Analysis,
+                                     {i, i + 1, i + 2, i + 3, i + 4}, 0.0);
+      core::TaskRecord rec;
+      rec.status = core::TaskStatus::Done;
+      rec.cpu_time = 100.0;
+      db.finish_task(id, rec);
+      db.record_output(id, "out", 5e7);
+    }
+    benchmark::DoNotOptimize(db.num_outputs());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_DbTaskLifecycle)->Unit(benchmark::kMicrosecond);
+
+static void BM_MergePlanning(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::OutputRecord> outputs(n);
+  lu::Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    outputs[i].output_id = i + 1;
+    outputs[i].bytes = rng.uniform(1e7, 1e8);
+  }
+  core::MergePolicy policy;
+  for (auto _ : state) {
+    auto groups = core::plan_merges(outputs, policy, false, 0);
+    benchmark::DoNotOptimize(groups.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_MergePlanning)->Arg(1000)->Arg(10000);
+
+static void BM_TaskSizeModelPoint(benchmark::State& state) {
+  core::TaskSizeModelParams p;
+  p.num_tasklets = 20000;
+  p.num_workers = 1600;
+  const core::ConstantEviction eviction(0.1);
+  for (auto _ : state) {
+    auto r = core::simulate_task_size(p, eviction, 1.0);
+    benchmark::DoNotOptimize(r.efficiency);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+  state.SetLabel("20k tasklets, 1600 workers");
+}
+BENCHMARK(BM_TaskSizeModelPoint)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// chirp.hpp — a Chirp-style user-level file server (paper §4.2, §4.4, §6).
+//
+// Lobster puts a Chirp server in front of the backend Hadoop storage so
+// thousands of concurrent tasks can stage their output without overloading
+// Work Queue's own data handling.  Two implementations:
+//
+//  * ChirpServer — a real, thread-safe in-memory file service with the
+//    pieces Lobster relies on: hierarchical namespace, put/get/stat/list,
+//    ticket-based access control (opportunistic users have no privileged
+//    accounts), and a concurrent-connection limit.
+//
+//  * ChirpSim — the DES cost model: a connection-limited server whose NIC is
+//    a shared BandwidthLink.  Limited concurrency + synchronized waves of
+//    finishing tasks produce the periodic stage-out delays of Figure 11.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <semaphore>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/bandwidth.hpp"
+#include "des/resource.hpp"
+#include "des/simulation.hpp"
+#include "des/task.hpp"
+
+namespace lobster::chirp {
+
+struct ChirpError : std::runtime_error {
+  explicit ChirpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Access rights attached to a ticket.
+enum class Rights : unsigned {
+  None = 0,
+  Read = 1u << 0,
+  Write = 1u << 1,
+  List = 1u << 2,
+  Admin = 1u << 3,
+};
+constexpr Rights operator|(Rights a, Rights b) {
+  return static_cast<Rights>(static_cast<unsigned>(a) |
+                             static_cast<unsigned>(b));
+}
+constexpr bool has_right(Rights granted, Rights needed) {
+  return (static_cast<unsigned>(granted) & static_cast<unsigned>(needed)) ==
+         static_cast<unsigned>(needed);
+}
+
+/// File metadata returned by stat().
+struct FileInfo {
+  std::string path;
+  std::uint64_t size = 0;
+};
+
+/// Storage behind the Chirp namespace.  The production deployment fronts a
+/// Hadoop cluster (paper §4.2: "we use a Chirp user level file server to
+/// provide access to a backend Hadoop cluster"); tests and small setups use
+/// plain memory.  Implementations must be thread safe or rely on the
+/// server's locking (the server serialises all backend calls).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+  virtual void put(const std::string& path, std::string content) = 0;
+  /// Throws ChirpError when absent (or unreadable).
+  virtual std::string get(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  /// Throws ChirpError when absent.
+  virtual void remove(const std::string& path) = 0;
+  /// (path, size) under a prefix, sorted by path.
+  virtual std::vector<FileInfo> list(const std::string& prefix) = 0;
+};
+
+/// Default backend: an in-memory map.
+class MemoryBackend final : public StorageBackend {
+ public:
+  void put(const std::string& path, std::string content) override;
+  std::string get(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove(const std::string& path) override;
+  std::vector<FileInfo> list(const std::string& prefix) override;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+/// Real Chirp server over a pluggable storage backend.
+class ChirpServer {
+ public:
+  /// `max_connections` bounds concurrent sessions, as the production server
+  /// does to "keep the underlying hardware from becoming completely
+  /// unresponsive" (paper §6).  Default backend: memory.
+  explicit ChirpServer(std::ptrdiff_t max_connections = 64,
+                       std::unique_ptr<StorageBackend> backend = nullptr);
+
+  /// Issue a ticket granting `rights` under the subtree `scope`.
+  /// Returns the ticket string clients authenticate with.
+  std::string issue_ticket(const std::string& scope, Rights rights);
+  void revoke_ticket(const std::string& ticket);
+
+  /// A client session; RAII holds one connection slot.
+  class Session {
+   public:
+    ~Session();
+    Session(Session&&) noexcept;
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    Session& operator=(Session&&) = delete;
+
+    void put(const std::string& path, std::string content);
+    std::string get(const std::string& path) const;
+    /// Append to an existing file (creates it when absent) — merge tasks
+    /// use this to concatenate outputs.
+    void append(const std::string& path, const std::string& content);
+    FileInfo stat(const std::string& path) const;
+    std::vector<FileInfo> list(const std::string& prefix) const;
+    void remove(const std::string& path);
+
+   private:
+    friend class ChirpServer;
+    Session(ChirpServer* server, std::string scope, Rights rights);
+    ChirpServer* server_;
+    std::string scope_;
+    Rights rights_;
+  };
+
+  /// Open a session with a ticket; blocks while the server is at its
+  /// connection limit; throws ChirpError on an unknown ticket.
+  Session connect(const std::string& ticket);
+
+  std::uint64_t total_requests() const;
+  double bytes_in() const;
+  double bytes_out() const;
+  std::size_t num_files() const;
+
+ private:
+  friend class Session;
+  void check_scope(const std::string& scope, const std::string& path) const;
+
+  mutable std::mutex mutex_;
+  std::counting_semaphore<1 << 20> connections_;
+  std::unique_ptr<StorageBackend> backend_;
+  struct Ticket {
+    std::string scope;
+    Rights rights;
+  };
+  std::map<std::string, Ticket> tickets_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t requests_ = 0;
+  double bytes_in_ = 0.0;
+  double bytes_out_ = 0.0;
+};
+
+/// DES model of the Chirp server in front of Hadoop.
+class ChirpSim {
+ public:
+  struct Params {
+    /// Concurrent transfers admitted; the rest queue FIFO.
+    std::int64_t max_connections = 16;
+    /// Server NIC, shared by admitted transfers.
+    double nic_rate = 1.25e9;  // 10 Gbit/s
+    /// Per-request fixed cost (connect, auth, namespace ops).
+    double request_latency = 0.2;
+  };
+
+  ChirpSim(des::Simulation& sim, const Params& params);
+
+  /// Transfer `bytes` to (put) or from (get) the server; returns wall time.
+  des::Task<double> put(double bytes);
+  des::Task<double> get(double bytes);
+
+  des::Resource& connections() { return connections_; }
+  double bytes_in() const { return bytes_in_; }
+  double bytes_out() const { return bytes_out_; }
+  /// Mean over completed requests of (wall time / unloaded time) — a
+  /// direct overload indicator used by the monitoring advisor.
+  double mean_slowdown() const;
+
+ private:
+  des::Task<double> transfer(double bytes, double& accounting);
+
+  des::Simulation& sim_;
+  Params params_;
+  des::Resource connections_;
+  des::BandwidthLink nic_;
+  double bytes_in_ = 0.0;
+  double bytes_out_ = 0.0;
+  double slowdown_sum_ = 0.0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace lobster::chirp

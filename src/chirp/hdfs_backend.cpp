@@ -1,0 +1,40 @@
+#include "chirp/hdfs_backend.hpp"
+
+namespace lobster::chirp {
+
+void HdfsBackend::put(const std::string& path, std::string content) {
+  try {
+    cluster_->put(path, std::move(content));
+  } catch (const hdfs::HdfsError& e) {
+    throw ChirpError(std::string("chirp/hdfs: ") + e.what());
+  }
+}
+
+std::string HdfsBackend::get(const std::string& path) {
+  try {
+    return cluster_->get(path);
+  } catch (const hdfs::HdfsError&) {
+    throw ChirpError("chirp: no such file " + path);
+  }
+}
+
+bool HdfsBackend::exists(const std::string& path) {
+  return cluster_->exists(path);
+}
+
+void HdfsBackend::remove(const std::string& path) {
+  try {
+    cluster_->remove(path);
+  } catch (const hdfs::HdfsError&) {
+    throw ChirpError("chirp: no such file " + path);
+  }
+}
+
+std::vector<FileInfo> HdfsBackend::list(const std::string& prefix) {
+  std::vector<FileInfo> out;
+  for (const auto& st : cluster_->list(prefix))
+    out.push_back(FileInfo{st.path, st.size});
+  return out;
+}
+
+}  // namespace lobster::chirp

@@ -1,0 +1,30 @@
+// hdfs_backend.hpp — the production wiring of paper §4.2: Chirp in front of
+// a Hadoop storage cluster.  Writes through the Chirp namespace land as
+// replicated blocks in hdfs::Cluster, so task outputs survive datanode loss
+// and the Map-Reduce merge path reads them in place.
+#pragma once
+
+#include "chirp/chirp.hpp"
+#include "hdfs/hdfs.hpp"
+
+namespace lobster::chirp {
+
+class HdfsBackend final : public StorageBackend {
+ public:
+  /// `cluster` must outlive the backend (it is typically shared with the
+  /// Map-Reduce merge pipeline).
+  explicit HdfsBackend(hdfs::Cluster& cluster) : cluster_(&cluster) {}
+
+  void put(const std::string& path, std::string content) override;
+  std::string get(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  void remove(const std::string& path) override;
+  std::vector<FileInfo> list(const std::string& prefix) override;
+
+  hdfs::Cluster& cluster() { return *cluster_; }
+
+ private:
+  hdfs::Cluster* cluster_;
+};
+
+}  // namespace lobster::chirp

@@ -1,0 +1,60 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace lobster::core {
+
+const char* to_string(DataAccessMode m) {
+  switch (m) {
+    case DataAccessMode::Stream: return "stream";
+    case DataAccessMode::Stage: return "stage";
+  }
+  return "?";
+}
+
+WorkflowConfig WorkflowConfig::from_config(const util::Config& cfg,
+                                           const std::string& section) {
+  WorkflowConfig out;
+  out.label = cfg.get_string(section, "label", out.label);
+  out.dataset = cfg.get_string(section, "dataset", out.dataset);
+  out.lumis_per_tasklet = static_cast<std::uint32_t>(
+      cfg.get_int(section, "lumis_per_tasklet", out.lumis_per_tasklet));
+  out.tasklets_per_task = static_cast<std::uint32_t>(
+      cfg.get_int(section, "tasklets_per_task", out.tasklets_per_task));
+  out.task_buffer = static_cast<std::size_t>(
+      cfg.get_int(section, "task_buffer",
+                  static_cast<std::int64_t>(out.task_buffer)));
+  out.max_attempts = static_cast<std::uint32_t>(
+      cfg.get_int(section, "max_attempts", out.max_attempts));
+  out.output_ratio = cfg.get_double(section, "output_ratio", out.output_ratio);
+  out.adaptive_sizing =
+      cfg.get_bool(section, "adaptive_sizing", out.adaptive_sizing);
+  out.merge_policy.target_bytes =
+      cfg.get_size(section, "merge_size", out.merge_policy.target_bytes);
+
+  const std::string access = cfg.get_string(section, "access", "stream");
+  if (access == "stream")
+    out.access = DataAccessMode::Stream;
+  else if (access == "stage")
+    out.access = DataAccessMode::Stage;
+  else
+    throw std::runtime_error("config: unknown access mode '" + access + "'");
+
+  const std::string merge = cfg.get_string(section, "merge", "interleaved");
+  if (merge == "interleaved")
+    out.merge_mode = MergeMode::Interleaved;
+  else if (merge == "sequential")
+    out.merge_mode = MergeMode::Sequential;
+  else if (merge == "hadoop")
+    out.merge_mode = MergeMode::Hadoop;
+  else
+    throw std::runtime_error("config: unknown merge mode '" + merge + "'");
+
+  if (out.tasklets_per_task == 0)
+    throw std::runtime_error("config: tasklets_per_task must be > 0");
+  if (out.task_buffer == 0)
+    throw std::runtime_error("config: task_buffer must be > 0");
+  return out;
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,50 @@
+// config.hpp — the user-facing workflow configuration (paper §3: "The user
+// provides a configuration file which describes the input data sources and
+// the analysis code which is to be run on each input data source").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/merge.hpp"
+#include "util/config.hpp"
+
+namespace lobster::core {
+
+enum class DataAccessMode : std::uint8_t {
+  Stream,  ///< XrootD: read as you go (Lobster's primary mode)
+  Stage,   ///< WQ/Chirp: copy inputs before execution
+};
+const char* to_string(DataAccessMode m);
+
+struct WorkflowConfig {
+  std::string label = "workflow";
+  std::string dataset;                 ///< DBS dataset name ("" = simulation)
+  std::uint32_t lumis_per_tasklet = 5;
+  std::uint32_t tasklets_per_task = 6;  ///< ~1 h at 10 min/tasklet
+  std::size_t task_buffer = 400;        ///< dispatch buffer (paper §4.1)
+  std::uint32_t max_attempts = 10;      ///< per-tasklet retry cap
+  DataAccessMode access = DataAccessMode::Stream;
+  MergeMode merge_mode = MergeMode::Interleaved;
+  MergePolicy merge_policy;
+  bool adaptive_sizing = false;         ///< §8 future-work feature
+  double output_ratio = 0.05;           ///< output/input volume
+
+  /// Parse from an INI config:
+  ///   [workflow]
+  ///   label = ttbar
+  ///   dataset = /SingleMu/Run2015A/AOD
+  ///   lumis_per_tasklet = 5
+  ///   tasklets_per_task = 6
+  ///   task_buffer = 400
+  ///   max_attempts = 10
+  ///   access = stream | stage
+  ///   merge = interleaved | sequential | hadoop
+  ///   merge_size = 3.5GB
+  ///   adaptive_sizing = false
+  /// Throws std::runtime_error on unknown enum values.
+  static WorkflowConfig from_config(const util::Config& cfg,
+                                    const std::string& section = "workflow");
+};
+
+}  // namespace lobster::core

@@ -1,0 +1,167 @@
+// db.hpp — the Lobster DB (paper §3, §5): "The main Lobster process creates
+// a local SQLite database which persistently records the mapping from
+// tasklets to tasks. ... All of these records are stored in the Lobster DB,
+// so that it becomes easy to generate histograms and time lines showing the
+// distribution of behavior at each stage of the execution."
+//
+// SQLite is replaced by an embedded store with the same roles:
+//  * tasklet table   — status, attempts, owning task;
+//  * task table      — tasklet membership, worker, per-segment timings,
+//    exit code, eviction flag;
+//  * output table    — produced files (size, merged-into);
+//  * append-only JSONL journal for persistence, replayable at startup
+//    (the paper's footnote: "system state is quickly and automatically
+//    recovered if the scheduler node should crash and reboot").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "util/histogram.hpp"
+
+namespace lobster::core {
+
+/// The wrapper's logical segments (paper §5: "the wrapper script that runs
+/// every user task is heavily instrumented ... broken down into logical
+/// segments").
+enum class Segment : std::uint8_t {
+  Dispatch = 0,   ///< master-side queue wait + send
+  EnvSetup,       ///< machine check + CVMFS/Parrot environment
+  StageIn,        ///< input transfer (staging modes) / stream open
+  Execute,        ///< the application: CPU...
+  ExecuteIo,      ///< ...and its interleaved data access (streaming)
+  StageOut,       ///< output transfer to the data tier
+  Cleanup,        ///< summary + sandbox removal
+  kCount,
+};
+const char* to_string(Segment s);
+constexpr std::size_t kNumSegments = static_cast<std::size_t>(Segment::kCount);
+
+/// Task lifecycle in the DB.
+enum class TaskStatus : std::uint8_t {
+  Created,
+  Submitted,
+  Done,
+  Failed,
+  Evicted,
+};
+const char* to_string(TaskStatus s);
+
+/// Task category, mirroring the paper's analysis vs merge split.
+enum class TaskKind : std::uint8_t { Analysis, Merge };
+const char* to_string(TaskKind k);
+
+/// One task record.
+struct TaskRecord {
+  std::uint64_t task_id = 0;
+  TaskKind kind = TaskKind::Analysis;
+  TaskStatus status = TaskStatus::Created;
+  std::vector<std::uint64_t> tasklets;  // analysis: tasklet ids; merge: output ids
+  std::string worker;
+  int exit_code = 0;
+  double submit_time = 0.0;
+  double finish_time = 0.0;
+  double segment_time[kNumSegments] = {};
+  double cpu_time = 0.0;       ///< pure processing inside Execute
+  double lost_time = 0.0;      ///< wall time discarded by eviction
+  double outputs_bytes = 0.0;  ///< volume of outputs the task produced
+};
+
+/// An output file produced by a completed analysis task.
+struct OutputRecord {
+  std::uint64_t output_id = 0;
+  std::uint64_t task_id = 0;
+  std::string path;
+  double bytes = 0.0;
+  bool merged = false;
+};
+
+/// The database.  Single-writer (the main Lobster process); reads are safe
+/// from the same thread.  Persistence is an explicit journal file.
+class Db {
+ public:
+  Db() = default;
+
+  // ---- tasklets -------------------------------------------------------------
+
+  /// Register the complete tasklet list (start of workflow).
+  void register_tasklets(const std::vector<Tasklet>& tasklets);
+  std::size_t num_tasklets() const { return tasklets_.size(); }
+  const Tasklet& tasklet(std::uint64_t id) const;
+  TaskletStatus tasklet_status(std::uint64_t id) const;
+  /// Permanently fail a pending tasklet (attempts exhausted).
+  void mark_tasklet_failed(std::uint64_t id);
+  std::uint32_t tasklet_attempts(std::uint64_t id) const;
+  std::map<TaskletStatus, std::size_t> tasklet_status_counts() const;
+  /// Ids of up to `limit` pending tasklets (creation order).
+  std::vector<std::uint64_t> pending_tasklets(std::size_t limit) const;
+
+  // ---- tasks ----------------------------------------------------------------
+
+  /// Create a task over the given tasklet ids; marks them Assigned.
+  /// Returns the new task id.
+  std::uint64_t create_task(TaskKind kind,
+                            const std::vector<std::uint64_t>& tasklet_ids,
+                            double now);
+  /// Record completion.  Analysis success marks tasklets Processed; failure
+  /// or eviction returns them to Pending (attempts incremented).
+  void finish_task(std::uint64_t task_id, const TaskRecord& result);
+  const TaskRecord& task(std::uint64_t task_id) const;
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::map<TaskStatus, std::size_t> task_status_counts() const;
+
+  // ---- outputs --------------------------------------------------------------
+
+  std::uint64_t record_output(std::uint64_t task_id, const std::string& path,
+                              double bytes);
+  void mark_merged(const std::vector<std::uint64_t>& output_ids);
+  /// Unmerged outputs (id order).
+  std::vector<OutputRecord> unmerged_outputs() const;
+  const OutputRecord& output(std::uint64_t id) const;
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  // ---- monitoring queries ----------------------------------------------------
+
+  /// Histogram of one segment's duration over finished tasks.
+  util::Histogram segment_histogram(Segment s, std::size_t nbins,
+                                    double max_seconds) const;
+  /// Aggregate time per segment over all finished tasks (the Figure 8 rows).
+  std::vector<double> segment_totals() const;
+  double total_cpu_time() const;
+  double total_lost_time() const;
+
+  // ---- persistence ------------------------------------------------------------
+
+  /// Append-only JSONL journal of all state changes.
+  void save_journal(const std::string& path) const;
+  /// Rebuild a Db from a journal.
+  static Db load_journal(const std::string& path);
+  /// Crash recovery (paper §3 footnote: "system state is quickly and
+  /// automatically recovered if the scheduler node should crash and
+  /// reboot"): tasks that were in flight when the journal was written are
+  /// marked Evicted and their tasklets returned to Pending.  Returns the
+  /// number of recovered tasks.
+  std::size_t recover_in_flight();
+  /// Export the task table as CSV (for external analysis).
+  std::string tasks_csv() const;
+
+ private:
+  struct TaskletRow {
+    Tasklet tasklet;
+    TaskletStatus status = TaskletStatus::Pending;
+    std::uint32_t attempts = 0;
+    std::uint64_t task_id = 0;
+  };
+
+  std::map<std::uint64_t, TaskletRow> tasklets_;
+  std::map<std::uint64_t, TaskRecord> tasks_;
+  std::map<std::uint64_t, OutputRecord> outputs_;
+  std::uint64_t next_task_id_ = 1;
+  std::uint64_t next_output_id_ = 1;
+};
+
+}  // namespace lobster::core

@@ -1,0 +1,154 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+namespace lobster::core {
+
+Monitor::Monitor(double bin_seconds)
+    : bin_(bin_seconds),
+      completed_(0.0, bin_seconds),
+      failed_(0.0, bin_seconds),
+      running_(0.0, bin_seconds),
+      cpu_in_bin_(0.0, bin_seconds),
+      wall_in_bin_(0.0, bin_seconds),
+      setup_in_bin_(0.0, bin_seconds),
+      setup_count_(0.0, bin_seconds),
+      stageout_in_bin_(0.0, bin_seconds),
+      stageout_count_(0.0, bin_seconds) {}
+
+void Monitor::on_task_finished(const TaskRecord& rec) {
+  ++seen_;
+  const double t = rec.finish_time;
+  const double* seg = rec.segment_time;
+  const double wall_all =
+      seg[static_cast<std::size_t>(Segment::Dispatch)] +
+      seg[static_cast<std::size_t>(Segment::EnvSetup)] +
+      seg[static_cast<std::size_t>(Segment::StageIn)] +
+      seg[static_cast<std::size_t>(Segment::Execute)] +
+      seg[static_cast<std::size_t>(Segment::ExecuteIo)] +
+      seg[static_cast<std::size_t>(Segment::StageOut)] +
+      seg[static_cast<std::size_t>(Segment::Cleanup)] + rec.lost_time;
+
+  if (rec.status == TaskStatus::Failed || rec.status == TaskStatus::Evicted) {
+    if (rec.status == TaskStatus::Failed)
+      ++failures_;
+    else
+      ++evictions_;
+    failed_.add(t);
+    // All wall time of a failed/evicted task is charged to "Task Failed" —
+    // the Figure 8 accounting.
+    breakdown_.failed += wall_all;
+    lost_ += rec.lost_time;
+    dispatch_ += seg[static_cast<std::size_t>(Segment::Dispatch)];
+    return;
+  }
+
+  completed_.add(t);
+  breakdown_.cpu += rec.cpu_time;
+  breakdown_.io +=
+      seg[static_cast<std::size_t>(Segment::ExecuteIo)] +
+      std::max(0.0, seg[static_cast<std::size_t>(Segment::Execute)] -
+                        rec.cpu_time);
+  breakdown_.stage_in += seg[static_cast<std::size_t>(Segment::StageIn)];
+  breakdown_.stage_out += seg[static_cast<std::size_t>(Segment::StageOut)];
+  breakdown_.other += seg[static_cast<std::size_t>(Segment::Dispatch)] +
+                      seg[static_cast<std::size_t>(Segment::EnvSetup)] +
+                      seg[static_cast<std::size_t>(Segment::Cleanup)] +
+                      rec.lost_time;
+  lost_ += rec.lost_time;
+  dispatch_ += seg[static_cast<std::size_t>(Segment::Dispatch)];
+
+  cpu_in_bin_.add(t, rec.cpu_time);
+  wall_in_bin_.add(t, wall_all);
+  setup_in_bin_.add(t, seg[static_cast<std::size_t>(Segment::EnvSetup)]);
+  setup_count_.add(t, 1.0);
+  stageout_in_bin_.add(t, seg[static_cast<std::size_t>(Segment::StageOut)]);
+  stageout_count_.add(t, 1.0);
+}
+
+void Monitor::sample_running(double now, std::size_t running) {
+  running_.sample(now, static_cast<double>(running));
+}
+
+std::vector<double> Monitor::efficiency_timeline() const {
+  std::vector<double> out(wall_in_bin_.nbins(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double wall = wall_in_bin_.sum(i);
+    out[i] = wall > 0.0 ? cpu_in_bin_.sum(i) / wall : 0.0;
+  }
+  return out;
+}
+
+namespace {
+std::vector<double> per_bin_mean(const util::TimeSeries& sum,
+                                 const util::TimeSeries& count) {
+  std::vector<double> out(sum.nbins(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double n = count.sum(i);
+    out[i] = n > 0.0 ? sum.sum(i) / n : 0.0;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> Monitor::setup_time_timeline() const {
+  return per_bin_mean(setup_in_bin_, setup_count_);
+}
+
+std::vector<double> Monitor::stageout_time_timeline() const {
+  return per_bin_mean(stageout_in_bin_, stageout_count_);
+}
+
+std::vector<Diagnosis> Monitor::diagnose(
+    const AdvisorThresholds& th) const {
+  std::vector<Diagnosis> out;
+  const double total = breakdown_.total();
+  if (total <= 0.0) return out;
+
+  auto severity = [](double value, double threshold) {
+    return std::min(1.0, (value - threshold) / std::max(threshold, 1e-9));
+  };
+
+  const double lost_frac = lost_ / total;
+  if (lost_frac > th.lost_fraction)
+    out.push_back(
+        {"high lost runtime (" + std::to_string(lost_frac) + " of wall)",
+         "target task size is too high: eviction limits the available "
+         "computation time — reduce tasklets per task",
+         severity(lost_frac, th.lost_fraction)});
+
+  const double dispatch_frac = dispatch_ / total;
+  if (dispatch_frac > th.dispatch_fraction)
+    out.push_back(
+        {"long sandbox stage-in / dispatch wait (" +
+             std::to_string(dispatch_frac) + " of wall)",
+         "use more foremen to spread the load of sending out the sandbox",
+         severity(dispatch_frac, th.dispatch_fraction)});
+
+  const double setup_frac =
+      (breakdown_.other > 0.0 ? breakdown_.other : 0.0) / total;
+  if (setup_frac > th.setup_fraction)
+    out.push_back(
+        {"consistently long setup times (" + std::to_string(setup_frac) +
+             " of wall)",
+         "squid proxy overloaded: increase cores per worker (shared cache) "
+         "or deploy more proxies",
+         severity(setup_frac, th.setup_fraction)});
+
+  const double staging_frac =
+      (breakdown_.stage_in + breakdown_.stage_out) / total;
+  if (staging_frac > th.staging_fraction)
+    out.push_back(
+        {"increased stage-in and stage-out times (" +
+             std::to_string(staging_frac) + " of wall)",
+         "Chirp server overloaded: adjust the number of concurrent "
+         "connections permitted",
+         severity(staging_frac, th.staging_fraction)});
+
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.severity > b.severity;
+  });
+  return out;
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,110 @@
+// monitor.hpp — performance monitoring and diagnosis (paper §5).
+//
+// "Due to the large number of interacting components in Lobster,
+// troubleshooting problems can be very challenging. ... we have implemented
+// a comprehensive monitoring system that covers almost every aspect of the
+// system and the infrastructure."
+//
+// The Monitor ingests finished TaskRecords plus infrastructure gauges and
+// provides:
+//  * run timelines — tasks running / completed / failed per time bin and the
+//    CPU/wall efficiency ratio (Figures 10 and 11);
+//  * the runtime breakdown table — CPU / I/O / failed / stage-in / stage-out
+//    (Figure 8);
+//  * a diagnosis advisor encoding the troubleshooting rules the paper lists:
+//      - high lost runtime            -> target task size too high
+//      - long sandbox stage-in / wait -> use more foremen
+//      - consistently long setup      -> overloaded squid proxy
+//      - long stage-in and stage-out  -> overloaded Chirp server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/db.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace lobster::core {
+
+/// The Figure 8 table: wall time attributed to each phase across the run.
+struct RuntimeBreakdown {
+  double cpu = 0.0;        ///< "Task CPU Time"
+  double io = 0.0;         ///< "Task I/O Time" (streaming reads inside run)
+  double failed = 0.0;     ///< wall time of failed tasks
+  double stage_in = 0.0;   ///< "WQ Stage In" (sandbox + input staging)
+  double stage_out = 0.0;  ///< "WQ Stage Out"
+  double other = 0.0;      ///< env setup, dispatch, cleanup
+  double total() const {
+    return cpu + io + failed + stage_in + stage_out + other;
+  }
+};
+
+/// One diagnosis from the advisor.
+struct Diagnosis {
+  std::string symptom;
+  std::string advice;
+  double severity = 0.0;  ///< 0..1, how far past the trigger threshold
+};
+
+/// Tunable trigger thresholds for the advisor.
+struct AdvisorThresholds {
+  double lost_fraction = 0.10;       ///< lost / total wall
+  double dispatch_fraction = 0.05;   ///< dispatch wait / total wall
+  double setup_fraction = 0.15;      ///< env setup / total wall
+  double staging_fraction = 0.25;    ///< (stage_in + stage_out) / total wall
+};
+
+class Monitor {
+ public:
+  /// `bin_seconds` sets the timeline resolution.
+  explicit Monitor(double bin_seconds = 600.0);
+
+  // ---- ingest ---------------------------------------------------------------
+
+  /// Record a finished task (status must be terminal).
+  void on_task_finished(const TaskRecord& record);
+  /// Record an instantaneous gauge of concurrently running tasks.
+  void sample_running(double now, std::size_t running);
+
+  // ---- queries ---------------------------------------------------------------
+
+  RuntimeBreakdown breakdown() const { return breakdown_; }
+  std::uint64_t tasks_seen() const { return seen_; }
+  std::uint64_t tasks_failed() const { return failures_; }
+  std::uint64_t tasks_evicted() const { return evictions_; }
+
+  const util::TimeSeries& completed_timeline() const { return completed_; }
+  const util::TimeSeries& failed_timeline() const { return failed_; }
+  const util::TimeSeries& running_timeline() const { return running_; }
+  /// CPU-time/wall-clock ratio per bin (the bottom panel of Figure 10).
+  std::vector<double> efficiency_timeline() const;
+  /// Mean env-setup time per completion bin (second panel of Figure 11).
+  std::vector<double> setup_time_timeline() const;
+  /// Mean stage-out time per completion bin (third panel of Figure 11).
+  std::vector<double> stageout_time_timeline() const;
+
+  /// Run the §5 rules against the aggregated statistics.
+  std::vector<Diagnosis> diagnose(const AdvisorThresholds& thresholds = {}) const;
+
+ private:
+  double bin_;
+  RuntimeBreakdown breakdown_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t evictions_ = 0;
+  double lost_ = 0.0;
+  double dispatch_ = 0.0;
+  util::TimeSeries completed_;
+  util::TimeSeries failed_;
+  util::TimeSeries running_;
+  util::TimeSeries cpu_in_bin_;
+  util::TimeSeries wall_in_bin_;
+  util::TimeSeries setup_in_bin_;
+  util::TimeSeries setup_count_;
+  util::TimeSeries stageout_in_bin_;
+  util::TimeSeries stageout_count_;
+};
+
+}  // namespace lobster::core

@@ -1,0 +1,137 @@
+// task_size_model.hpp — the task-size selection simulation of paper §4.1
+// (Figure 3).
+//
+// "We created a simple simulation model to determine the optimal task size,
+// taking into account the distribution of task availability times, and the
+// distribution of worker overheads, task overheads, and task execution
+// times."  The model, verbatim from the paper:
+//
+//   * 100,000 tasklets in total; tasklet completion times Gaussian with
+//     mu = 10 min, sigma = 5 min;
+//   * 8,000 workers; per-worker overhead 5 min (cache population etc.),
+//     incurred at startup and again after every eviction;
+//   * per-task overhead 20 min (output transfer etc.);
+//   * a pseudo-random sample of worker survival times is drawn; when a
+//     worker's accumulated time exceeds its survival time it is "evicted":
+//     all processing since the start of the current task is lost, a new
+//     survival time is drawn, and the per-worker overhead is paid again;
+//   * efficiency = effective processing time / total time.
+//
+// Three eviction scenarios (Figure 3): none, constant eviction probability,
+// and a probability derived from observed availability times (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace lobster::core {
+
+/// Survival-time model for a (re)started worker.
+class EvictionModel {
+ public:
+  virtual ~EvictionModel() = default;
+  /// Draw the time until this worker incarnation is evicted.
+  virtual double sample_survival(util::Rng& rng) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Never evicted (the solid curve of Figure 3).
+class NoEviction final : public EvictionModel {
+ public:
+  double sample_survival(util::Rng&) const override;
+  const char* name() const override { return "none"; }
+};
+
+/// Constant eviction probability per unit time (the dotted curve):
+/// memoryless, i.e. exponential survival with rate `hazard_per_hour`.
+class ConstantEviction final : public EvictionModel {
+ public:
+  explicit ConstantEviction(double hazard_per_hour = 0.1);
+  double sample_survival(util::Rng& rng) const override;
+  const char* name() const override { return "constant"; }
+  double hazard_per_hour() const { return hazard_per_hour_; }
+
+ private:
+  double hazard_per_hour_;
+};
+
+/// Survival drawn from an empirical availability-time distribution (the
+/// dashed curve, derived from months of observed logs as in Figure 2).
+class EmpiricalEviction final : public EvictionModel {
+ public:
+  explicit EmpiricalEviction(util::EmpiricalDistribution availability);
+  double sample_survival(util::Rng& rng) const override;
+  const char* name() const override { return "observed"; }
+  const util::EmpiricalDistribution& distribution() const { return dist_; }
+
+ private:
+  util::EmpiricalDistribution dist_;
+};
+
+/// Generate a synthetic multi-month availability log in the style of the
+/// Figure 2 data: worker availability intervals as observed under HTCondor
+/// eviction on the Notre Dame opportunistic pool.  Weibull with shape < 1
+/// (decreasing hazard: young workers are the most likely to be evicted
+/// soon, long-lived ones tend to survive longer).
+std::vector<double> synthesize_availability_log(std::size_t samples,
+                                                util::Rng rng,
+                                                double shape = 0.8,
+                                                double scale_hours = 4.0);
+
+/// Bin an availability log into the eviction-probability-vs-availability
+/// curve of Figure 2: for each availability-time bin, the probability that
+/// a worker alive at the bin start is evicted within the bin, with binomial
+/// uncertainties.
+struct EvictionCurvePoint {
+  double t_lo = 0.0;       ///< bin start (seconds)
+  double t_hi = 0.0;       ///< bin end (seconds)
+  double probability = 0.0;
+  double sigma = 0.0;      ///< binomial error
+  std::uint64_t at_risk = 0;
+};
+std::vector<EvictionCurvePoint> eviction_probability_curve(
+    const std::vector<double>& availability_log, std::size_t nbins,
+    double max_hours);
+
+/// Inputs of the Figure 3 Monte Carlo (defaults are the paper's values).
+struct TaskSizeModelParams {
+  std::uint64_t num_tasklets = 100000;
+  std::size_t num_workers = 8000;
+  double worker_overhead = 5.0 * 60.0;   ///< per (re)start, seconds
+  double task_overhead = 20.0 * 60.0;    ///< per task, seconds
+  double tasklet_mean = 10.0 * 60.0;     ///< Gaussian mu, seconds
+  double tasklet_sigma = 5.0 * 60.0;     ///< Gaussian sigma, seconds
+  std::uint64_t seed = 2015;
+};
+
+struct TaskSizeModelResult {
+  double task_hours = 0.0;            ///< requested average task length
+  std::uint32_t tasklets_per_task = 0;
+  double efficiency = 0.0;            ///< effective / total
+  double effective_time = 0.0;        ///< sum of kept tasklet durations
+  double total_time = 0.0;            ///< all worker-occupied time
+  double lost_time = 0.0;             ///< work discarded by evictions
+  double overhead_time = 0.0;         ///< worker + task overheads
+  std::uint64_t evictions = 0;
+};
+
+/// Run the Monte Carlo for one average task length.
+TaskSizeModelResult simulate_task_size(const TaskSizeModelParams& params,
+                                       const EvictionModel& eviction,
+                                       double task_hours);
+
+/// Sweep task lengths and return one result per point (the Figure 3 x-axis
+/// is 1..10 hours).
+std::vector<TaskSizeModelResult> sweep_task_sizes(
+    const TaskSizeModelParams& params, const EvictionModel& eviction,
+    const std::vector<double>& task_hours);
+
+/// Pick the task length with the best efficiency from a sweep — the
+/// building block of the adaptive sizing controller (paper §8 future work).
+double optimal_task_hours(const std::vector<TaskSizeModelResult>& sweep);
+
+}  // namespace lobster::core

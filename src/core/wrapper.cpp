@@ -1,0 +1,106 @@
+#include "core/wrapper.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lobster::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void put_time(wq::TaskContext& ctx, const char* key, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9f", seconds);
+  ctx.outputs[key] = buf;
+}
+}  // namespace
+
+std::function<int(wq::TaskContext&)> make_wrapper(WrapperStages stages) {
+  return [stages = std::move(stages)](wq::TaskContext& ctx) -> int {
+    using wq::TaskExit;
+    auto timed_bool = [&ctx](const std::function<bool(wq::TaskContext&)>& fn,
+                             const char* key) -> bool {
+      if (!fn) {
+        put_time(ctx, key, 0.0);
+        return true;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ok = fn(ctx);
+      put_time(ctx, key, seconds_since(t0));
+      return ok;
+    };
+
+    // Machine compatibility check folds into environment setup time.
+    const auto env0 = std::chrono::steady_clock::now();
+    if (stages.check_machine && !stages.check_machine(ctx)) {
+      put_time(ctx, wrapper_keys::kEnvSetup, seconds_since(env0));
+      return static_cast<int>(TaskExit::EnvironmentFailure);
+    }
+    if (stages.setup_environment && !stages.setup_environment(ctx)) {
+      put_time(ctx, wrapper_keys::kEnvSetup, seconds_since(env0));
+      return static_cast<int>(TaskExit::EnvironmentFailure);
+    }
+    put_time(ctx, wrapper_keys::kEnvSetup, seconds_since(env0));
+    if (ctx.cancel.cancelled()) return static_cast<int>(TaskExit::Evicted);
+
+    if (!timed_bool(stages.stage_in, wrapper_keys::kStageIn))
+      return static_cast<int>(TaskExit::StageInFailure);
+    if (ctx.cancel.cancelled()) return static_cast<int>(TaskExit::Evicted);
+
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const int code = stages.execute ? stages.execute(ctx) : 0;
+      put_time(ctx, wrapper_keys::kExecute, seconds_since(t0));
+      if (ctx.cancel.cancelled()) return static_cast<int>(TaskExit::Evicted);
+      if (code != 0) return code;
+    }
+
+    if (!timed_bool(stages.stage_out, wrapper_keys::kStageOut))
+      return static_cast<int>(TaskExit::StageOutFailure);
+    if (ctx.cancel.cancelled()) return static_cast<int>(TaskExit::Evicted);
+
+    if (!timed_bool(stages.cleanup, wrapper_keys::kCleanup))
+      return static_cast<int>(TaskExit::WrapperFailure);
+    return static_cast<int>(TaskExit::Success);
+  };
+}
+
+void fill_record_from_result(const wq::TaskResult& result,
+                             TaskRecord& record) {
+  auto get = [&result](const char* key) -> double {
+    const auto it = result.outputs.find(key);
+    if (it == result.outputs.end()) return 0.0;
+    return std::strtod(it->second.c_str(), nullptr);
+  };
+  auto seg = [&record](Segment s) -> double& {
+    return record.segment_time[static_cast<std::size_t>(s)];
+  };
+  record.worker = result.worker_name;
+  record.exit_code = result.exit_code;
+  seg(Segment::Dispatch) = result.dispatch_time;
+  seg(Segment::EnvSetup) = get(wrapper_keys::kEnvSetup);
+  seg(Segment::StageIn) = get(wrapper_keys::kStageIn);
+  seg(Segment::Execute) = get(wrapper_keys::kExecute);
+  seg(Segment::ExecuteIo) = get(wrapper_keys::kIoSeconds);
+  seg(Segment::StageOut) = get(wrapper_keys::kStageOut);
+  seg(Segment::Cleanup) = get(wrapper_keys::kCleanup);
+  const double cpu = get(wrapper_keys::kCpuSeconds);
+  record.cpu_time = cpu > 0.0 ? cpu : seg(Segment::Execute);
+  if (result.evicted) {
+    record.status = TaskStatus::Evicted;
+    // Everything the task did before eviction is lost work.
+    record.lost_time = seg(Segment::EnvSetup) + seg(Segment::StageIn) +
+                       seg(Segment::Execute) + seg(Segment::StageOut);
+    record.cpu_time = 0.0;
+  } else {
+    record.status =
+        result.exit_code == 0 ? TaskStatus::Done : TaskStatus::Failed;
+  }
+  record.outputs_bytes = get(wrapper_keys::kOutputBytes);
+}
+
+}  // namespace lobster::core

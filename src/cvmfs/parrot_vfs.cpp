@@ -1,0 +1,198 @@
+#include "cvmfs/parrot_vfs.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace lobster::cvmfs {
+
+namespace {
+bool prefix_matches(const std::string& prefix, const std::string& path) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix.back() == '/';
+}
+}  // namespace
+
+std::string object_content(const FileObject& obj, std::uint64_t offset,
+                           std::size_t n) {
+  // Content is a keystream seeded by the digest: cheap, deterministic,
+  // and position-addressable (seeks do not require generating the prefix).
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pos = offset + i;
+    std::uint64_t state = obj.digest.hi ^ (obj.digest.lo + pos / 8);
+    const std::uint64_t word = util::splitmix64(state);
+    out.push_back(static_cast<char>((word >> ((pos % 8) * 8)) & 0xff));
+  }
+  return out;
+}
+
+char ParrotVfs::content_byte(const FileObject& obj, std::uint64_t offset) {
+  return object_content(obj, offset, 1)[0];
+}
+
+void ParrotVfs::mount_cvmfs(const std::string& prefix, const Repository& repo,
+                            CacheGroup::Instance instance) {
+  if (prefix.empty() || prefix.front() != '/')
+    throw VfsError("vfs: mount prefix must be absolute: " + prefix);
+  CvmfsMount mount;
+  mount.repo = &repo;
+  mount.instance =
+      std::make_unique<CacheGroup::Instance>(std::move(instance));
+  cvmfs_mounts_[prefix] = std::move(mount);
+}
+
+void ParrotVfs::mount_scratch(const std::string& prefix) {
+  if (prefix.empty() || prefix.front() != '/')
+    throw VfsError("vfs: mount prefix must be absolute: " + prefix);
+  scratch_[prefix];  // create the (possibly empty) store
+}
+
+const ParrotVfs::CvmfsMount* ParrotVfs::find_cvmfs(const std::string& path,
+                                                   std::string* rel) const {
+  const CvmfsMount* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, mount] : cvmfs_mounts_) {
+    if (prefix_matches(prefix, path) && prefix.size() > best_len) {
+      best = &mount;
+      best_len = prefix.size();
+    }
+  }
+  if (best && rel) *rel = path;  // repository catalogs use full paths
+  return best;
+}
+
+std::string* ParrotVfs::find_scratch(const std::string& path,
+                                     bool create_missing) {
+  for (auto& [prefix, files] : scratch_) {
+    if (!prefix_matches(prefix, path)) continue;
+    const auto it = files.find(path);
+    if (it != files.end()) return &it->second;
+    if (create_missing) return &files[path];
+    return nullptr;
+  }
+  return nullptr;
+}
+
+int ParrotVfs::open(const std::string& path) {
+  std::string rel;
+  if (const CvmfsMount* mount = find_cvmfs(path, &rel)) {
+    const auto obj = mount->repo->lookup(rel);
+    if (!obj) throw VfsError("vfs: no such file " + path);
+    // Access through the cache: this is where Parrot's interposition pays
+    // the fetch (or hits) and where the locking discipline bites.
+    const auto res = mount->instance->access(*obj);
+    if (!(res.digest == obj->digest))
+      throw VfsError("vfs: corrupt cache content for " + path);
+    Fd fd;
+    fd.object = *obj;
+    fd.size = static_cast<std::uint64_t>(obj->size_bytes);
+    fds_[next_fd_] = std::move(fd);
+    return next_fd_++;
+  }
+  if (std::string* content = find_scratch(path, false)) {
+    Fd fd;
+    fd.scratch = content;
+    fd.size = content->size();
+    fds_[next_fd_] = std::move(fd);
+    return next_fd_++;
+  }
+  throw VfsError("vfs: no such file " + path);
+}
+
+int ParrotVfs::create(const std::string& path) {
+  if (find_cvmfs(path, nullptr))
+    throw VfsError("vfs: read-only file system: " + path);
+  std::string* content = find_scratch(path, true);
+  if (!content) throw VfsError("vfs: no writable mount for " + path);
+  content->clear();
+  Fd fd;
+  fd.writable = true;
+  fd.scratch = content;
+  fd.size = 0;
+  fds_[next_fd_] = std::move(fd);
+  return next_fd_++;
+}
+
+std::string ParrotVfs::read(int fd_num, std::size_t count) {
+  auto it = fds_.find(fd_num);
+  if (it == fds_.end()) throw VfsError("vfs: bad file descriptor");
+  Fd& fd = it->second;
+  if (fd.offset >= fd.size) return {};
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, fd.size - fd.offset));
+  std::string out;
+  if (fd.object) {
+    out = object_content(*fd.object, fd.offset, n);
+  } else {
+    out = fd.scratch->substr(static_cast<std::size_t>(fd.offset), n);
+  }
+  fd.offset += out.size();
+  return out;
+}
+
+void ParrotVfs::write(int fd_num, const std::string& data) {
+  auto it = fds_.find(fd_num);
+  if (it == fds_.end()) throw VfsError("vfs: bad file descriptor");
+  Fd& fd = it->second;
+  if (!fd.writable) throw VfsError("vfs: descriptor not opened for writing");
+  fd.scratch->append(data);
+  fd.size = fd.scratch->size();
+  fd.offset = fd.size;
+}
+
+std::uint64_t ParrotVfs::seek(int fd_num, std::uint64_t offset) {
+  auto it = fds_.find(fd_num);
+  if (it == fds_.end()) throw VfsError("vfs: bad file descriptor");
+  Fd& fd = it->second;
+  fd.offset = std::min(offset, fd.size);
+  return fd.offset;
+}
+
+void ParrotVfs::close(int fd_num) {
+  if (fds_.erase(fd_num) == 0) throw VfsError("vfs: bad file descriptor");
+}
+
+VfsStat ParrotVfs::stat(const std::string& path) {
+  std::string rel;
+  if (const CvmfsMount* mount = find_cvmfs(path, &rel)) {
+    const auto obj = mount->repo->lookup(rel);
+    if (!obj) throw VfsError("vfs: no such file " + path);
+    return VfsStat{path, static_cast<std::uint64_t>(obj->size_bytes), true};
+  }
+  if (std::string* content = find_scratch(path, false))
+    return VfsStat{path, content->size(), false};
+  throw VfsError("vfs: no such file " + path);
+}
+
+bool ParrotVfs::exists(const std::string& path) {
+  std::string rel;
+  if (const CvmfsMount* mount = find_cvmfs(path, &rel))
+    return mount->repo->has(rel);
+  return find_scratch(path, false) != nullptr;
+}
+
+std::vector<std::string> ParrotVfs::listdir(const std::string& prefix) {
+  std::vector<std::string> out;
+  std::string rel;
+  if (const CvmfsMount* mount = find_cvmfs(prefix, &rel)) {
+    for (const auto& obj : mount->repo->files())
+      if (prefix_matches(prefix, obj.path))
+        out.push_back(obj.path.substr(prefix.size() + 1));
+  } else {
+    for (auto& [mnt, files] : scratch_) {
+      if (!prefix_matches(mnt, prefix) && !prefix_matches(prefix, mnt))
+        continue;
+      for (const auto& [path, _] : files)
+        if (prefix_matches(prefix, path))
+          out.push_back(path.substr(prefix.size() + 1));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lobster::cvmfs

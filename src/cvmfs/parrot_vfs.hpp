@@ -1,0 +1,114 @@
+// parrot_vfs.hpp — the Parrot virtual file system facade.
+//
+// Paper §4.3: "On these systems we use Parrot which is able to access
+// remote CVMFS repositories without mounting them first.  When a CMS
+// application is run with Parrot, it intercepts file access system calls
+// and translates them as necessary using LibCVMFS.  System call translation
+// allows the remote storage system to appear as a local file system without
+// requiring root access, recompilation, or changes to the original
+// application."
+//
+// This class is the interposition layer's view: a POSIX-like API
+// (open/read/seek/close/stat/listdir) over mount points.  A /cvmfs mount
+// resolves through a CacheGroup::Instance (so the three concurrency
+// disciplines of Figure 6 apply transparently), and "local" mounts resolve
+// to an in-memory scratch file system (the task sandbox).  File content is
+// generated deterministically from the object's digest, so reads can be
+// verified end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/repository.hpp"
+
+namespace lobster::cvmfs {
+
+struct VfsError : std::runtime_error {
+  explicit VfsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct VfsStat {
+  std::string path;
+  std::uint64_t size = 0;
+  bool read_only = false;
+};
+
+/// The per-task Parrot instance: mount table + file descriptor table.
+class ParrotVfs {
+ public:
+  ParrotVfs() = default;
+
+  // ---- mounts ---------------------------------------------------------------
+
+  /// Mount a CVMFS repository under `prefix` (e.g. "/cvmfs/cms.cern.ch"),
+  /// accessed through the given cache instance.  The instance must outlive
+  /// the VFS.
+  void mount_cvmfs(const std::string& prefix, const Repository& repo,
+                   CacheGroup::Instance instance);
+  /// Mount a writable in-memory scratch area under `prefix` (the sandbox).
+  void mount_scratch(const std::string& prefix);
+
+  // ---- POSIX-like calls ------------------------------------------------------
+
+  /// Open for reading; returns a file descriptor.  Throws VfsError when the
+  /// path does not resolve.
+  int open(const std::string& path);
+  /// Create/truncate a scratch file for writing; throws on read-only mounts.
+  int create(const std::string& path);
+  /// Read up to `count` bytes from the descriptor's offset; returns the
+  /// bytes read (empty at EOF).
+  std::string read(int fd, std::size_t count);
+  /// Append to a descriptor opened with create().
+  void write(int fd, const std::string& data);
+  /// Absolute seek; returns the new offset (clamped to size for reads).
+  std::uint64_t seek(int fd, std::uint64_t offset);
+  void close(int fd);
+
+  VfsStat stat(const std::string& path);
+  bool exists(const std::string& path);
+  /// Entries under a directory prefix (names relative to it, sorted).
+  std::vector<std::string> listdir(const std::string& prefix);
+
+  std::size_t open_fds() const { return fds_.size(); }
+
+ private:
+  struct CvmfsMount {
+    const Repository* repo = nullptr;
+    std::unique_ptr<CacheGroup::Instance> instance;
+  };
+  struct Fd {
+    bool writable = false;
+    std::uint64_t offset = 0;
+    // CVMFS-backed file: its object (content generated from digest);
+    // scratch file: a pointer into the scratch store.
+    std::optional<FileObject> object;
+    std::string* scratch = nullptr;
+    std::uint64_t size = 0;
+  };
+
+  /// Longest-prefix mount resolution.
+  const CvmfsMount* find_cvmfs(const std::string& path,
+                               std::string* rel) const;
+  std::string* find_scratch(const std::string& path, bool create_missing);
+
+  /// Deterministic content byte at `offset` of an object.
+  static char content_byte(const FileObject& obj, std::uint64_t offset);
+
+  std::map<std::string, CvmfsMount> cvmfs_mounts_;  // prefix -> mount
+  std::map<std::string, std::map<std::string, std::string>> scratch_;
+  std::map<int, Fd> fds_;
+  int next_fd_ = 3;  // 0/1/2 are stdio, as tradition demands
+};
+
+/// Generate the first `n` bytes of an object's canonical content —
+/// the same stream ParrotVfs::read returns.  Exposed for verification.
+std::string object_content(const FileObject& obj, std::uint64_t offset,
+                           std::size_t n);
+
+}  // namespace lobster::cvmfs

@@ -1,0 +1,120 @@
+#include "cvmfs/repository.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lobster::cvmfs {
+
+std::string Digest::hex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Digest digest_of(const std::string& path, double size_bytes) {
+  // FNV-1a over the path, mixed with the size, finalized with SplitMix64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s1 = h ^ static_cast<std::uint64_t>(size_bytes);
+  std::uint64_t s2 = h + 0x9e3779b97f4a7c15ULL;
+  Digest d;
+  d.hi = util::splitmix64(s1);
+  d.lo = util::splitmix64(s2);
+  return d;
+}
+
+void Repository::add(const std::string& path, double size_bytes) {
+  if (path.empty())
+    throw std::invalid_argument("cvmfs: empty path");
+  if (size_bytes < 0.0)
+    throw std::invalid_argument("cvmfs: negative size");
+  FileObject obj;
+  obj.path = path;
+  obj.size_bytes = size_bytes;
+  obj.digest = digest_of(path, size_bytes);
+  const auto [it, inserted] = catalog_.emplace(path, std::move(obj));
+  if (!inserted)
+    throw std::invalid_argument("cvmfs: duplicate path " + path);
+  total_bytes_ += size_bytes;
+}
+
+std::optional<FileObject> Repository::lookup(const std::string& path) const {
+  const auto it = catalog_.find(path);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FileObject> Repository::files() const {
+  std::vector<FileObject> out;
+  out.reserve(catalog_.size());
+  for (const auto& [_, obj] : catalog_) out.push_back(obj);
+  return out;
+}
+
+Release::Release(const ReleaseSpec& spec, util::Rng rng) : spec_(spec) {
+  if (spec.num_files == 0)
+    throw std::invalid_argument("cvmfs: num_files must be > 0");
+  if (spec.total_bytes <= 0.0 || spec.working_set_bytes <= 0.0)
+    throw std::invalid_argument("cvmfs: byte volumes must be positive");
+
+  // File sizes: lognormal, normalised so the catalog sums to total_bytes.
+  std::vector<double> sizes(spec.num_files);
+  double sum = 0.0;
+  for (auto& s : sizes) {
+    s = rng.lognormal(0.0, 1.2);
+    sum += s;
+  }
+  for (auto& s : sizes) s *= spec.total_bytes / sum;
+
+  by_rank_.reserve(spec.num_files);
+  weights_.reserve(spec.num_files);
+  for (std::size_t i = 0; i < spec.num_files; ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "/cvmfs/cms.cern.ch/%s/lib_%05zu.so",
+                  spec.name.c_str(), i);
+    repo_.add(buf, sizes[i]);
+    by_rank_.push_back(*repo_.lookup(buf));
+    weights_.push_back(
+        1.0 / std::pow(static_cast<double>(i + 1), spec.popularity_exponent));
+  }
+
+  // Calibrate the inclusion probabilities p_r = min(1, c * w_r) so the
+  // expected per-task working-set volume equals spec.working_set_bytes
+  // (clamped to the full release).  Solved once by bisection.
+  const std::size_t n = by_rank_.size();
+  const double target = std::min(spec_.working_set_bytes, repo_.total_bytes());
+  auto expected_volume = [&](double c) {
+    double v = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+      v += std::min(1.0, c * weights_[r]) * by_rank_[r].size_bytes;
+    return v;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (expected_volume(hi) < target && hi < 1e12) hi *= 2.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (expected_volume(mid) < target ? lo : hi) = mid;
+  }
+  inclusion_scale_ = hi;
+}
+
+std::vector<FileObject> Release::sample_working_set(util::Rng& rng) const {
+  // Every task needs the Zipf head (shared framework libraries, always
+  // p=1); the tail is sampled per task.  Tasks therefore overlap heavily in
+  // the popular files — the mechanism behind the hot-cache speedup of
+  // Figure 5.
+  std::vector<FileObject> out;
+  for (std::size_t r = 0; r < by_rank_.size(); ++r)
+    if (rng.chance(std::min(1.0, inclusion_scale_ * weights_[r])))
+      out.push_back(by_rank_[r]);
+  return out;
+}
+
+}  // namespace lobster::cvmfs

@@ -1,0 +1,98 @@
+// repository.hpp — a CernVM-FS style read-only, content-addressed software
+// repository.
+//
+// CVMFS distributes the (complex, multi-GB) HEP software stack as a catalog
+// of content-addressed objects fetched over HTTP on demand (paper §4.3).
+// The crucial properties Lobster relies on are reproduced here:
+//   * read-only: objects never change, so caches never need invalidation —
+//     this is what makes the "alien cache" concurrent population safe;
+//   * content addressed: an object is identified by a digest of its content,
+//     letting caches verify integrity;
+//   * on-demand: a task touches only its working set, not the whole release.
+//
+// A synthetic release generator produces a catalog with a realistic size
+// profile: the paper states a typical analysis job pulls ~1.5 GB per cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lobster::cvmfs {
+
+/// Content digest (content addressing).  Derived deterministically from the
+/// object's path and size so integrity can be verified end-to-end.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const Digest&, const Digest&) = default;
+  std::string hex() const;
+};
+
+/// Compute the digest of an object's canonical content.
+Digest digest_of(const std::string& path, double size_bytes);
+
+/// One file in the repository catalog.
+struct FileObject {
+  std::string path;
+  double size_bytes = 0.0;
+  Digest digest;
+};
+
+/// The read-only repository: a catalog of path -> object.
+class Repository {
+ public:
+  /// Add an object; the digest is computed from (path, size).
+  /// Throws std::invalid_argument on duplicate path.
+  void add(const std::string& path, double size_bytes);
+
+  std::optional<FileObject> lookup(const std::string& path) const;
+  bool has(const std::string& path) const { return catalog_.count(path) > 0; }
+  std::size_t num_files() const { return catalog_.size(); }
+  double total_bytes() const { return total_bytes_; }
+  std::vector<FileObject> files() const;
+
+ private:
+  std::map<std::string, FileObject> catalog_;
+  double total_bytes_ = 0.0;
+};
+
+/// Parameters of a synthetic software release.
+struct ReleaseSpec {
+  std::string name = "CMSSW_7_4_X";
+  std::size_t num_files = 2000;
+  /// Total release volume on the server.
+  double total_bytes = 6.0e9;
+  /// The working set a typical task actually touches (paper: ~1.5 GB).
+  double working_set_bytes = 1.5e9;
+  /// Zipf exponent of file popularity (shared libraries dominate).
+  double popularity_exponent = 1.1;
+};
+
+/// A generated release: the repository plus the popularity model used to
+/// draw per-task working sets.
+class Release {
+ public:
+  Release(const ReleaseSpec& spec, util::Rng rng);
+
+  const Repository& repository() const { return repo_; }
+  const ReleaseSpec& spec() const { return spec_; }
+
+  /// Draw the ordered list of files a task will access.  Tasks share most
+  /// of their working set (the Zipf head), which is why a hot cache slashes
+  /// setup cost: subsequent tasks find the popular files already cached.
+  std::vector<FileObject> sample_working_set(util::Rng& rng) const;
+
+ private:
+  ReleaseSpec spec_;
+  Repository repo_;
+  std::vector<FileObject> by_rank_;   // popularity order
+  std::vector<double> weights_;       // Zipf weights by rank
+  double inclusion_scale_ = 1.0;      // calibrated once in the constructor
+};
+
+}  // namespace lobster::cvmfs

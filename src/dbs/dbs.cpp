@@ -1,0 +1,102 @@
+#include "dbs/dbs.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lobster::dbs {
+
+double Dataset::total_bytes() const {
+  double sum = 0.0;
+  for (const auto& f : files) sum += f.size_bytes;
+  return sum;
+}
+
+std::uint64_t Dataset::total_events() const {
+  std::uint64_t sum = 0;
+  for (const auto& f : files) sum += f.events;
+  return sum;
+}
+
+std::size_t Dataset::total_lumis() const {
+  std::size_t sum = 0;
+  for (const auto& f : files) sum += f.lumis.size();
+  return sum;
+}
+
+void DatasetBookkeeping::publish(Dataset dataset) {
+  if (dataset.name.empty())
+    throw std::invalid_argument("dbs: dataset name must not be empty");
+  const auto [it, inserted] =
+      catalog_.emplace(dataset.name, std::move(dataset));
+  if (!inserted)
+    throw std::invalid_argument("dbs: duplicate dataset " + it->first);
+}
+
+bool DatasetBookkeeping::has(const std::string& name) const {
+  return catalog_.count(name) > 0;
+}
+
+std::optional<Dataset> DatasetBookkeeping::query(const std::string& name) const {
+  const auto it = catalog_.find(name);
+  if (it == catalog_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> DatasetBookkeeping::list() const {
+  std::vector<std::string> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, _] : catalog_) out.push_back(name);
+  return out;
+}
+
+std::vector<DataFile> DatasetBookkeeping::files(const std::string& name) const {
+  const auto it = catalog_.find(name);
+  if (it == catalog_.end()) return {};
+  return it->second.files;
+}
+
+Dataset make_synthetic_dataset(const SyntheticDatasetSpec& spec,
+                               util::Rng rng) {
+  if (spec.num_files == 0)
+    throw std::invalid_argument("dbs: num_files must be > 0");
+  if (spec.mean_file_bytes <= 0.0 || spec.event_bytes <= 0.0)
+    throw std::invalid_argument("dbs: sizes must be positive");
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.files.reserve(spec.num_files);
+
+  std::uint32_t run = spec.first_run;
+  std::uint32_t lumi = 1;
+  for (std::size_t i = 0; i < spec.num_files; ++i) {
+    DataFile f;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%s/file_%06zu.root", spec.name.c_str(), i);
+    f.lfn = buf;
+    // Lognormal sizes: sigma 0.25 keeps the spread realistic while the mean
+    // matches the spec (mu adjusted for the lognormal mean shift).
+    const double sigma = 0.25;
+    const double mu = std::log(spec.mean_file_bytes) - 0.5 * sigma * sigma;
+    f.size_bytes = rng.lognormal(mu, sigma);
+    f.events = static_cast<std::uint64_t>(
+        std::max(1.0, f.size_bytes / spec.event_bytes));
+    const std::uint32_t nlumis =
+        spec.lumis_per_file != 0
+            ? spec.lumis_per_file
+            : static_cast<std::uint32_t>(rng.uniform_int(20, 60));
+    f.lumis.reserve(nlumis);
+    for (std::uint32_t l = 0; l < nlumis; ++l) {
+      f.lumis.push_back({run, lumi++});
+      // Occasionally move to a new run, as real data-taking does.
+      if (rng.chance(0.002)) {
+        ++run;
+        lumi = 1;
+      }
+    }
+    ds.files.push_back(std::move(f));
+  }
+  return ds;
+}
+
+}  // namespace lobster::dbs

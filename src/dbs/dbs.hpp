@@ -1,0 +1,90 @@
+// dbs.hpp — a Dataset Bookkeeping Service in the mould of the CMS DBS.
+//
+// Lobster consumes datasets selected "via a metadata service" (paper §2):
+// the user names a dataset, Lobster queries DBS and obtains the list of data
+// files, experiment runs, and luminosity sections ("lumisections") in the
+// dataset (paper §4.2).  Tasklets are then defined over this metadata.
+//
+// This implementation is an in-process service with the same data model:
+//   Dataset -> DataFile (logical file name, bytes, events)
+//           -> per-file list of Lumisection {run, lumi} ranges.
+// A synthetic builder generates realistic datasets (multi-GB files, ~100 kB
+// events as stated in §4.2) deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lobster::dbs {
+
+/// A luminosity section: the smallest unit of recorded data the experiment
+/// tracks, identified by (run number, lumi number).
+struct Lumisection {
+  std::uint32_t run = 0;
+  std::uint32_t lumi = 0;
+
+  friend bool operator==(const Lumisection&, const Lumisection&) = default;
+  friend auto operator<=>(const Lumisection&, const Lumisection&) = default;
+};
+
+/// A single file in a dataset, identified by its logical file name (LFN).
+/// The LFN is location independent; the XrootD redirector maps it to
+/// physical replicas.
+struct DataFile {
+  std::string lfn;
+  double size_bytes = 0.0;
+  std::uint64_t events = 0;
+  std::vector<Lumisection> lumis;
+};
+
+/// A named dataset: an ordered list of files.
+struct Dataset {
+  std::string name;
+  std::vector<DataFile> files;
+
+  double total_bytes() const;
+  std::uint64_t total_events() const;
+  std::size_t total_lumis() const;
+};
+
+/// The bookkeeping service: a queryable catalog of datasets.
+class DatasetBookkeeping {
+ public:
+  /// Register a dataset; throws std::invalid_argument on duplicate name.
+  void publish(Dataset dataset);
+  bool has(const std::string& name) const;
+  /// Look up a dataset by name.
+  std::optional<Dataset> query(const std::string& name) const;
+  /// Names of all published datasets (sorted).
+  std::vector<std::string> list() const;
+  /// File-level query: all files of a dataset (empty if unknown).
+  std::vector<DataFile> files(const std::string& name) const;
+  std::size_t size() const { return catalog_.size(); }
+
+ private:
+  std::map<std::string, Dataset> catalog_;
+};
+
+/// Parameters for synthetic dataset generation.
+struct SyntheticDatasetSpec {
+  std::string name = "/Synthetic/Run2015A/AOD";
+  std::size_t num_files = 100;
+  /// Mean file size; actual sizes are lognormal around this (sigma ~ 0.25).
+  double mean_file_bytes = 2.0e9;
+  /// Mean event size controls events per file (paper: ~100 kB/event).
+  double event_bytes = 100.0e3;
+  /// Lumisections per file (uniform 20..60 when 0 => default).
+  std::uint32_t lumis_per_file = 0;
+  std::uint32_t first_run = 190456;
+};
+
+/// Deterministically build a synthetic dataset.
+Dataset make_synthetic_dataset(const SyntheticDatasetSpec& spec,
+                               util::Rng rng);
+
+}  // namespace lobster::dbs

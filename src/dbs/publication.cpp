@@ -1,0 +1,69 @@
+#include "dbs/publication.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace lobster::dbs {
+
+OutputFileMeta merge_metadata(const std::string& merged_lfn,
+                              const std::vector<OutputFileMeta>& parts) {
+  if (parts.empty())
+    throw std::invalid_argument("publication: merging empty part list");
+  OutputFileMeta out;
+  out.lfn = merged_lfn;
+  std::set<std::string> parents;
+  std::set<Lumisection> lumis;
+  for (const auto& p : parts) {
+    out.size_bytes += p.size_bytes;
+    out.events += p.events;
+    parents.insert(p.parent_lfns.begin(), p.parent_lfns.end());
+    lumis.insert(p.lumis.begin(), p.lumis.end());
+  }
+  out.parent_lfns.assign(parents.begin(), parents.end());
+  out.lumis.assign(lumis.begin(), lumis.end());
+  return out;
+}
+
+Dataset publish_outputs(DatasetBookkeeping& dbs, const std::string& name,
+                        const std::vector<OutputFileMeta>& files) {
+  if (files.empty())
+    throw std::invalid_argument("publication: no files to publish");
+  Dataset ds;
+  ds.name = name;
+  ds.files.reserve(files.size());
+  for (const auto& f : files) {
+    if (f.lfn.empty())
+      throw std::invalid_argument("publication: file without LFN");
+    DataFile df;
+    df.lfn = f.lfn;
+    df.size_bytes = f.size_bytes;
+    df.events = f.events;
+    df.lumis = f.lumis;
+    std::sort(df.lumis.begin(), df.lumis.end());
+    ds.files.push_back(std::move(df));
+  }
+  dbs.publish(ds);
+  return ds;
+}
+
+PublicationCost estimate_publication_cost(
+    const std::vector<OutputFileMeta>& files,
+    const PublicationCostModel& model) {
+  PublicationCost cost;
+  cost.files = files.size();
+  for (const auto& f : files) {
+    cost.lumi_records += f.lumis.size();
+    cost.metadata_bytes += model.bytes_per_file_record;
+    cost.metadata_bytes +=
+        model.bytes_per_lumi_record * static_cast<double>(f.lumis.size());
+    cost.metadata_bytes += model.bytes_per_parent_edge *
+                           static_cast<double>(f.parent_lfns.size());
+  }
+  cost.injection_seconds =
+      model.seconds_per_file * static_cast<double>(cost.files) +
+      model.seconds_per_kilobyte * cost.metadata_bytes / 1000.0;
+  return cost;
+}
+
+}  // namespace lobster::dbs

@@ -1,0 +1,66 @@
+// publication.hpp — publishing workflow outputs back into the bookkeeping
+// service.
+//
+// Paper §4.4: small per-task outputs "could be published as-is, [but] it
+// would require a significant amount of metadata, which increases the
+// expense of publication and further handling.  To offset these penalties,
+// we implemented several ways to merge completed output files up to a
+// desired file size."  This module is that publication step: it assembles
+// an output Dataset with per-file provenance (parent LFNs, carried-over
+// lumisections) and prices the metadata cost, so the merged-vs-unmerged
+// trade-off is measurable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbs/dbs.hpp"
+
+namespace lobster::dbs {
+
+/// One output file to publish, with its provenance.
+struct OutputFileMeta {
+  std::string lfn;
+  double size_bytes = 0.0;
+  std::uint64_t events = 0;
+  /// Input files this output was derived from (merged outputs carry the
+  /// union of their constituents' parents).
+  std::vector<std::string> parent_lfns;
+  /// Lumisections covered (from the parents; used for data certification).
+  std::vector<Lumisection> lumis;
+};
+
+/// Combine the provenance of several outputs into the metadata of their
+/// merged file (paper: merge tasks "also merge the associated metadata").
+OutputFileMeta merge_metadata(const std::string& merged_lfn,
+                              const std::vector<OutputFileMeta>& parts);
+
+/// Assemble and register the output dataset; throws on duplicate names or
+/// empty file lists.  Returns the published dataset.
+Dataset publish_outputs(DatasetBookkeeping& dbs, const std::string& name,
+                        const std::vector<OutputFileMeta>& files);
+
+/// The cost of injecting a dataset into the bookkeeping service.  Dominated
+/// by per-file records and per-file-per-lumi association rows — which is
+/// why thousands of 10-100 MB files are expensive and 3-4 GB merged files
+/// are not.
+struct PublicationCost {
+  std::size_t files = 0;
+  std::size_t lumi_records = 0;
+  double metadata_bytes = 0.0;
+  double injection_seconds = 0.0;
+};
+
+struct PublicationCostModel {
+  double bytes_per_file_record = 2048.0;
+  double bytes_per_lumi_record = 96.0;
+  double bytes_per_parent_edge = 128.0;
+  double seconds_per_file = 0.8;     ///< server round trip per file record
+  double seconds_per_kilobyte = 0.002;
+};
+
+PublicationCost estimate_publication_cost(
+    const std::vector<OutputFileMeta>& files,
+    const PublicationCostModel& model = {});
+
+}  // namespace lobster::dbs

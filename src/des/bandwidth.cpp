@@ -1,0 +1,142 @@
+#include "des/bandwidth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lobster::des {
+
+namespace {
+// Flows are considered finished when less than this many bytes remain;
+// absorbs floating-point residue from rate * dt integration.
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+BandwidthLink::BandwidthLink(Simulation& sim, double capacity_bytes_per_s)
+    : sim_(sim), capacity_(capacity_bytes_per_s) {
+  if (capacity_ < 0.0)
+    throw std::invalid_argument("BandwidthLink: negative capacity");
+}
+
+void BandwidthLink::set_capacity(double bytes_per_s) {
+  if (bytes_per_s < 0.0)
+    throw std::invalid_argument("BandwidthLink: negative capacity");
+  advance();
+  capacity_ = bytes_per_s;
+  recompute_rates();
+  reschedule();
+}
+
+double BandwidthLink::bytes_moved() const {
+  double partial = 0.0;
+  for (const auto& [id, f] : flows_) partial += f.total - f.remaining;
+  // NB: callers that need an exact instantaneous figure should be aware the
+  // in-flight component is integrated up to last_update_ only.
+  return completed_bytes_ + partial;
+}
+
+double BandwidthLink::allocated_rate() const {
+  double sum = 0.0;
+  for (const auto& [id, f] : flows_) sum += f.rate;
+  return sum;
+}
+
+std::shared_ptr<Event> BandwidthLink::start_flow(double bytes,
+                                                 double rate_cap) {
+  if (rate_cap <= 0.0)
+    throw std::invalid_argument("BandwidthLink: rate cap must be positive");
+  auto done = std::make_shared<Event>(sim_);
+  advance();
+  Flow f;
+  f.total = bytes;
+  f.remaining = bytes;
+  f.cap = rate_cap;
+  f.done = done;
+  flows_.emplace(next_id_++, std::move(f));
+  recompute_rates();
+  reschedule();
+  return done;
+}
+
+void BandwidthLink::advance() {
+  const double now = sim_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  // The completion sweep must run even when dt == 0: a flow whose residual
+  // is below one time ulp would otherwise reschedule at the same timestamp
+  // forever (zero-advance event storm).
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    if (dt > 0.0) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    // Relative epsilon: large transfers accumulate proportionally larger
+    // floating-point residue.
+    const double eps = std::max(kEpsilonBytes, 1e-12 * f.total);
+    if (f.remaining <= eps) {
+      completed_bytes_ += f.total;
+      f.done->trigger();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BandwidthLink::recompute_rates() {
+  // Water-filling: flows whose cap is below the fair share get their cap;
+  // the leftover is shared equally among the rest.  Iterate until stable.
+  std::vector<Flow*> unassigned;
+  unassigned.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    unassigned.push_back(&f);
+  }
+  double remaining_capacity = capacity_;
+  bool changed = true;
+  while (changed && !unassigned.empty() && remaining_capacity > 0.0) {
+    changed = false;
+    const double fair =
+        remaining_capacity / static_cast<double>(unassigned.size());
+    for (std::size_t i = 0; i < unassigned.size();) {
+      if (unassigned[i]->cap <= fair) {
+        unassigned[i]->rate = unassigned[i]->cap;
+        remaining_capacity -= unassigned[i]->cap;
+        unassigned[i] = unassigned.back();
+        unassigned.pop_back();
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (!unassigned.empty() && remaining_capacity > 0.0) {
+    const double fair =
+        remaining_capacity / static_cast<double>(unassigned.size());
+    for (Flow* f : unassigned) f->rate = fair;
+  }
+}
+
+void BandwidthLink::reschedule() {
+  const std::uint64_t gen = ++gen_;
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_)
+    if (f.rate > 0.0) min_dt = std::min(min_dt, f.remaining / f.rate);
+  if (!std::isfinite(min_dt)) return;  // link down or no flows
+  // Guarantee strict time progress: a delay below one ulp of now() would
+  // fire at the same timestamp and make no headway.
+  const double now = sim_.now();
+  if (now + min_dt <= now)
+    min_dt = std::nextafter(now, std::numeric_limits<double>::infinity()) -
+             now;
+  sim_.schedule(min_dt, [this, gen] { on_timer(gen); });
+}
+
+void BandwidthLink::on_timer(std::uint64_t gen) {
+  if (gen != gen_) return;  // superseded by a later topology change
+  advance();
+  recompute_rates();
+  reschedule();
+}
+
+}  // namespace lobster::des

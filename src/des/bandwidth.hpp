@@ -1,0 +1,94 @@
+// bandwidth.hpp — fluid-flow shared link with max-min fair bandwidth
+// allocation.
+//
+// This models the paper's contended network paths: the 10 Gbit/s campus
+// uplink that the 10k-core data processing run saturates (Section 6), the
+// squid proxy uplinks, and the Chirp server NIC.  Concurrent transfers share
+// the link capacity max-min fairly; each flow can additionally be capped
+// (e.g. a worker NIC limit).  Rates are recomputed whenever a flow joins,
+// finishes, or the link capacity changes (outage injection sets capacity to
+// zero, stalling all flows — exactly the "transient outage of the wide-area
+// data handling system" visible in Figure 10).
+//
+//   des::BandwidthLink wan(sim, util::gbit_per_s(10));
+//   co_await wan.transfer(util::gb(2.1));            // completes when done
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "des/simulation.hpp"
+
+namespace lobster::des {
+
+class BandwidthLink {
+ public:
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  BandwidthLink(Simulation& sim, double capacity_bytes_per_s);
+  BandwidthLink(const BandwidthLink&) = delete;
+  BandwidthLink& operator=(const BandwidthLink&) = delete;
+
+  /// Change capacity at runtime; 0 stalls all flows (outage).
+  void set_capacity(double bytes_per_s);
+  double capacity() const { return capacity_; }
+
+  std::size_t active_flows() const { return flows_.size(); }
+  /// Total bytes moved across the link so far (completed + partial flows);
+  /// used by the conservation property tests.
+  double bytes_moved() const;
+  /// Instantaneous allocated rate summed over flows (<= capacity).
+  double allocated_rate() const;
+
+  struct TransferAwaiter {
+    BandwidthLink* link;
+    double bytes;
+    double rate_cap;
+    std::shared_ptr<Event> done;
+    bool await_ready() noexcept {
+      if (bytes <= 0.0) return true;
+      done = link->start_flow(bytes, rate_cap);
+      return done->triggered();
+    }
+    void await_suspend(std::coroutine_handle<> h) { done->add_waiter(h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable transfer of `bytes` with optional per-flow rate cap.
+  TransferAwaiter transfer(double bytes, double rate_cap = kUncapped) {
+    return TransferAwaiter{this, bytes, rate_cap, nullptr};
+  }
+
+ private:
+  friend struct TransferAwaiter;
+  struct Flow {
+    double total;
+    double remaining;
+    double cap;
+    double rate = 0.0;
+    std::shared_ptr<Event> done;
+  };
+
+  std::shared_ptr<Event> start_flow(double bytes, double rate_cap);
+  /// Integrate progress since last update at the current rates.
+  void advance();
+  /// Water-filling max-min allocation respecting per-flow caps.
+  void recompute_rates();
+  /// Schedule the next completion callback (cancels stale ones via gen_).
+  void reschedule();
+  void on_timer(std::uint64_t gen);
+
+  Simulation& sim_;
+  double capacity_;
+  double last_update_ = 0.0;
+  double completed_bytes_ = 0.0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t gen_ = 0;
+  // Ordered by flow id so same-time completions trigger deterministically.
+  std::map<std::uint64_t, Flow> flows_;
+};
+
+}  // namespace lobster::des

@@ -1,0 +1,96 @@
+// queue.hpp — an unbounded FIFO queue with awaitable get(), the DES analogue
+// of a message channel.  Used to hand tasks from the simulated Work Queue
+// master to foremen and workers.
+//
+// Delivery is direct: put() moves the item straight into the oldest waiting
+// getter's awaiter slot before resuming it, so a concurrently arriving getter
+// can never steal an item out from under a woken waiter.  Invariant: the item
+// buffer and the waiter list are never both non-empty.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "des/simulation.hpp"
+
+namespace lobster::des {
+
+template <typename T>
+class SimQueue {
+ public:
+  explicit SimQueue(Simulation& sim) : sim_(&sim) {}
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  struct GetAwaiter {
+    SimQueue* q;
+    std::optional<T> value;
+
+    bool await_ready() noexcept {
+      if (!q->items_.empty()) {
+        value = std::move(q->items_.front());
+        q->items_.pop_front();
+        return true;
+      }
+      return q->closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      q->waiters_.push_back({this, h});
+    }
+    std::optional<T> await_resume() { return std::move(value); }
+  };
+
+  /// Enqueue an item; delivers directly to the oldest waiting getter if any.
+  void put(T item) {
+    if (closed_) return;
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      w.awaiter->value = std::move(item);
+      sim_->schedule(0.0, [h = w.handle] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// Close the queue: pending and future getters receive std::nullopt once
+  /// the buffer drains.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule(0.0, [h = w.handle] { h.resume(); });
+    }
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return items_.size(); }
+  std::size_t waiting_getters() const { return waiters_.size(); }
+
+  /// Awaitable dequeue; resolves to nullopt when closed and drained.
+  GetAwaiter get() { return GetAwaiter{this, std::nullopt}; }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  struct Waiter {
+    GetAwaiter* awaiter;
+    std::coroutine_handle<> handle;
+  };
+
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace lobster::des

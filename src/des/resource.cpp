@@ -1,0 +1,58 @@
+#include "des/resource.hpp"
+
+#include <stdexcept>
+
+namespace lobster::des {
+
+ResourceToken& ResourceToken::operator=(ResourceToken&& o) noexcept {
+  if (this != &o) {
+    release();
+    res_ = o.res_;
+    amount_ = o.amount_;
+    o.res_ = nullptr;
+    o.amount_ = 0;
+  }
+  return *this;
+}
+
+void ResourceToken::release() {
+  if (res_) {
+    res_->release(amount_);
+    res_ = nullptr;
+    amount_ = 0;
+  }
+}
+
+Resource::Resource(Simulation& sim, std::int64_t capacity)
+    : sim_(sim), capacity_(capacity), available_(capacity) {
+  if (capacity < 0) throw std::invalid_argument("Resource: capacity < 0");
+}
+
+void Resource::set_capacity(std::int64_t capacity) {
+  if (capacity < 0) throw std::invalid_argument("Resource: capacity < 0");
+  available_ += capacity - capacity_;
+  capacity_ = capacity;
+  grant_waiters();
+}
+
+bool Resource::try_acquire(std::int64_t amount) {
+  if (!waiters_.empty() || available_ < amount) return false;
+  available_ -= amount;
+  return true;
+}
+
+void Resource::release(std::int64_t amount) {
+  available_ += amount;
+  grant_waiters();
+}
+
+void Resource::grant_waiters() {
+  while (!waiters_.empty() && waiters_.front().amount <= available_) {
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    available_ -= w.amount;  // reserve before the waiter actually runs
+    sim_.schedule(0.0, [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace lobster::des

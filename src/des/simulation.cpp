@@ -1,0 +1,90 @@
+#include "des/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace lobster::des {
+
+void Process::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  auto& pr = h.promise();
+  Simulation* sim = pr.sim;
+  // Keep the completion event alive past frame destruction.
+  std::shared_ptr<Event> done = std::move(pr.done);
+  if (sim) sim->unregister(h.address());
+  h.destroy();
+  if (done) done->trigger();
+}
+
+void Process::promise_type::unhandled_exception() {
+  if (sim)
+    sim->record_error(std::current_exception());
+  else
+    std::terminate();
+}
+
+void Event::trigger() {
+  if (triggered_) return;
+  triggered_ = true;
+  // Resume waiters through the event queue so trigger() never re-enters
+  // user coroutines synchronously.
+  for (auto h : waiters_)
+    sim_->schedule(0.0, [h] { h.resume(); });
+  waiters_.clear();
+}
+
+Simulation::~Simulation() {
+  // Destroy frames of processes that never finished.  Their pending queue
+  // callbacks may capture the (now dangling) handles, but the queue is
+  // discarded without executing them.
+  for (void* frame : live_)
+    std::coroutine_handle<>::from_address(frame).destroy();
+}
+
+void Simulation::schedule(double delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("schedule: negative delay");
+  queue_.push(Entry{now_ + delay, seq_++, std::move(fn)});
+}
+
+ProcessRef Simulation::spawn(Process p) {
+  Process::Handle h = std::exchange(p.handle_, nullptr);
+  assert(h && "spawn of moved-from Process");
+  auto& pr = h.promise();
+  pr.sim = this;
+  pr.done = std::make_shared<Event>(*this);
+  live_.insert(h.address());
+  schedule(0.0, [h] { h.resume(); });
+  return ProcessRef(pr.done);
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // Move the entry out before popping so the callback survives the pop.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  assert(e.time >= now_ && "event queue went backwards");
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  maybe_rethrow();
+  return true;
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+void Simulation::run_until(double t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::maybe_rethrow() {
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lobster::des

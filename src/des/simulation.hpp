@@ -1,0 +1,184 @@
+// simulation.hpp — coroutine-based discrete-event simulation kernel.
+//
+// The cluster-scale experiments of the Lobster paper (Figures 3-5, 7-11) are
+// reproduced on this kernel.  It follows the SimPy process model: simulation
+// entities are C++20 coroutines that co_await delays, one-shot events,
+// counted resources and bandwidth transfers.  Determinism: events scheduled
+// at the same timestamp fire in scheduling order (a monotonically increasing
+// sequence number breaks ties), so a fixed seed reproduces a run exactly.
+//
+// Ownership model: a coroutine returning des::Process starts suspended and
+// owns its own frame until Simulation::spawn() takes it over.  Frames are
+// destroyed either when the process finishes (inside final_suspend) or when
+// the Simulation is destroyed with processes still pending.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace lobster::des {
+
+class Simulation;
+class Event;
+
+/// Handle for joining a spawned process: exposes the completion event.
+class ProcessRef {
+ public:
+  ProcessRef() = default;
+  explicit ProcessRef(std::shared_ptr<Event> done) : done_(std::move(done)) {}
+  /// Completion event — co_await ref.done() to join the process.
+  Event& done() const { return *done_; }
+  bool valid() const { return done_ != nullptr; }
+
+ private:
+  std::shared_ptr<Event> done_;
+};
+
+/// Coroutine return type for simulation processes.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Simulation* sim = nullptr;
+    std::shared_ptr<Event> done;
+
+    Process get_return_object() {
+      return Process(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  Process(Process&& o) noexcept : handle_(o.handle_) { o.handle_ = nullptr; }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+  ~Process() {
+    if (handle_) handle_.destroy();
+  }
+
+ private:
+  friend class Simulation;
+  explicit Process(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+/// A one-shot broadcast event.  Processes co_await it; trigger() resumes
+/// every waiter (at the current simulation time, via the event queue).
+/// Awaiting an already-triggered event completes immediately.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void trigger();
+  bool triggered() const { return triggered_; }
+
+  /// Register a coroutine to resume on trigger (used by custom awaitables
+  /// such as BandwidthLink::TransferAwaiter).  Caller must have checked
+  /// triggered() first.
+  void add_waiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+  struct Awaiter {
+    Event* event;
+    bool await_ready() const noexcept { return event->triggered_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Simulation* sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// The simulation engine: a time-ordered callback queue plus the process
+/// registry.  Time is a double in seconds starting at 0.
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  double now() const { return now_; }
+
+  /// Schedule a raw callback `delay` seconds from now (delay >= 0).
+  void schedule(double delay, std::function<void()> fn);
+
+  /// Take ownership of a process coroutine and schedule its first step at
+  /// the current time.  Returns a joinable reference.
+  ProcessRef spawn(Process p);
+
+  /// Awaitable pause: co_await sim.delay(dt).
+  struct DelayAwaiter {
+    Simulation* sim;
+    double dt;
+    bool await_ready() const noexcept { return dt <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule(dt, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(double dt) { return DelayAwaiter{this, dt}; }
+
+  /// Create an event owned by shared_ptr (convenience).
+  std::shared_ptr<Event> make_event() { return std::make_shared<Event>(*this); }
+
+  /// Execute the next pending callback.  Returns false when queue is empty.
+  bool step();
+  /// Run until the queue drains (or `max_events` callbacks have run).
+  void run(std::uint64_t max_events = ~0ULL);
+  /// Run callbacks with timestamp <= t, then set now() = t.
+  void run_until(double t);
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t live_processes() const { return live_.size(); }
+
+ private:
+  friend struct Process::promise_type;
+  void unregister(void* frame) { live_.erase(frame); }
+  void record_error(std::exception_ptr e) {
+    if (!error_) error_ = e;
+  }
+  void maybe_rethrow();
+
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<void*> live_;
+  std::exception_ptr error_;
+};
+
+}  // namespace lobster::des

@@ -1,0 +1,137 @@
+// task.hpp — a lazy awaitable coroutine, for composing simulation logic.
+//
+// des::Process is the top-level entity owned by the Simulation; des::Task<T>
+// is a *sub*-coroutine that a Process (or another Task) co_awaits:
+//
+//   des::Task<double> fetch(Squid& s, double bytes) {
+//     auto slot = co_await s.connections().acquire();
+//     double t0 = s.sim().now();
+//     co_await s.uplink().transfer(bytes);
+//     co_return s.sim().now() - t0;
+//   }
+//   des::Process worker(...) {
+//     double dt = co_await fetch(squid, 1.5e9);
+//     ...
+//   }
+//
+// Tasks are lazy (start when awaited), single-await, owned by the Task
+// object (RAII), and complete with symmetric transfer back to the awaiter.
+// Exceptions thrown inside a Task propagate to the awaiter.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace lobster::des {
+
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    T value{};
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+      handle.promise().continuation = cont;
+      return handle;  // start the task (symmetric transfer)
+    }
+    T await_resume() {
+      if (handle.promise().error)
+        std::rethrow_exception(handle.promise().error);
+      return std::move(handle.promise().value);
+    }
+  };
+  Awaiter operator co_await() { return Awaiter{handle_}; }
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+      handle.promise().continuation = cont;
+      return handle;
+    }
+    void await_resume() {
+      if (handle.promise().error)
+        std::rethrow_exception(handle.promise().error);
+    }
+  };
+  Awaiter operator co_await() { return Awaiter{handle_}; }
+
+ private:
+  explicit Task(Handle h) : handle_(h) {}
+  Handle handle_;
+};
+
+}  // namespace lobster::des

@@ -1,0 +1,143 @@
+#include "frontier/frontier.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace lobster::frontier {
+
+void ConditionsDatabase::publish(const std::string& tag,
+                                 ConditionsPayload payload) {
+  if (tag.empty()) throw FrontierError("frontier: empty tag");
+  if (payload.first_run > payload.last_run)
+    throw FrontierError("frontier: inverted interval of validity");
+  Tag& t = tags_[tag];
+  // Reject overlap with any existing IOV of this tag.
+  auto it = t.by_first_run.upper_bound(payload.first_run);
+  if (it != t.by_first_run.begin()) {
+    const auto& prev = std::prev(it)->second;
+    if (prev.last_run >= payload.first_run)
+      throw FrontierError("frontier: overlapping IOV for tag " + tag);
+  }
+  if (it != t.by_first_run.end() && it->second.first_run <= payload.last_run)
+    throw FrontierError("frontier: overlapping IOV for tag " + tag);
+  t.by_first_run.emplace(payload.first_run, std::move(payload));
+  ++t.serial;
+}
+
+std::optional<ConditionsPayload> ConditionsDatabase::lookup(
+    const std::string& tag, std::uint32_t run) const {
+  const auto t = tags_.find(tag);
+  if (t == tags_.end()) return std::nullopt;
+  auto it = t->second.by_first_run.upper_bound(run);
+  if (it == t->second.by_first_run.begin()) return std::nullopt;
+  const auto& payload = std::prev(it)->second;
+  if (run > payload.last_run) return std::nullopt;
+  return payload;
+}
+
+std::uint64_t ConditionsDatabase::tag_serial(const std::string& tag) const {
+  const auto t = tags_.find(tag);
+  return t == tags_.end() ? 0 : t->second.serial;
+}
+
+std::vector<std::string> ConditionsDatabase::tags() const {
+  std::vector<std::string> out;
+  for (const auto& [tag, _] : tags_) out.push_back(tag);
+  return out;
+}
+
+std::string FrontierServer::query(const std::string& tag, std::uint32_t run) {
+  ++queries_;
+  const auto payload = db_->lookup(tag, run);
+  if (!payload)
+    throw FrontierError("frontier: no conditions for tag " + tag + " run " +
+                        std::to_string(run));
+  return payload->blob;
+}
+
+FrontierProxy::FrontierProxy(FrontierEndpoint& upstream,
+                             const ConditionsDatabase& origin)
+    : upstream_(&upstream), origin_(&origin) {}
+
+std::string FrontierProxy::query(const std::string& tag, std::uint32_t run) {
+  const Key key{tag, run};
+  const std::uint64_t serial = origin_->tag_serial(tag);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.serial == serial) {
+        ++hits_;
+        return it->second.blob;
+      }
+      ++refreshes_;  // republished tag: entry is stale
+    } else {
+      ++misses_;
+    }
+  }
+  // Fetch outside the lock; concurrent misses for the same key both go
+  // upstream, like a real proxy under a thundering herd.
+  std::string blob = upstream_->query(tag, run);
+  {
+    std::lock_guard lock(mutex_);
+    cache_[key] = Entry{blob, serial};
+  }
+  return blob;
+}
+
+std::uint64_t FrontierProxy::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FrontierProxy::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t FrontierProxy::refreshes() const {
+  std::lock_guard lock(mutex_);
+  return refreshes_;
+}
+
+std::size_t FrontierProxy::entries() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+ConditionsDatabase make_synthetic_conditions(std::size_t tags,
+                                             std::uint32_t first_run,
+                                             std::uint32_t runs,
+                                             std::size_t blob_bytes,
+                                             std::uint64_t seed) {
+  if (tags == 0 || runs == 0)
+    throw FrontierError("frontier: need at least one tag and one run");
+  util::Rng rng(seed);
+  ConditionsDatabase db;
+  for (std::size_t t = 0; t < tags; ++t) {
+    char name[64];
+    std::snprintf(name, sizeof name, "CMS_COND_TAG_%03zu_v1", t);
+    std::uint32_t run = first_run;
+    const std::uint32_t last = first_run + runs - 1;
+    while (run <= last) {
+      const std::uint32_t span = static_cast<std::uint32_t>(
+          rng.uniform_int(1, std::max<std::int64_t>(1, runs / 8)));
+      ConditionsPayload payload;
+      payload.first_run = run;
+      payload.last_run = std::min(last, run + span - 1);
+      const std::size_t size = static_cast<std::size_t>(
+          rng.uniform(0.5, 1.5) * static_cast<double>(blob_bytes));
+      payload.blob.reserve(size);
+      for (std::size_t i = 0; i < size; ++i)
+        payload.blob.push_back(
+            static_cast<char>('A' + (rng)() % 26));
+      const std::uint32_t next_run = payload.last_run + 1;
+      db.publish(name, std::move(payload));
+      run = next_run;
+    }
+  }
+  return db;
+}
+
+}  // namespace lobster::frontier

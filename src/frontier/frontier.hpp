@@ -1,0 +1,131 @@
+// frontier.hpp — the Frontier conditions-data distribution service.
+//
+// Paper §4.2: "Apart from the actual information recorded by the LHC, HEP
+// analysis jobs also depend on configuration and calibration information,
+// which is distributed from CERN through a network of proxies, using the
+// Frontier protocol."
+//
+// Frontier serves versioned *conditions payloads* (alignment, calibration,
+// beam-spot, ...) keyed by (tag, run number / interval of validity).  The
+// implementation here is a real in-process service:
+//  * a ConditionsDatabase holding payloads with intervals of validity (IOV);
+//  * a FrontierServer answering queries (the "central" CERN endpoint);
+//  * a FrontierProxy layer caching query results — queries are
+//    deterministic, so cached answers are always valid until the tag is
+//    republished, which bumps a tag serial and invalidates stale entries
+//    (how real Frontier caching behaves).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lobster::frontier {
+
+struct FrontierError : std::runtime_error {
+  explicit FrontierError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A conditions payload valid for runs in [first_run, last_run].
+struct ConditionsPayload {
+  std::uint32_t first_run = 0;
+  std::uint32_t last_run = 0;
+  std::string blob;  ///< the calibration data itself
+};
+
+/// The master conditions database (lives "at CERN").
+class ConditionsDatabase {
+ public:
+  /// Publish a payload under a tag; IOVs of one tag must not overlap.
+  void publish(const std::string& tag, ConditionsPayload payload);
+  /// Resolve (tag, run) to the covering payload.
+  std::optional<ConditionsPayload> lookup(const std::string& tag,
+                                          std::uint32_t run) const;
+  /// Monotonically increasing per-tag serial (bumped by each publish);
+  /// 0 for unknown tags.
+  std::uint64_t tag_serial(const std::string& tag) const;
+  std::vector<std::string> tags() const;
+
+ private:
+  struct Tag {
+    std::map<std::uint32_t, ConditionsPayload> by_first_run;
+    std::uint64_t serial = 0;
+  };
+  std::map<std::string, Tag> tags_;
+};
+
+/// Query interface shared by the server and proxies.
+class FrontierEndpoint {
+ public:
+  virtual ~FrontierEndpoint() = default;
+  /// Returns the payload blob; throws FrontierError when (tag, run) has no
+  /// covering interval of validity.
+  virtual std::string query(const std::string& tag, std::uint32_t run) = 0;
+};
+
+/// The origin server: answers from the database, counts queries.
+class FrontierServer final : public FrontierEndpoint {
+ public:
+  explicit FrontierServer(const ConditionsDatabase& db) : db_(&db) {}
+  std::string query(const std::string& tag, std::uint32_t run) override;
+  std::uint64_t queries() const { return queries_; }
+  const ConditionsDatabase& database() const { return *db_; }
+
+ private:
+  const ConditionsDatabase* db_;
+  std::uint64_t queries_ = 0;
+};
+
+/// A caching proxy tier; chainable (proxy -> proxy -> server), thread safe.
+/// Entries carry the tag serial they were cached under and are refreshed
+/// when the tag has been republished since.
+class FrontierProxy final : public FrontierEndpoint {
+ public:
+  /// `upstream` must outlive the proxy; `origin_db` is consulted only for
+  /// the cheap serial check (the real protocol piggybacks this on
+  /// time-to-live headers).
+  FrontierProxy(FrontierEndpoint& upstream, const ConditionsDatabase& origin);
+
+  std::string query(const std::string& tag, std::uint32_t run) override;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t refreshes() const;  ///< stale entries re-fetched
+  std::size_t entries() const;
+
+ private:
+  struct Key {
+    std::string tag;
+    std::uint32_t run;
+    bool operator<(const Key& o) const {
+      return tag != o.tag ? tag < o.tag : run < o.run;
+    }
+  };
+  struct Entry {
+    std::string blob;
+    std::uint64_t serial = 0;
+  };
+
+  FrontierEndpoint* upstream_;
+  const ConditionsDatabase* origin_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+/// Build a realistic synthetic conditions set: `tags` tags, each covering
+/// run range [first_run, first_run + runs) in IOV chunks, blob sizes around
+/// `blob_bytes`.
+ConditionsDatabase make_synthetic_conditions(std::size_t tags,
+                                             std::uint32_t first_run,
+                                             std::uint32_t runs,
+                                             std::size_t blob_bytes,
+                                             std::uint64_t seed);
+
+}  // namespace lobster::frontier

@@ -1,0 +1,604 @@
+#include "lobsim/engine.hpp"
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lobster::lobsim {
+
+namespace {
+// Exit codes aligned with the wrapper's per-segment failure codes.
+constexpr int kExitEnvFailure = 174;    // squid timeout during setup
+constexpr int kExitStageInFailure = 171;
+constexpr int kExitXrootdFailure = 211; // streaming open failed (outage)
+constexpr int kExitStageOutFailure = 173;
+constexpr int kExitEvicted = 179;
+
+constexpr double kIdleRetryDelay = 60.0;
+}  // namespace
+
+/// A worker node: one batch-system slot of `cores_per_worker` cores
+/// sharing a Parrot cache, a squid assignment, and a common fate under
+/// eviction.
+struct Engine::WorkerNode {
+  std::size_t id = 0;
+  util::Rng rng{0};
+  std::size_t site = 0;
+  std::size_t squid = 0;
+  double death = std::numeric_limits<double>::infinity();
+  bool alive = false;
+  // Cache state for the current life.  Population is a retryable state
+  // machine: if the populating slot's fetch fails (squid timeout), the
+  // state returns to Cold and the waiters of that round are woken so one
+  // of them can retry — a failure must never strand the other slots.
+  enum class CacheState { Cold, Populating, Ready };
+  CacheState cache_state = CacheState::Cold;
+  std::shared_ptr<des::Event> cache_round;
+  std::vector<bool> slot_head_ready;  // PerInstance only
+  // Exclusive mode: the whole-cache write lock serialising every access.
+  std::unique_ptr<des::Resource> cache_lock;
+};
+
+/// One dispatched task: either a group of tasklets or a merge group.
+struct Engine::TaskUnit {
+  bool is_merge = false;
+  std::uint32_t n_tasklets = 0;
+  double merge_input_bytes = 0.0;  // total inputs to a merge task
+};
+
+Engine::Engine(ClusterParams cluster, WorkloadParams workload,
+               std::uint64_t seed, double metric_bin_seconds)
+    : cluster_(std::move(cluster)),
+      workload_(std::move(workload)),
+      rng_(seed) {
+  foreman_fanout_ = std::make_unique<des::BandwidthLink>(
+      sim_, static_cast<double>(std::max<std::size_t>(1, cluster_.num_foremen)) *
+                cluster_.foreman_uplink_rate);
+  chirp_ = std::make_unique<chirp::ChirpSim>(sim_, cluster_.chirp);
+
+  // Site 0 is always the home campus; extra_sites are harvested alongside
+  // it (paper §7), each with its own WAN path, squids and eviction climate.
+  std::vector<SiteParams> site_params;
+  SiteParams home;
+  home.name = "home";
+  home.target_cores = cluster_.target_cores;
+  home.ramp_seconds = cluster_.ramp_seconds;
+  home.availability_scale_hours = cluster_.availability_scale_hours;
+  home.availability_shape = cluster_.availability_shape;
+  home.evictions = cluster_.evictions;
+  home.num_squids = cluster_.num_squids;
+  home.squid = cluster_.squid;
+  home.federation = cluster_.federation;
+  site_params.push_back(home);
+  for (const auto& s : cluster_.extra_sites) site_params.push_back(s);
+
+  for (std::size_t i = 0; i < site_params.size(); ++i) {
+    const auto& p = site_params[i];
+    if (p.num_squids == 0)
+      throw std::invalid_argument("engine: site needs at least one squid");
+    Site site;
+    site.params = p;
+    site.federation =
+        std::make_unique<xrootd::FederationSim>(sim_, p.federation);
+    for (std::size_t q = 0; q < p.num_squids; ++q)
+      site.squids.push_back(
+          std::make_unique<cvmfs::SquidSim>(sim_, p.squid));
+    if (p.evictions) {
+      auto log = core::synthesize_availability_log(
+          50000, rng_.stream("availability", i), p.availability_shape,
+          p.availability_scale_hours);
+      site.eviction = std::make_unique<core::EmpiricalEviction>(
+          util::EmpiricalDistribution(std::move(log)));
+    } else {
+      site.eviction = std::make_unique<core::NoEviction>();
+    }
+    sites_.push_back(std::move(site));
+  }
+  per_site_tasklets_.assign(sites_.size(), 0);
+  total_slots_ = 0;
+  for (const auto& site : sites_) total_slots_ += site.params.target_cores;
+
+  metrics_ = std::make_unique<EngineMetrics>(metric_bin_seconds);
+  tasklets_pending_ = workload_.num_tasklets;
+}
+
+Engine::~Engine() = default;
+
+void Engine::schedule_outage(double start, double duration) {
+  // The wide-area data handling system is shared: every site's path to the
+  // federation breaks together (as in the Figure 10 incident).
+  for (auto& site : sites_) site.federation->schedule_outage(start, duration);
+}
+
+const EngineMetrics& Engine::run(double time_cap) {
+  end_time_cap_ = time_cap;
+  sim_.spawn(batch_system());
+  sim_.spawn(
+      gauge_sampler(metrics_->monitor.running_timeline().bin_width() / 3.0));
+  // Advance in slices so progress is observable at Debug log level and a
+  // stuck scenario is diagnosable.
+  double t = 0.0;
+  while (t < time_cap && sim_.pending_events() > 0) {
+    t = std::min(time_cap, t + 3600.0);
+    sim_.run_until(t);
+    LOBSTER_LOG_DEBUG("lobsim",
+                      "t=%.0fs events=%llu running=%zu pending_tasklets=%llu "
+                      "done=%llu merges_q=%zu done_flag=%d",
+                      sim_.now(),
+                      static_cast<unsigned long long>(sim_.events_executed()),
+                      running_tasks_,
+                      static_cast<unsigned long long>(tasklets_pending_),
+                      static_cast<unsigned long long>(tasklets_done_),
+                      merge_queue_.size(), done_ ? 1 : 0);
+  }
+  metrics_->makespan =
+      std::max(metrics_->last_analysis_finish, metrics_->last_merge_finish);
+  metrics_->bytes_streamed = 0.0;
+  metrics_->bytes_staged = 0.0;
+  for (const auto& site : sites_) {
+    metrics_->bytes_streamed += site.federation->bytes_streamed();
+    metrics_->bytes_staged += site.federation->bytes_staged();
+  }
+  metrics_->bytes_staged_out = chirp_->bytes_in();
+  return *metrics_;
+}
+
+des::Process Engine::gauge_sampler(double period) {
+  // Keep the running-tasks gauge populated even in bins where no task
+  // starts or finishes.
+  while (!done_ && sim_.now() < end_time_cap_) {
+    metrics_->monitor.sample_running(sim_.now(), running_tasks_);
+    co_await sim_.delay(period);
+  }
+}
+
+des::Process Engine::batch_system() {
+  for (std::size_t s = 0; s < sites_.size(); ++s)
+    sim_.spawn(site_batch_system(s));
+  co_return;
+}
+
+des::Process Engine::site_batch_system(std::size_t site_index) {
+  const Site& site = sites_[site_index];
+  if (site.params.target_cores == 0) co_return;
+  const std::size_t num_workers = std::max<std::size_t>(
+      1, site.params.target_cores / cluster_.cores_per_worker);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    auto node = std::make_shared<WorkerNode>();
+    node->id = w;
+    node->site = site_index;
+    node->rng = rng_.stream("node." + std::to_string(site_index), w);
+    node->squid = w % site.squids.size();
+    sim_.spawn(worker_life(node));
+    // Stagger worker arrivals across the site's ramp window.
+    co_await sim_.delay(site.params.ramp_seconds /
+                        static_cast<double>(num_workers));
+    if (done_) co_return;
+  }
+}
+
+des::Process Engine::worker_life(std::shared_ptr<WorkerNode> node) {
+  while (!done_ && sim_.now() < end_time_cap_) {
+    // A new life: fresh survival draw, cold cache.
+    node->alive = true;
+    node->death = sim_.now() + sites_[node->site].eviction->sample_survival(
+                                   node->rng);
+    node->cache_state = WorkerNode::CacheState::Cold;
+    node->cache_round = sim_.make_event();
+    node->slot_head_ready.assign(cluster_.cores_per_worker, false);
+    node->cache_lock = std::make_unique<des::Resource>(sim_, 1);
+
+    std::vector<des::ProcessRef> slots;
+    slots.reserve(cluster_.cores_per_worker);
+    for (std::size_t s = 0; s < cluster_.cores_per_worker; ++s)
+      slots.push_back(sim_.spawn(core_slot(node, s)));
+    for (auto& ref : slots) co_await ref.done();
+    node->alive = false;
+    if (done_) co_return;
+    // Evicted: the batch system hands the node back after a backoff.
+    co_await sim_.delay(node->rng.exponential(cluster_.rejoin_mean_seconds));
+  }
+}
+
+des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
+                               std::size_t slot) {
+  while (!done_ && sim_.now() < node->death && sim_.now() < end_time_cap_) {
+    auto task = next_task();
+    if (!task) {
+      if (workflow_complete()) co_return;
+      // Momentarily idle (e.g. waiting for merge work); poll again.
+      co_await sim_.delay(kIdleRetryDelay);
+      continue;
+    }
+    ++running_tasks_;
+    metrics_->peak_running = std::max(metrics_->peak_running, running_tasks_);
+    metrics_->monitor.sample_running(sim_.now(), running_tasks_);
+
+    core::TaskRecord record;
+    record.submit_time = sim_.now();
+    bool success = false;
+    bool evicted = false;
+    try {
+      success = co_await run_task(node, slot, *task, record);
+      evicted = !success && record.status == core::TaskStatus::Evicted;
+    } catch (const xrootd::AccessError&) {
+      record.exit_code = task->is_merge ? kExitStageInFailure
+                                        : kExitXrootdFailure;
+    } catch (const cvmfs::SquidSim::TimeoutError&) {
+      record.exit_code = kExitEnvFailure;
+    }
+    --running_tasks_;
+    metrics_->monitor.sample_running(sim_.now(), running_tasks_);
+    const bool failed = !success && !evicted;
+    finish_task(*task, record, success, evicted, node->site);
+    if (failed && workload_.failure_backoff > 0.0)
+      co_await sim_.delay(workload_.failure_backoff);
+  }
+}
+
+des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
+                                       std::size_t slot,
+                                       core::TaskRecord& record) {
+  auto& squid = *sites_[node->site].squids[node->squid];
+  const auto mode = workload_.cache_mode;
+  const double t0 = sim_.now();
+
+  // Cold population: the ~1.5 GB working set (paper §4.3), split into the
+  // shared head (hot in the proxy once any worker pulled it) and this
+  // node's tail (a proxy miss that goes upstream).  Population happens
+  // once per worker life (Alien/Exclusive share a copy) or once per slot
+  // (PerInstance re-downloads it in every cache directory).
+  auto populate = [&]() -> des::Task<void> {
+    const bool proxy_hot = squid.note_request("release-head");
+    co_await squid.fetch(workload_.release_shared_bytes, proxy_hot);
+    co_await squid.fetch(workload_.release_tail_bytes, false);
+  };
+
+  if (mode == cvmfs::CacheMode::PerInstance) {
+    if (!node->slot_head_ready[slot]) {
+      co_await populate();
+      node->slot_head_ready[slot] = true;
+    }
+  } else {
+    // Alien and Exclusive share one copy per node.  Exclusive additionally
+    // holds the whole-cache write lock across population and across every
+    // later access (Figure 6(a)); Alien populates and serves concurrently.
+    using CS = WorkerNode::CacheState;
+    while (node->cache_state != CS::Ready) {
+      if (node->cache_state == CS::Cold) {
+        node->cache_state = CS::Populating;
+        auto round = node->cache_round;
+        try {
+          if (mode == cvmfs::CacheMode::Exclusive) {
+            auto lock = co_await node->cache_lock->acquire();
+            co_await populate();
+          } else {
+            co_await populate();
+          }
+        } catch (...) {
+          // Failed population must not strand the waiting slots: return
+          // to Cold and wake this round so another slot retries.
+          node->cache_state = CS::Cold;
+          node->cache_round = sim_.make_event();
+          round->trigger();
+          throw;
+        }
+        node->cache_state = CS::Ready;
+        round->trigger();
+      } else {  // Populating: wait for this round to resolve, then recheck.
+        auto round = node->cache_round;
+        co_await *round;
+      }
+    }
+  }
+
+  // Hot-cache traffic for everything beyond the first task is small; under
+  // the exclusive discipline even these accesses take the write lock.
+  if (mode == cvmfs::CacheMode::Exclusive) {
+    auto lock = co_await node->cache_lock->acquire();
+    co_await squid.fetch(workload_.hot_setup_bytes, true);
+  } else {
+    co_await squid.fetch(workload_.hot_setup_bytes, true);
+  }
+  record.segment_time[static_cast<std::size_t>(core::Segment::EnvSetup)] +=
+      sim_.now() - t0;
+}
+
+des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
+                                 std::size_t slot, TaskUnit task,
+                                 core::TaskRecord& record) {
+  auto seg = [&record](core::Segment s) -> double& {
+    return record.segment_time[static_cast<std::size_t>(s)];
+  };
+  const double start = sim_.now();
+  auto evicted_now = [&]() { return sim_.now() >= node->death; };
+  auto mark_evicted = [&]() {
+    record.status = core::TaskStatus::Evicted;
+    record.exit_code = kExitEvicted;
+    record.lost_time = std::min(sim_.now(), node->death) - start;
+  };
+
+  if (task.is_merge) {
+    // Merge task: inputs via XrootD, CPU ~ proportional to volume, output
+    // staged via Chirp (paper §4.4).
+    const double t_in0 = sim_.now();
+    co_await sites_[node->site].federation->stage(task.merge_input_bytes);
+    seg(core::Segment::StageIn) += sim_.now() - t_in0;
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+    const double cpu =
+        workload_.merge_cpu_per_gb * task.merge_input_bytes / 1e9;
+    co_await sim_.delay(cpu);
+    record.cpu_time += cpu;
+    seg(core::Segment::Execute) += cpu;
+    const double t_out0 = sim_.now();
+    co_await chirp_->put(task.merge_input_bytes);
+    seg(core::Segment::StageOut) += sim_.now() - t_out0;
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+    record.status = core::TaskStatus::Done;
+    co_return true;
+  }
+
+  // ---- analysis task ----
+  co_await setup_software(node, slot, record);
+  if (evicted_now()) {
+    mark_evicted();
+    co_return false;
+  }
+
+  // Sandbox + task payload from the master through the foreman fan-out.
+  if (workload_.sandbox_bytes > 0.0) {
+    const double t0 = sim_.now();
+    co_await foreman_fanout_->transfer(workload_.sandbox_bytes);
+    seg(core::Segment::StageIn) += sim_.now() - t0;
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+  }
+
+  const double input_bytes =
+      workload_.tasklet_input_bytes * task.n_tasklets;
+  if (workload_.access == core::DataAccessMode::Stage && input_bytes > 0.0) {
+    const double t0 = sim_.now();
+    co_await sites_[node->site].federation->stage(input_bytes);
+    seg(core::Segment::StageIn) += sim_.now() - t0;
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+  }
+
+  // Execute.  The task's CPU demand is the sum of its tasklets' draws (the
+  // Figure 3 distribution).  In stream mode the application reads only
+  // read_fraction of the input over the WAN, but those reads are
+  // synchronous — the event loop stalls on them, so I/O time adds to the
+  // wall clock (the "Task I/O Time" row of Figure 8).  Eviction is checked
+  // at ~tasklet-sized boundaries by chunking the CPU delay.
+  double cpu_total = 0.0;
+  for (std::uint32_t i = 0; i < task.n_tasklets; ++i)
+    cpu_total += node->rng.truncated_normal(workload_.tasklet_cpu_mean,
+                                            workload_.tasklet_cpu_sigma, 1.0);
+  double stream_bytes = 0.0;
+  if (workload_.access == core::DataAccessMode::Stream && input_bytes > 0.0)
+    stream_bytes = input_bytes * workload_.read_fraction;
+  else if (workload_.pileup_bytes > 0.0)
+    stream_bytes = workload_.pileup_bytes * task.n_tasklets;  // MC overlay
+
+  if (stream_bytes > 0.0) {
+    const double t0 = sim_.now();
+    co_await sites_[node->site].federation->stream(stream_bytes);
+    seg(core::Segment::ExecuteIo) += sim_.now() - t0;
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+  }
+  double residual = cpu_total;
+  const double chunk = std::max(60.0, workload_.tasklet_cpu_mean);
+  while (residual > 0.0) {
+    const double step = std::min(residual, chunk);
+    co_await sim_.delay(step);
+    residual -= step;
+    if (evicted_now()) {
+      record.cpu_time += cpu_total - residual;
+      mark_evicted();
+      co_return false;
+    }
+  }
+  record.cpu_time += cpu_total;
+  seg(core::Segment::Execute) += cpu_total;
+
+  // Stage out through the Chirp server.
+  {
+    const double t0 = sim_.now();
+    co_await chirp_->put(workload_.tasklet_output_bytes * task.n_tasklets);
+    seg(core::Segment::StageOut) += sim_.now() - t0;
+  }
+  if (evicted_now()) {
+    mark_evicted();
+    co_return false;
+  }
+  record.status = core::TaskStatus::Done;
+  co_return true;
+}
+
+std::optional<Engine::TaskUnit> Engine::next_task() {
+  if (!merge_queue_.empty()) {
+    TaskUnit t;
+    t.is_merge = true;
+    double total = 0.0;
+    for (double b : merge_queue_.front()) total += b;
+    t.merge_input_bytes = total;
+    merge_queue_.pop_front();
+    ++running_merges_;
+    return t;
+  }
+  if (tasklets_pending_ > 0) {
+    TaskUnit t;
+    std::uint64_t size = workload_.tasklets_per_task;
+    if (workload_.tail_shrink && tasklets_pending_ <= total_slots_)
+      size = 1;  // drain phase: minimise per-task eviction exposure
+    t.n_tasklets = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(size, tasklets_pending_));
+    tasklets_pending_ -= t.n_tasklets;
+    return t;
+  }
+  return std::nullopt;
+}
+
+void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
+                         bool success, bool evicted, std::size_t site) {
+  const double now = sim_.now();
+  record.finish_time = now;
+  record.kind = task.is_merge ? core::TaskKind::Merge : core::TaskKind::Analysis;
+  if (success) {
+    record.status = core::TaskStatus::Done;
+  } else if (evicted) {
+    record.status = core::TaskStatus::Evicted;
+    ++metrics_->tasks_evicted;
+  } else {
+    record.status = core::TaskStatus::Failed;
+    ++metrics_->tasks_failed;
+    metrics_->failures.add(now);
+    metrics_->failure_events.emplace_back(now, record.exit_code);
+  }
+  metrics_->monitor.on_task_finished(record);
+
+  if (task.is_merge) {
+    --running_merges_;
+    if (success) {
+      ++metrics_->merge_tasks_completed;
+      metrics_->merge_done.add(now);
+      metrics_->last_merge_finish = now;
+    } else {
+      // The group's outputs return to the unmerged pool.
+      unmerged_outputs_.push_back(task.merge_input_bytes);
+      unmerged_bytes_ += task.merge_input_bytes;
+    }
+  } else {
+    if (success) {
+      ++metrics_->tasks_completed;
+      metrics_->analysis_done.add(now);
+      metrics_->last_analysis_finish = now;
+      tasklets_done_ += task.n_tasklets;
+      metrics_->tasklets_processed += task.n_tasklets;
+      per_site_tasklets_[site] += task.n_tasklets;
+      unmerged_outputs_.push_back(workload_.tasklet_output_bytes *
+                                  task.n_tasklets);
+      unmerged_bytes_ += workload_.tasklet_output_bytes * task.n_tasklets;
+    } else {
+      tasklets_pending_ += task.n_tasklets;  // retry
+    }
+  }
+
+  const bool analysis_complete =
+      tasklets_done_ >= workload_.num_tasklets && tasklets_pending_ == 0;
+  if (workload_.merge_mode == core::MergeMode::Interleaved)
+    maybe_plan_merges(analysis_complete);
+  else if (analysis_complete)
+    maybe_plan_merges(true);
+
+  if (workflow_complete()) done_ = true;
+}
+
+void Engine::maybe_plan_merges(bool final_sweep) {
+  if (workload_.merge_mode == core::MergeMode::Hadoop) {
+    if (final_sweep && !hadoop_started_) {
+      hadoop_started_ = true;
+      sim_.spawn(hadoop_merge());
+    }
+    return;
+  }
+  const double target = workload_.merge_policy.target_bytes;
+  const double min_fill = workload_.merge_policy.min_fill;
+  if (!final_sweep) {
+    // Interleaved: only once >= start_fraction of tasklets are processed.
+    const double frac = static_cast<double>(tasklets_done_) /
+                        static_cast<double>(workload_.num_tasklets);
+    if (frac < workload_.merge_policy.start_fraction) return;
+  }
+  // Greedy FIFO grouping; full groups only unless this is the final sweep.
+  // The last output of a group may overshoot the target ("files of 3-4 GB",
+  // paper §4.4) — insisting on an exact ceiling could make full groups
+  // unconstructible for large outputs.
+  while (unmerged_bytes_ >= target * min_fill ||
+         (final_sweep && !unmerged_outputs_.empty())) {
+    std::vector<double> group;
+    double bytes = 0.0;
+    while (!unmerged_outputs_.empty() && bytes < target * min_fill) {
+      bytes += unmerged_outputs_.front();
+      group.push_back(unmerged_outputs_.front());
+      unmerged_outputs_.pop_front();
+    }
+    if (group.empty()) break;
+    if (bytes < target * min_fill && !final_sweep) {
+      // Put them back; not enough yet.
+      for (auto it = group.rbegin(); it != group.rend(); ++it)
+        unmerged_outputs_.push_front(*it);
+      break;
+    }
+    unmerged_bytes_ -= bytes;
+    merge_queue_.push_back(std::move(group));
+  }
+}
+
+des::Process Engine::hadoop_merge() {
+  // Merging via Hadoop (paper §4.4): a Map-Reduce job inside the storage
+  // cluster.  Reducers run concurrently up to the slot limit; each reads
+  // its group from HDFS locally and writes the merged file back — no Chirp
+  // or WAN involvement.
+  const double target = workload_.merge_policy.target_bytes;
+  std::vector<double> groups;
+  double acc = 0.0;
+  for (double b : unmerged_outputs_) {
+    acc += b;
+    if (acc >= target) {
+      groups.push_back(acc);
+      acc = 0.0;
+    }
+  }
+  if (acc > 0.0) groups.push_back(acc);
+  unmerged_outputs_.clear();
+  unmerged_bytes_ = 0.0;
+
+  des::Resource slots(sim_, workload_.hadoop_reduce_slots);
+  std::vector<des::ProcessRef> reducers;
+  auto reducer = [](Engine* self, des::Resource& res,
+                    double bytes) -> des::Process {
+    auto slot = co_await res.acquire();
+    // Transfer the group to the local machine, create the HEP environment,
+    // concatenate, write back at HDFS-local rates (paper §4.4).
+    co_await self->sim_.delay(self->workload_.hadoop_reduce_setup +
+                              bytes / self->workload_.hadoop_local_rate);
+    const double now = self->sim_.now();
+    ++self->metrics_->merge_tasks_completed;
+    self->metrics_->merge_done.add(now);
+    self->metrics_->last_merge_finish = now;
+  };
+  reducers.reserve(groups.size());
+  for (double bytes : groups)
+    reducers.push_back(sim_.spawn(reducer(this, slots, bytes)));
+  for (auto& ref : reducers) co_await ref.done();
+  hadoop_done_ = true;
+  if (workflow_complete()) done_ = true;
+}
+
+bool Engine::workflow_complete() const {
+  const bool analysis_done =
+      tasklets_done_ >= workload_.num_tasklets && tasklets_pending_ == 0;
+  if (!analysis_done) return false;
+  if (workload_.merge_mode == core::MergeMode::Hadoop)
+    return hadoop_started_ ? hadoop_done_ : false;
+  return unmerged_outputs_.empty() && merge_queue_.empty() &&
+         running_merges_ == 0;
+}
+
+}  // namespace lobster::lobsim

@@ -1,0 +1,254 @@
+// engine.hpp — the cluster-scale simulation engine.
+//
+// This is the testbed substitute for the paper's production environment:
+// an opportunistic HTCondor pool at Notre Dame (~10-20k cores in bursts),
+// the CMS data federation behind a 10 Gbit/s campus uplink, squid proxy
+// caches for CVMFS, and a Chirp server in front of Hadoop storage.  All of
+// it is modelled on the des:: kernel with parameters stated in the paper,
+// and the Lobster scheduling semantics (task construction from tasklets,
+// retry-on-eviction, interleaved merging) mirror core::Scheduler.
+//
+// One Engine instance runs one workload scenario and exposes the metrics
+// each figure needs (timelines, runtime breakdown, infrastructure gauges).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "chirp/chirp.hpp"
+#include "core/config.hpp"
+#include "core/db.hpp"
+#include "core/merge.hpp"
+#include "core/monitor.hpp"
+#include "core/task_size_model.hpp"
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/squid.hpp"
+#include "des/queue.hpp"
+#include "des/simulation.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "xrootd/federation.hpp"
+
+namespace lobster::lobsim {
+
+/// An additional remote site contributing opportunistic workers (paper §7:
+/// "Lobster's design makes it possible to harvest resources from several
+/// clusters, and even commercial clouds, together").  Each site brings its
+/// own WAN path and squid; outputs still flow to the home Chirp server.
+struct SiteParams {
+  std::string name = "remote";
+  std::size_t target_cores = 0;
+  double ramp_seconds = 3600.0;
+  /// Per-site availability (a commercial cloud is effectively dedicated
+  /// while paid for; a borrowed HPC partition may be harsher than campus).
+  double availability_scale_hours = 4.0;
+  double availability_shape = 0.8;
+  bool evictions = true;
+  std::size_t num_squids = 1;
+  cvmfs::SquidSim::Params squid;
+  xrootd::FederationSim::Params federation;
+};
+
+/// Cluster and infrastructure parameters.
+struct ClusterParams {
+  std::size_t target_cores = 10000;
+  std::size_t cores_per_worker = 8;  ///< paper §3: 8-core workers
+  /// Workers join gradually (batch system grants) over this window.
+  double ramp_seconds = 3600.0;
+  /// Availability model: Weibull availability like the Figure 2 logs.
+  double availability_scale_hours = 4.0;
+  double availability_shape = 0.8;
+  /// Evicted workers return after an exponential backoff with this mean.
+  double rejoin_mean_seconds = 1800.0;
+  /// When false, workers are dedicated (no eviction) — ablation switch.
+  bool evictions = true;
+
+  /// Foreman fan-out: sandboxes and task payloads reach workers through
+  /// `num_foremen` intermediaries, each with `foreman_uplink_rate` of
+  /// outbound bandwidth (paper §3: "one intermediate rank of four foremen").
+  std::size_t num_foremen = 4;
+  double foreman_uplink_rate = 1.25e8;  // 1 Gbit/s each
+
+  std::size_t num_squids = 1;
+  cvmfs::SquidSim::Params squid;
+  chirp::ChirpSim::Params chirp;
+  xrootd::FederationSim::Params federation;
+
+  /// Extra sites harvested alongside the home campus (index 0 is always
+  /// the home site built from the fields above).
+  std::vector<SiteParams> extra_sites;
+};
+
+/// Workload parameters (one workflow).
+struct WorkloadParams {
+  std::uint64_t num_tasklets = 100000;
+  std::uint32_t tasklets_per_task = 6;  ///< ~1 h at 10 min/tasklet
+  double tasklet_cpu_mean = 600.0;      ///< N(10, 5) minutes, truncated
+  double tasklet_cpu_sigma = 300.0;
+  /// Input volume consumed per tasklet (0 for simulation workloads).
+  double tasklet_input_bytes = 300.0e6;
+  /// Fraction of the input a streaming task actually reads: an analysis
+  /// "contains only a fraction of the information present in the input
+  /// data" (paper §4.2) — this is why streaming beats staging in Figure 4,
+  /// since staging must transfer whole files up front.
+  double read_fraction = 0.30;
+  /// Output volume produced per tasklet.
+  double tasklet_output_bytes = 15.0e6;
+  core::DataAccessMode access = core::DataAccessMode::Stream;
+  /// Software working set (cold cache cost; paper: ~1.5 GB per cache),
+  /// split into a head every task shares and a per-task tail.
+  double release_shared_bytes = 1.3e9;
+  double release_tail_bytes = 0.2e9;
+  /// Hot-cache per-task setup traffic (catalog checks, small misses).
+  double hot_setup_bytes = 25.0e6;
+  cvmfs::CacheMode cache_mode = cvmfs::CacheMode::Alien;
+  /// Per-tasklet extra input for simulation workloads (pile-up overlay).
+  double pileup_bytes = 5.0e6;
+  /// Per-task payload sent from the master through the foremen (sandbox,
+  /// configuration, input manifests) — the "WQ Stage In" row of Figure 8.
+  double sandbox_bytes = 50.0e6;
+  /// A slot that just watched its task fail backs off before pulling new
+  /// work (the wrapper's retry discipline; damps outage retry storms).
+  double failure_backoff = 300.0;
+  /// Shrink tasks to single tasklets once the pending pool is smaller than
+  /// the slot count: at the drain phase, long tasks only deepen the
+  /// eviction-retry chains of the last stragglers.  This is the task-size
+  /// adaptivity the paper lists as future work (§8); it is OFF by default
+  /// so the engine mirrors the production system the paper measured.
+  bool tail_shrink = false;
+  std::uint32_t max_attempts = 50;
+
+  core::MergeMode merge_mode = core::MergeMode::Interleaved;
+  core::MergePolicy merge_policy;
+  /// Merge task transfer behaviour: inputs via XrootD, outputs via Chirp
+  /// (paper §4.4); CPU cost per merged byte is negligible.
+  double merge_cpu_per_gb = 10.0;
+  /// Hadoop-mode merging: concurrent reducers, their HDFS-local rate, and
+  /// the per-reducer overhead of transferring the small files to the local
+  /// machine and creating the HEP environment there (paper §4.4).
+  std::int64_t hadoop_reduce_slots = 16;
+  double hadoop_local_rate = 2.5e8;
+  double hadoop_reduce_setup = 240.0;
+};
+
+/// What happened — everything the figure benches print.
+struct EngineMetrics {
+  explicit EngineMetrics(double bin_seconds)
+      : monitor(bin_seconds),
+        analysis_done(0.0, bin_seconds),
+        merge_done(0.0, bin_seconds),
+        failures(0.0, bin_seconds) {}
+
+  core::Monitor monitor;
+  util::TimeSeries analysis_done;
+  util::TimeSeries merge_done;
+  util::TimeSeries failures;
+  /// (time, exit code) of every failed task — Figure 11 bottom panel.
+  std::vector<std::pair<double, int>> failure_events;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t tasks_evicted = 0;
+  std::uint64_t merge_tasks_completed = 0;
+  std::uint64_t tasklets_processed = 0;
+  double last_analysis_finish = 0.0;
+  double last_merge_finish = 0.0;
+  double bytes_streamed = 0.0;
+  double bytes_staged = 0.0;
+  double bytes_staged_out = 0.0;
+  double makespan = 0.0;
+  /// Peak of the running-tasks gauge.
+  std::size_t peak_running = 0;
+};
+
+class Engine {
+ public:
+  Engine(ClusterParams cluster, WorkloadParams workload, std::uint64_t seed,
+         double metric_bin_seconds = 600.0);
+  ~Engine();
+
+  /// Run to completion (or until `time_cap` seconds of simulated time).
+  /// Returns the collected metrics.
+  const EngineMetrics& run(double time_cap = 10.0 * 86400.0);
+
+  const EngineMetrics& metrics() const { return *metrics_; }
+  des::Simulation& sim() { return sim_; }
+  /// Home-site federation (site 0).
+  xrootd::FederationSim& federation() { return *sites_.front().federation; }
+  xrootd::FederationSim& federation(std::size_t site) {
+    return *sites_.at(site).federation;
+  }
+  des::BandwidthLink& foreman_fanout() { return *foreman_fanout_; }
+  chirp::ChirpSim& chirp() { return *chirp_; }
+  /// Home-site squids (site 0).
+  cvmfs::SquidSim& squid(std::size_t i) { return *sites_.front().squids.at(i); }
+  cvmfs::SquidSim& squid(std::size_t site, std::size_t i) {
+    return *sites_.at(site).squids.at(i);
+  }
+  std::size_t num_sites() const { return sites_.size(); }
+  /// Tasklets processed by each site's workers (index as in params).
+  const std::vector<std::uint64_t>& per_site_tasklets() const {
+    return per_site_tasklets_;
+  }
+
+  /// Inject a WAN outage (Figure 10's transient failure burst).
+  void schedule_outage(double start, double duration);
+
+ private:
+  struct WorkerNode;
+  struct TaskUnit;
+
+  des::Process batch_system();
+  des::Process site_batch_system(std::size_t site_index);
+  des::Process gauge_sampler(double period);
+  des::Process worker_life(std::shared_ptr<WorkerNode> node);
+  des::Process core_slot(std::shared_ptr<WorkerNode> node, std::size_t slot);
+  des::Process hadoop_merge();
+  des::Task<bool> run_task(std::shared_ptr<WorkerNode> node, std::size_t slot,
+                           TaskUnit task, core::TaskRecord& record);
+  des::Task<void> setup_software(std::shared_ptr<WorkerNode> node,
+                                 std::size_t slot, core::TaskRecord& record);
+  /// Pull the next task (analysis or merge) from the pools; nullopt when
+  /// the workflow is finished.
+  std::optional<TaskUnit> next_task();
+  void finish_task(const TaskUnit& task, core::TaskRecord& record,
+                   bool success, bool evicted, std::size_t site);
+  void maybe_plan_merges(bool final_sweep);
+  bool workflow_complete() const;
+
+  /// Runtime state of one harvested site.
+  struct Site {
+    SiteParams params;
+    std::unique_ptr<xrootd::FederationSim> federation;
+    std::vector<std::unique_ptr<cvmfs::SquidSim>> squids;
+    std::unique_ptr<core::EvictionModel> eviction;
+  };
+
+  ClusterParams cluster_;
+  WorkloadParams workload_;
+  util::Rng rng_;
+  des::Simulation sim_;
+  std::vector<Site> sites_;
+  std::vector<std::uint64_t> per_site_tasklets_;
+  std::unique_ptr<des::BandwidthLink> foreman_fanout_;
+  std::unique_ptr<chirp::ChirpSim> chirp_;
+  std::unique_ptr<EngineMetrics> metrics_;
+
+  // ---- workload state ----
+  std::uint64_t tasklets_pending_ = 0;   // not yet in a dispatched task
+  std::uint64_t tasklets_done_ = 0;
+  std::deque<double> unmerged_outputs_;        // output sizes awaiting merge
+  double unmerged_bytes_ = 0.0;
+  std::deque<std::vector<double>> merge_queue_;  // planned merge groups
+  std::size_t running_tasks_ = 0;
+  std::size_t running_merges_ = 0;
+  std::uint64_t total_slots_ = 0;
+  bool hadoop_started_ = false;
+  bool hadoop_done_ = false;
+  bool done_ = false;
+  double end_time_cap_ = 0.0;
+};
+
+}  // namespace lobster::lobsim

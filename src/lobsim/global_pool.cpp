@@ -1,0 +1,45 @@
+#include "lobsim/global_pool.hpp"
+
+#include <stdexcept>
+
+namespace lobster::lobsim {
+
+namespace {
+des::Process user_campaign(des::Simulation& sim, des::BandwidthLink& pool,
+                           const PoolUser& user, PoolOutcome& outcome) {
+  co_await sim.delay(user.submit_time);
+  co_await pool.transfer(user.core_seconds, user.max_parallelism);
+  outcome.finish_time = sim.now();
+}
+}  // namespace
+
+std::vector<PoolOutcome> simulate_global_pool(
+    double dedicated_cores, const std::vector<PoolUser>& users) {
+  if (dedicated_cores <= 0.0)
+    throw std::invalid_argument("global pool: need positive core count");
+  des::Simulation sim;
+  // Cores play the role of bandwidth: the pool serves core-seconds at a
+  // rate of `dedicated_cores` core-seconds per second, split max-min
+  // fairly among users capped at their own parallelism.
+  des::BandwidthLink pool(sim, dedicated_cores);
+  std::vector<PoolOutcome> outcomes(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (users[i].core_seconds <= 0.0)
+      throw std::invalid_argument("global pool: user without work: " +
+                                  users[i].name);
+    outcomes[i].name = users[i].name;
+    outcomes[i].submit_time = users[i].submit_time;
+    sim.spawn(user_campaign(sim, pool, users[i], outcomes[i]));
+  }
+  sim.run();
+  return outcomes;
+}
+
+double lobster_burst_completion(double core_seconds, double burst_cores,
+                                double efficiency) {
+  if (burst_cores <= 0.0 || efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("lobster burst: bad parameters");
+  return core_seconds / (burst_cores * efficiency);
+}
+
+}  // namespace lobster::lobsim

@@ -1,0 +1,238 @@
+#include "lobsim/scenarios.hpp"
+
+#include <algorithm>
+
+#include "des/simulation.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace lobster::lobsim {
+
+DataProcessingScenario data_processing_scenario() {
+  DataProcessingScenario s;
+  // Cluster: ~10k opportunistic cores in 8-core workers (paper §3, §6),
+  // availability like the Figure 2 logs, 10 Gbit/s campus uplink fully
+  // consumed by the run (paper §6: "the campus bandwidth, 10 Gbit/s, was
+  // entirely used up by the running tasks").
+  s.cluster.target_cores = 10000;
+  s.cluster.cores_per_worker = 8;
+  s.cluster.ramp_seconds = 2.0 * 3600.0;
+  s.cluster.availability_scale_hours = 12.0;
+  s.cluster.availability_shape = 0.8;
+  s.cluster.federation.campus_uplink_rate = util::gbit_per_s(10);
+  s.cluster.federation.per_stream_rate = 30e6;
+  s.cluster.squid.max_connections = 2000;
+  s.cluster.chirp.max_connections = 24;
+  s.cluster.chirp.nic_rate = 8.0e8;
+  s.cluster.num_foremen = 4;
+  s.cluster.foreman_uplink_rate = 1.25e8;
+  s.cluster.federation.open_fail_delay = 300.0;
+
+  // Workload: tasklets N(10, 5) min (the §4.1 distribution), 6 per task
+  // (~1 h tasks, the Figure 3 optimum).  Input volume tuned so aggregate
+  // streaming demand moderately exceeds the uplink — the regime in which
+  // Figure 8 reports 20.4% of the runtime in task I/O.
+  s.workload.num_tasklets = 150000;
+  s.workload.tasklets_per_task = 6;
+  s.workload.tasklet_cpu_mean = 600.0;
+  s.workload.tasklet_cpu_sigma = 300.0;
+  s.workload.tasklet_input_bytes = 390e6;
+  s.workload.read_fraction = 0.28;
+  s.workload.tasklet_output_bytes = 20e6;
+  s.workload.sandbox_bytes = 190e6;
+  s.workload.failure_backoff = 300.0;
+  s.workload.access = core::DataAccessMode::Stream;
+  s.workload.merge_mode = core::MergeMode::Interleaved;
+  s.workload.merge_policy.target_bytes = 3.5e9;
+
+  // The transient wide-area outage visible mid-run in Figure 10.
+  s.outage_start = 3.4 * 3600.0;
+  s.outage_duration = 0.45 * 3600.0;
+  return s;
+}
+
+SimulationRunScenario simulation_run_scenario() {
+  SimulationRunScenario s;
+  // ~20k cores (paper §6 Simulation Run): external bandwidth demand is
+  // orders of magnitude lower (only pile-up overlay), so the pressure
+  // moves to the squid proxy (cold caches at startup) and the Chirp server
+  // (stage-out waves).
+  s.cluster.target_cores = 20000;
+  s.cluster.cores_per_worker = 8;
+  s.cluster.ramp_seconds = 0.5 * 3600.0;  // big burst grant
+  s.cluster.availability_scale_hours = 16.0;
+  s.cluster.federation.campus_uplink_rate = util::gbit_per_s(10);
+  // One squid for 20k cores: undersized on purpose — the paper observed
+  // "the squid deployed had trouble serving up the data required to create
+  // the software environment fast enough".
+  s.cluster.num_squids = 1;
+  s.cluster.squid.max_connections = 2000;
+  s.cluster.squid.service_rate = util::gbit_per_s(1.5);
+  s.cluster.squid.upstream_rate = util::gbit_per_s(1);
+  s.cluster.squid.connect_timeout = 1800.0;  // -> the trickle of failures
+  // Chirp sized so synchronized completion waves overload it periodically.
+  s.cluster.chirp.max_connections = 12;
+  s.cluster.chirp.nic_rate = util::gbit_per_s(8);
+
+  s.workload.num_tasklets = 50000;
+  s.workload.tasklets_per_task = 1;
+  s.workload.tasklet_cpu_mean = 2.0 * 3600.0;  // long MC tasks
+  s.workload.tasklet_cpu_sigma = 600.0;
+  s.workload.tasklet_input_bytes = 0.0;        // generated, not read
+  s.workload.pileup_bytes = 40e6;              // overlay noise events
+  s.workload.tasklet_output_bytes = 250e6;     // simulated events out
+  s.workload.merge_mode = core::MergeMode::Interleaved;
+  s.workload.merge_policy.target_bytes = 3.5e9;
+  return s;
+}
+
+std::vector<DataAccessResult> run_data_access_comparison(std::uint64_t seed) {
+  std::vector<DataAccessResult> out;
+  for (const auto mode :
+       {core::DataAccessMode::Stage, core::DataAccessMode::Stream}) {
+    ClusterParams cluster;
+    cluster.target_cores = 512;
+    cluster.cores_per_worker = 8;
+    cluster.ramp_seconds = 600.0;
+    cluster.evictions = false;  // isolate the data-access effect
+    WorkloadParams wl;
+    wl.num_tasklets = 3000;
+    wl.tasklets_per_task = 6;
+    // Short, I/O-heavy tasks make the access-mode split visible: staging
+    // must move the whole 6 GB task input before computing, streaming
+    // reads only the ~30% the analysis touches.
+    wl.tasklet_cpu_mean = 300.0;
+    wl.tasklet_cpu_sigma = 150.0;
+    wl.tasklet_input_bytes = 1e9;
+    wl.tasklet_output_bytes = 15e6;
+    wl.access = mode;
+    wl.merge_mode = core::MergeMode::Sequential;
+    wl.merge_policy.target_bytes = 1e12;  // merging out of scope here
+    Engine engine(cluster, wl, seed);
+    const auto& m = engine.run(30.0 * 86400.0);
+    const auto b = m.monitor.breakdown();
+    const double n = static_cast<double>(m.tasks_completed);
+    DataAccessResult r;
+    r.mode = to_string(mode);
+    // "Data processing" = CPU plus I/O interleaved with it; "general
+    // overhead" = everything serialised around the application.
+    r.processing_time = (b.cpu + b.io) / n;
+    r.overhead_time = (b.stage_in + b.stage_out + b.other) / n;
+    r.makespan = m.makespan;
+    out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+des::Process proxy_client(des::Simulation& sim, cvmfs::SquidSim& squid,
+                          double bytes, bool hot, util::RunningStats& stats) {
+  const double dt = co_await squid.fetch(bytes, hot);
+  stats.add(dt);
+  (void)sim;
+}
+}  // namespace
+
+std::vector<ProxyScalingPoint> run_proxy_scaling(
+    const std::vector<std::size_t>& client_counts, std::uint64_t seed) {
+  std::vector<ProxyScalingPoint> out;
+  for (std::size_t n : client_counts) {
+    ProxyScalingPoint point;
+    point.clients = n;
+    for (const bool hot : {false, true}) {
+      des::Simulation sim;
+      cvmfs::SquidSim::Params p;
+      p.max_connections = 100000;  // isolate the bandwidth effect
+      p.service_rate = util::gbit_per_s(10);
+      p.upstream_rate = util::gbit_per_s(1);
+      p.request_latency = 2.0;
+      cvmfs::SquidSim squid(sim, p);
+      util::Rng rng(seed + n);
+      util::RunningStats stats;
+      // Cold caches pull the full working set (~1.5 GB, paper §4.3);
+      // hot caches only the per-task residue.  Cold misses also hit the
+      // upstream stratum; hot content is resident in the proxy.  Task
+      // starts stagger over a short dispatch wave rather than landing in
+      // the same instant.
+      const double bytes = hot ? 25e6 : 1.5e9;
+      const double wave = 20.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double at = rng.uniform(0.0, wave);
+        sim.schedule(at, [&sim, &squid, bytes, hot, &stats] {
+          sim.spawn(proxy_client(sim, squid, bytes, hot, stats));
+        });
+      }
+      sim.run();
+      (hot ? point.hot_overhead : point.cold_overhead) = stats.mean();
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<MergeModeResult> run_merge_comparison(std::uint64_t seed) {
+  std::vector<MergeModeResult> out;
+  for (const auto mode : {core::MergeMode::Sequential, core::MergeMode::Hadoop,
+                          core::MergeMode::Interleaved}) {
+    ClusterParams cluster;
+    cluster.target_cores = 1024;
+    cluster.cores_per_worker = 8;
+    cluster.ramp_seconds = 900.0;
+    cluster.availability_scale_hours = 6.0;
+    // Merge transfers contend on a modest Chirp front-end — the load the
+    // paper's sequential mode suffers from.
+    cluster.chirp.max_connections = 8;
+    cluster.chirp.nic_rate = util::gbit_per_s(2);
+    WorkloadParams wl;
+    wl.num_tasklets = 9000;
+    wl.tasklets_per_task = 6;
+    wl.tasklet_input_bytes = 120e6;
+    wl.tasklet_output_bytes = 100e6;  // merge volume matters here
+    wl.merge_mode = mode;
+    wl.merge_policy.target_bytes = 3.5e9;
+    Engine engine(cluster, wl, seed, /*metric_bin_seconds=*/900.0);
+    const auto& m = engine.run(30.0 * 86400.0);
+    MergeModeResult r;
+    r.mode = mode;
+    r.analysis_finish = m.last_analysis_finish;
+    r.merge_finish = m.last_merge_finish;
+    r.merge_tasks = m.merge_tasks_completed;
+    r.bin_seconds = 900.0;
+    const std::size_t bins =
+        std::max(m.analysis_done.nbins(), m.merge_done.nbins());
+    for (std::size_t b = 0; b < bins; ++b) {
+      r.analysis_per_bin.push_back(m.analysis_done.sum(b));
+      r.merge_per_bin.push_back(m.merge_done.sum(b));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ConsumerEntry> dashboard_ledger(double lobster_bytes,
+                                            std::uint64_t seed) {
+  // Synthetic CMS-dashboard background: the other T1/T2 analysis consumers
+  // during the same window.  The paper's Figure 9 point is the ranking —
+  // Lobster at Notre Dame out-consumed every dedicated site in that 4 h
+  // window; background volumes are drawn below that scale.
+  static const char* kSites[] = {
+      "T1_US_FNAL",      "T2_US_Wisconsin", "T2_US_Nebraska",
+      "T2_US_Purdue",    "T2_DE_DESY",      "T2_US_UCSD",
+      "T2_IT_Legnaro",   "T2_UK_London_IC", "T2_US_Caltech",
+      "T2_FR_IPHC",      "T2_ES_CIEMAT",    "T3_US_Colorado",
+  };
+  util::Rng rng(seed);
+  std::vector<ConsumerEntry> out;
+  out.push_back({"ND_Lobster (this run)", lobster_bytes});
+  for (const char* site : kSites) {
+    // Pareto-ish spread over roughly [2%, 70%] of the Lobster volume.
+    const double frac = std::min(0.7, 0.02 + rng.pareto(1.6, 0.04));
+    out.push_back({site, frac * lobster_bytes});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.bytes > b.bytes; });
+  if (out.size() > 10) out.resize(10);
+  return out;
+}
+
+}  // namespace lobster::lobsim

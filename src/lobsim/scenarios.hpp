@@ -1,0 +1,76 @@
+// scenarios.hpp — the canned parameter sets behind the paper's evaluation
+// figures.  Each function returns the (cluster, workload) pair used by the
+// corresponding bench binary; the knobs and their provenance are documented
+// inline so the calibration is auditable against the paper text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lobsim/engine.hpp"
+
+namespace lobster::lobsim {
+
+/// The ~10k-core data processing run of Figures 8, 9 and 10: streaming
+/// analysis over the WAN, the campus uplink saturated, a transient
+/// wide-area outage midway.
+struct DataProcessingScenario {
+  ClusterParams cluster;
+  WorkloadParams workload;
+  double outage_start = 0.0;
+  double outage_duration = 0.0;
+  std::uint64_t seed = 2015;
+};
+DataProcessingScenario data_processing_scenario();
+
+/// The ~20k-core simulation (Monte Carlo) run of Figure 11: negligible
+/// input streaming, cold caches saturating the squid at startup, Chirp
+/// stage-out waves.
+struct SimulationRunScenario {
+  ClusterParams cluster;
+  WorkloadParams workload;
+  std::uint64_t seed = 2015;
+};
+SimulationRunScenario simulation_run_scenario();
+
+/// Figure 4: staging vs streaming, identical workload.
+struct DataAccessResult {
+  std::string mode;
+  double processing_time = 0.0;  ///< cpu + overlapped I/O per task (mean)
+  double overhead_time = 0.0;    ///< setup + stage-in + stage-out (mean)
+  double makespan = 0.0;
+};
+std::vector<DataAccessResult> run_data_access_comparison(std::uint64_t seed);
+
+/// Figure 5: mean task overhead vs tasks sharing one proxy, cold vs hot.
+struct ProxyScalingPoint {
+  std::size_t clients = 0;
+  double cold_overhead = 0.0;  ///< mean seconds to populate a cold cache
+  double hot_overhead = 0.0;   ///< mean seconds of hot-cache setup
+};
+std::vector<ProxyScalingPoint> run_proxy_scaling(
+    const std::vector<std::size_t>& client_counts, std::uint64_t seed);
+
+/// Figure 7: the three merging modes on the same workload.
+struct MergeModeResult {
+  core::MergeMode mode;
+  double analysis_finish = 0.0;
+  double merge_finish = 0.0;    ///< completion of the last merge task
+  std::uint64_t merge_tasks = 0;
+  /// Completed analysis / merge tasks per time bin.
+  std::vector<double> analysis_per_bin;
+  std::vector<double> merge_per_bin;
+  double bin_seconds = 0.0;
+};
+std::vector<MergeModeResult> run_merge_comparison(std::uint64_t seed);
+
+/// Figure 9: the "global dashboard" ledger of XrootD consumers.  Background
+/// sites are synthesized around the measured Lobster volume.
+struct ConsumerEntry {
+  std::string site;
+  double bytes = 0.0;
+};
+std::vector<ConsumerEntry> dashboard_ledger(double lobster_bytes,
+                                            std::uint64_t seed);
+
+}  // namespace lobster::lobsim

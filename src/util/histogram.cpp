@@ -1,0 +1,132 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace lobster::util {
+
+Histogram::Histogram(std::size_t nbins, double lo, double hi) {
+  if (nbins == 0 || !(lo < hi))
+    throw std::invalid_argument("Histogram: need nbins>0 and lo<hi");
+  edges_.resize(nbins + 1);
+  for (std::size_t i = 0; i <= nbins; ++i)
+    edges_[i] = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(nbins);
+  counts_.assign(nbins, 0.0);
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2 || !std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("Histogram: edges must be ascending, >= 2");
+  counts_.assign(edges_.size() - 1, 0.0);
+}
+
+void Histogram::fill(double x, double weight) {
+  ++entries_;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += weight;
+}
+
+double Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+double Histogram::mean() const {
+  double wsum = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    wsum += counts_[i];
+    sum += counts_[i] * bin_center(i);
+  }
+  return wsum > 0.0 ? sum / wsum : 0.0;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out(counts_);
+  const double t = total();
+  if (t > 0.0)
+    for (auto& v : out) v /= t;
+  return out;
+}
+
+std::string Histogram::ascii(std::size_t width, const std::string& label) const {
+  std::string out;
+  if (!label.empty()) out += label + "\n";
+  const double peak = *std::max_element(counts_.begin(), counts_.end());
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[i] / peak *
+                                              static_cast<double>(width))
+                   : 0;
+    std::snprintf(line, sizeof line, "  [%10.3g, %10.3g) %10.3g |",
+                  bin_lo(i), bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+BinomialEstimate binomial_estimate(double successes, double trials) {
+  BinomialEstimate e;
+  if (trials <= 0.0) return e;
+  e.p = successes / trials;
+  e.sigma = std::sqrt(std::max(0.0, e.p * (1.0 - e.p) / trials));
+  return e;
+}
+
+TimeSeries::TimeSeries(double t0, double bin_width) : t0_(t0), width_(bin_width) {
+  if (!(bin_width > 0.0))
+    throw std::invalid_argument("TimeSeries: bin width must be > 0");
+}
+
+void TimeSeries::ensure(std::size_t i) {
+  if (i >= sums_.size()) {
+    sums_.resize(i + 1, 0.0);
+    level_sums_.resize(i + 1, 0.0);
+    level_counts_.resize(i + 1, 0);
+  }
+}
+
+void TimeSeries::add(double t, double value) {
+  if (t < t0_) return;
+  const std::size_t i = static_cast<std::size_t>((t - t0_) / width_);
+  ensure(i);
+  sums_[i] += value;
+}
+
+void TimeSeries::sample(double t, double level) {
+  if (t < t0_) return;
+  const std::size_t i = static_cast<std::size_t>((t - t0_) / width_);
+  ensure(i);
+  level_sums_[i] += level;
+  level_counts_[i] += 1;
+}
+
+double TimeSeries::mean_level(std::size_t i) const {
+  if (i >= level_sums_.size() || level_counts_[i] == 0) return 0.0;
+  return level_sums_[i] / static_cast<double>(level_counts_[i]);
+}
+
+double TimeSeries::max_sum() const {
+  double m = 0.0;
+  for (double v : sums_) m = std::max(m, v);
+  return m;
+}
+
+double TimeSeries::total() const {
+  return std::accumulate(sums_.begin(), sums_.end(), 0.0);
+}
+
+}  // namespace lobster::util

@@ -1,0 +1,95 @@
+// histogram.hpp — fixed- and variable-bin histograms with the binomial error
+// helper used by the Figure 2 reproduction ("uncertainties are estimated
+// using the binomial model").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lobster::util {
+
+/// A 1-D histogram over [lo, hi) with uniform or custom bin edges.
+/// Out-of-range fills land in underflow/overflow counters.
+class Histogram {
+ public:
+  /// Uniform binning: `nbins` bins spanning [lo, hi).
+  Histogram(std::size_t nbins, double lo, double hi);
+  /// Custom edges (ascending, at least two entries).
+  explicit Histogram(std::vector<double> edges);
+
+  void fill(double x, double weight = 1.0);
+
+  std::size_t nbins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const { return edges_[i]; }
+  double bin_hi(std::size_t i) const { return edges_[i + 1]; }
+  double bin_center(std::size_t i) const {
+    return 0.5 * (edges_[i] + edges_[i + 1]);
+  }
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const;  ///< in-range weight only
+  std::size_t entries() const { return entries_; }
+
+  /// Weighted mean of bin centres (ignores under/overflow).
+  double mean() const;
+
+  /// Normalised copy: bin contents divided by total in-range weight.
+  std::vector<double> density() const;
+
+  /// Render a quick ASCII bar chart (for bench/diagnostic output).
+  std::string ascii(std::size_t width = 50, const std::string& label = "") const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  std::size_t entries_ = 0;
+};
+
+/// Binomial proportion and its standard error: p̂ = k/n,
+/// σ = sqrt(p̂(1-p̂)/n).  This is the "binomial model" the Figure 2 caption
+/// refers to for the eviction-probability uncertainties.
+struct BinomialEstimate {
+  double p = 0.0;
+  double sigma = 0.0;
+};
+BinomialEstimate binomial_estimate(double successes, double trials);
+
+/// A time series binned on a uniform grid: used for the run timelines
+/// (tasks running / completed / failed per time unit, Figures 10 and 11).
+class TimeSeries {
+ public:
+  TimeSeries(double t0, double bin_width);
+
+  /// Add `value` to the bin containing time t (extends the grid as needed).
+  void add(double t, double value = 1.0);
+  /// Record an instantaneous level sample (for gauges like "tasks running");
+  /// bins report the mean of samples falling inside them.
+  void sample(double t, double level);
+
+  std::size_t nbins() const { return sums_.size(); }
+  double bin_start(std::size_t i) const {
+    return t0_ + static_cast<double>(i) * width_;
+  }
+  double bin_width() const { return width_; }
+  /// Sum of `add`ed values in bin i.
+  double sum(std::size_t i) const { return i < sums_.size() ? sums_[i] : 0.0; }
+  /// Mean of `sample`d levels in bin i (0 when no samples).
+  double mean_level(std::size_t i) const;
+  double max_sum() const;
+  double total() const;
+
+ private:
+  void ensure(std::size_t i);
+  double t0_;
+  double width_;
+  std::vector<double> sums_;
+  std::vector<double> level_sums_;
+  std::vector<std::uint64_t> level_counts_;
+};
+
+}  // namespace lobster::util

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lobster::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  va_end(args);
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%s] %-14s %s\n", level_name(level), component, msg);
+}
+
+}  // namespace lobster::util

@@ -1,0 +1,29 @@
+// log.hpp — minimal thread-safe leveled logger.  Components log through a
+// shared sink; benches set the level to Warn so figure output stays clean.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace lobster::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (default Warn: libraries should be quiet by default).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; `component` is a short tag like "wq.master".
+void logf(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define LOBSTER_LOG_DEBUG(component, ...) \
+  ::lobster::util::logf(::lobster::util::LogLevel::Debug, component, __VA_ARGS__)
+#define LOBSTER_LOG_INFO(component, ...) \
+  ::lobster::util::logf(::lobster::util::LogLevel::Info, component, __VA_ARGS__)
+#define LOBSTER_LOG_WARN(component, ...) \
+  ::lobster::util::logf(::lobster::util::LogLevel::Warn, component, __VA_ARGS__)
+#define LOBSTER_LOG_ERROR(component, ...) \
+  ::lobster::util::logf(::lobster::util::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace lobster::util

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lobster::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%llu mean=%.4g sd=%.4g [%.4g, %.4g]",
+                static_cast<unsigned long long>(n_), mean(), stddev(), min(),
+                max());
+  return buf;
+}
+
+Reservoir::Reservoir(std::size_t capacity, Rng rng)
+    : capacity_(capacity), rng_(rng) {
+  if (capacity_ == 0) throw std::invalid_argument("Reservoir: capacity == 0");
+  data_.reserve(capacity_);
+}
+
+void Reservoir::add(double x) {
+  ++seen_;
+  if (data_.size() < capacity_) {
+    data_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = static_cast<std::uint64_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  if (j < capacity_) data_[static_cast<std::size_t>(j)] = x;
+}
+
+double Reservoir::quantile(double q) const {
+  if (data_.empty()) throw std::logic_error("Reservoir: empty");
+  scratch_ = data_;
+  std::sort(scratch_.begin(), scratch_.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(scratch_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, scratch_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+}
+
+}  // namespace lobster::util

@@ -1,0 +1,58 @@
+// stats.hpp — streaming statistics accumulators (Welford mean/variance,
+// min/max, reservoir of samples for percentiles) used by the monitoring
+// subsystem and the benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lobster::util {
+
+/// Streaming mean / variance / extrema via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  std::string summary() const;  ///< "n=... mean=... sd=... [min, max]"
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bounded reservoir sample supporting approximate percentiles over an
+/// unbounded stream (Vitter's algorithm R).  Deterministic given its Rng.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity, Rng rng = Rng(42));
+
+  void add(double x);
+  std::uint64_t seen() const { return seen_; }
+  std::size_t size() const { return data_.size(); }
+  /// Approximate q-quantile (q in [0,1]) of the values seen so far.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> data_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace lobster::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace lobster::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += ' ' + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return out + '\n';
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    sep += std::string(widths[c] + 2, '-') + "+";
+  sep += '\n';
+
+  std::string out = sep + line(headers_) + sep;
+  for (const auto& r : rows_) out += line(r);
+  out += sep;
+  return out;
+}
+
+std::string bar(double value, double max_value, std::size_t max_width,
+                char fill_char) {
+  if (max_value <= 0.0 || value <= 0.0) return "";
+  std::size_t n = static_cast<std::size_t>(value / max_value *
+                                           static_cast<double>(max_width));
+  n = std::min(n, max_width);
+  return std::string(n, fill_char);
+}
+
+}  // namespace lobster::util

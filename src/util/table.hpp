@@ -1,0 +1,37 @@
+// table.hpp — ASCII table renderer used by every bench binary to print the
+// rows/series of the paper's figures and tables in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lobster::util {
+
+/// Column-aligned ASCII table.  Usage:
+///   Table t({"Task Phase", "Time (h)", "Fraction (%)"});
+///   t.row({"Task CPU Time", "171036", "53.4"});
+///   std::puts(t.str().c_str());
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void row(std::vector<std::string> cells);
+  /// Convenience numeric-cell formatter.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple horizontal bar for timeline output: value scaled to max_width
+/// chars of fill_char.
+std::string bar(double value, double max_value, std::size_t max_width = 50,
+                char fill_char = '#');
+
+}  // namespace lobster::util

@@ -1,0 +1,51 @@
+#include "util/thread_pool.hpp"
+
+namespace lobster::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { run(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.send(std::move(task))) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;  // already shut down
+  }
+  queue_.close();
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+void ThreadPool::run() {
+  while (auto task = queue_.receive()) {
+    (*task)();
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(idle_mutex_);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lobster::util

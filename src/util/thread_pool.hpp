@@ -1,0 +1,47 @@
+// thread_pool.hpp — fixed-size worker pool used by the HDFS Map-Reduce-lite
+// runtime and by tests that need background execution.  Tasks are plain
+// std::function<void()>; wait() blocks until all submitted tasks complete.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/channel.hpp"
+
+namespace lobster::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait();
+
+  /// Stop accepting tasks, finish what is queued, join the threads.
+  void shutdown();
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void run();
+
+  Channel<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace lobster::util

@@ -1,0 +1,59 @@
+#include "wq/master.hpp"
+
+namespace lobster::wq {
+
+namespace {
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+}  // namespace
+
+bool Master::submit(TaskSpec spec) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  if (!pending_.send(Stamped{std::move(spec),
+                             std::chrono::steady_clock::now()})) {
+    submitted_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void Master::close_submission() {
+  bool expected = false;
+  if (!closed_.compare_exchange_strong(expected, true)) return;
+  pending_.close();
+  // If everything already came back, unblock result consumers now.
+  if (delivered_.load(std::memory_order_acquire) ==
+      submitted_.load(std::memory_order_acquire))
+    results_.close();
+}
+
+std::optional<TaskResult> Master::next_result() { return results_.receive(); }
+
+std::optional<TaskSpec> Master::next_task(std::chrono::milliseconds wait) {
+  auto stamped = pending_.receive_for(wait);
+  if (!stamped) return std::nullopt;
+  dispatched_.fetch_add(1, std::memory_order_acq_rel);
+  stamped->spec.dispatch_wait = elapsed_seconds(stamped->enqueued);
+  return std::move(stamped->spec);
+}
+
+void Master::deliver(TaskResult result) {
+  if (result.evicted)
+    evicted_.fetch_add(1, std::memory_order_acq_rel);
+  else if (result.exit_code == 0)
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  else
+    failed_.fetch_add(1, std::memory_order_acq_rel);
+  results_.send(std::move(result));
+  const std::uint64_t done =
+      delivered_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (closed_.load(std::memory_order_acquire) &&
+      done == submitted_.load(std::memory_order_acquire))
+    results_.close();
+}
+
+}  // namespace lobster::wq

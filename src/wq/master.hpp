@@ -1,0 +1,69 @@
+// master.hpp — the Work Queue master (paper §3): accepts tasks from the
+// application (Lobster), hands them to pulling workers/foremen, and collects
+// results.
+//
+// The master never pushes: workers "make a TCP connection back to the
+// master, which sends tasks" — modelled here as a blocking pull on a shared
+// channel, preserving the key property that dispatch is demand-driven and
+// the master needs no knowledge of worker liveness.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "util/channel.hpp"
+#include "wq/task.hpp"
+
+namespace lobster::wq {
+
+class Master : public TaskSource {
+ public:
+  Master() = default;
+
+  // ---- application side ----------------------------------------------------
+
+  /// Queue a task for dispatch.  Returns false after close_submission().
+  bool submit(TaskSpec spec);
+  /// No more submissions; workers drain the queue then see end-of-work.
+  void close_submission();
+  /// Blocking: next completed/evicted task; nullopt when all submitted
+  /// tasks have been accounted for and submission is closed.
+  std::optional<TaskResult> next_result();
+
+  // ---- worker side (TaskSource) ---------------------------------------------
+
+  std::optional<TaskSpec> next_task(std::chrono::milliseconds wait) override;
+  bool drained() const override { return pending_.drained(); }
+  void deliver(TaskResult result) override;
+
+  // ---- stats ----------------------------------------------------------------
+
+  std::uint64_t submitted() const { return submitted_.load(); }
+  std::uint64_t dispatched() const { return dispatched_.load(); }
+  std::uint64_t completed() const { return completed_.load(); }
+  std::uint64_t failed() const { return failed_.load(); }
+  std::uint64_t evicted() const { return evicted_.load(); }
+  std::size_t queue_depth() const { return pending_.size(); }
+
+ private:
+  struct Stamped {
+    TaskSpec spec;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  util::Channel<Stamped> pending_;
+  util::Channel<TaskResult> results_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<bool> closed_{false};
+  std::mutex dispatch_mutex_;
+};
+
+}  // namespace lobster::wq

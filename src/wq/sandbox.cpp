@@ -1,0 +1,130 @@
+#include "wq/sandbox.hpp"
+
+#include <stdexcept>
+
+namespace lobster::wq {
+
+std::uint64_t content_hash(const std::string& content) {
+  // FNV-1a; collisions are acceptable for cache keys in this model, and the
+  // content size is mixed in to cheaply harden short payloads.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : content) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h ^ (static_cast<std::uint64_t>(content.size()) << 32);
+}
+
+InputFile InputFile::make(std::string name, std::string content,
+                          bool cacheable) {
+  InputFile f;
+  f.name = std::move(name);
+  f.hash = content_hash(content);
+  f.content = std::make_shared<const std::string>(std::move(content));
+  f.cacheable = cacheable;
+  return f;
+}
+
+void Sandbox::stage(const InputFile& file) {
+  if (!file.content)
+    throw std::invalid_argument("sandbox: input without content: " +
+                                file.name);
+  staged_[file.name] = file.content;
+}
+
+bool Sandbox::has(const std::string& name) const {
+  return staged_.count(name) > 0 || written_.count(name) > 0;
+}
+
+const std::string& Sandbox::read(const std::string& name) const {
+  const auto w = written_.find(name);
+  if (w != written_.end()) return w->second;
+  const auto s = staged_.find(name);
+  if (s != staged_.end()) return *s->second;
+  throw std::out_of_range("sandbox: no such file " + name);
+}
+
+void Sandbox::write(const std::string& name, std::string content) {
+  written_[name] = std::move(content);
+}
+
+std::vector<std::string> Sandbox::list() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : staged_) out.push_back(name);
+  for (const auto& [name, _] : written_)
+    if (!staged_.count(name)) out.push_back(name);
+  return out;
+}
+
+std::map<std::string, std::string> Sandbox::outputs() const {
+  return written_;
+}
+
+double Sandbox::bytes() const {
+  double total = 0.0;
+  for (const auto& [_, content] : staged_)
+    total += static_cast<double>(content->size());
+  for (const auto& [_, content] : written_)
+    total += static_cast<double>(content.size());
+  return total;
+}
+
+std::shared_ptr<const std::string> WorkerFileCache::find(
+    std::uint64_t hash) const {
+  std::lock_guard lock(mutex_);
+  const auto it = cache_.find(hash);
+  if (it == cache_.end()) return nullptr;
+  return it->second;
+}
+
+void WorkerFileCache::insert(std::uint64_t hash,
+                             std::shared_ptr<const std::string> content) {
+  std::lock_guard lock(mutex_);
+  cache_.emplace(hash, std::move(content));
+}
+
+std::shared_ptr<const std::string> WorkerFileCache::stage_through(
+    const InputFile& file) {
+  if (!file.content)
+    throw std::invalid_argument("cache: input without content: " + file.name);
+  std::lock_guard lock(mutex_);
+  if (file.cacheable) {
+    const auto it = cache_.find(file.hash);
+    if (it != cache_.end()) {
+      ++hits_;
+      bytes_saved_ += static_cast<double>(it->second->size());
+      return it->second;
+    }
+    cache_.emplace(file.hash, file.content);
+  }
+  ++misses_;
+  bytes_transferred_ += static_cast<double>(file.content->size());
+  return file.content;
+}
+
+std::uint64_t WorkerFileCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t WorkerFileCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+double WorkerFileCache::bytes_transferred() const {
+  std::lock_guard lock(mutex_);
+  return bytes_transferred_;
+}
+
+double WorkerFileCache::bytes_saved() const {
+  std::lock_guard lock(mutex_);
+  return bytes_saved_;
+}
+
+std::size_t WorkerFileCache::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace lobster::wq

@@ -1,0 +1,93 @@
+// sandbox.hpp — Work Queue task file management.
+//
+// Paper §2: on non-dedicated resources "the costs of these preemptions are
+// magnified by the amount of state (software and data) on the preempted
+// node, so the system must be designed to pull the minimum amount of state
+// and share it among jobs to the maximum extent possible."  Work Queue
+// realises this with per-task sandboxes fed from a content-addressed worker
+// cache: inputs marked cacheable are transferred to a worker once and
+// shared by every subsequent task on that worker.
+//
+// Files are immutable payloads held by shared_ptr; a "transfer" is
+// accounted (bytes, cache hit/miss) rather than physically copied, which
+// keeps the runtime honest about data movement without burning memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lobster::wq {
+
+/// Content hash used as the worker-cache key.
+std::uint64_t content_hash(const std::string& content);
+
+/// An input file attached to a TaskSpec.
+struct InputFile {
+  std::string name;  ///< path inside the sandbox
+  std::shared_ptr<const std::string> content;
+  bool cacheable = true;  ///< shared across tasks on the same worker
+  std::uint64_t hash = 0;
+
+  static InputFile make(std::string name, std::string content,
+                        bool cacheable = true);
+};
+
+/// Per-task scratch directory: inputs staged in, outputs written by the
+/// work function and shipped back in the TaskResult.
+class Sandbox {
+ public:
+  void stage(const InputFile& file);
+  bool has(const std::string& name) const;
+  /// Read a staged or written file; throws std::out_of_range when absent.
+  const std::string& read(const std::string& name) const;
+  /// Create/overwrite a file (the task's outputs).
+  void write(const std::string& name, std::string content);
+  std::vector<std::string> list() const;
+  /// Files created by write() (i.e. not staged inputs).
+  std::map<std::string, std::string> outputs() const;
+  double bytes() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const std::string>> staged_;
+  std::map<std::string, std::string> written_;
+};
+
+/// The worker's shared cache of cacheable inputs ("sharing a single cache
+/// directory", paper §3).  Thread safe: all slots of a worker use it
+/// concurrently.
+class WorkerFileCache {
+ public:
+  /// Look up by hash; nullptr on miss.
+  std::shared_ptr<const std::string> find(std::uint64_t hash) const;
+  /// Insert after a miss.
+  void insert(std::uint64_t hash, std::shared_ptr<const std::string> content);
+  /// Stage an input through the cache with full accounting: a cacheable
+  /// file already present is a hit (bytes saved); anything else is a
+  /// transfer (bytes counted, cacheables inserted).  Returns the content.
+  std::shared_ptr<const std::string> stage_through(const InputFile& file);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// Bytes that actually crossed the wire (misses only).
+  double bytes_transferred() const;
+  /// Bytes avoided thanks to the cache (hits).
+  double bytes_saved() const;
+  std::size_t size() const;
+
+ private:
+  friend class Worker;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const std::string>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  double bytes_transferred_ = 0.0;
+  double bytes_saved_ = 0.0;
+};
+
+}  // namespace lobster::wq

@@ -1,0 +1,111 @@
+// task.hpp — task abstraction of the Work Queue execution framework
+// (paper §3): the unit a master dispatches to a worker slot.
+//
+// A task carries an opaque work function (the "wrapper" around the actual
+// application is provided by lobster::core), a tag for bookkeeping, and a
+// declared sandbox size used by cost accounting.  Results report per-segment
+// wall times and the eviction flag — the paper's central concern on
+// non-dedicated resources.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wq/sandbox.hpp"
+
+namespace lobster::wq {
+
+/// Cooperative cancellation: eviction marks the token; well-behaved work
+/// functions poll it at natural checkpoints (per tasklet, per file, ...).
+class CancelToken {
+ public:
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+  void cancel() { flag_->store(true, std::memory_order_release); }
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Execution context handed to the work function.
+struct TaskContext {
+  std::string worker_name;
+  std::size_t slot = 0;
+  CancelToken cancel;
+  /// Scratch key/value outputs the work function may fill (e.g. bytes
+  /// produced, tasklets processed); copied into the TaskResult.
+  std::map<std::string, std::string> outputs;
+  /// The task's staged sandbox: inputs readable, outputs written here are
+  /// shipped back in TaskResult::output_files.  Null when the runtime has
+  /// no file management (bare tests).
+  Sandbox* sandbox = nullptr;
+};
+
+/// Exit codes mirroring the wrapper's per-segment failure codes (paper §5).
+enum class TaskExit : int {
+  Success = 0,
+  WrapperFailure = 170,
+  StageInFailure = 171,
+  ExecutionFailure = 172,
+  StageOutFailure = 173,
+  EnvironmentFailure = 174,
+  Evicted = 179,
+};
+
+struct TaskSpec {
+  std::uint64_t id = 0;
+  std::string tag;  ///< e.g. "analysis", "merge"
+  /// The wrapper: returns an exit code; must poll ctx.cancel.
+  std::function<int(TaskContext&)> work;
+  double sandbox_bytes = 0.0;
+  /// Input files staged into the sandbox before the work function runs.
+  /// Cacheable files are shared through the worker's file cache.
+  std::vector<InputFile> input_files;
+  /// Filled by the dispatching TaskSource: seconds spent queued before a
+  /// worker slot pulled the task.
+  double dispatch_wait = 0.0;
+};
+
+struct TaskResult {
+  std::uint64_t id = 0;
+  std::string tag;
+  int exit_code = 0;
+  bool evicted = false;
+  std::string worker_name;
+  std::size_t slot = 0;
+  double dispatch_time = 0.0;   ///< queue wait before a slot picked it up
+  double execute_time = 0.0;    ///< wall time inside the work function
+  double stage_in_bytes = 0.0;  ///< input volume transferred (cache misses)
+  double cache_saved_bytes = 0.0;  ///< input volume served from the cache
+  std::map<std::string, std::string> outputs;
+  /// Files the work function wrote into its sandbox.
+  std::map<std::string, std::string> output_files;
+
+  bool success() const { return !evicted && exit_code == 0; }
+};
+
+/// The upstream interface a worker pulls tasks from: implemented by the
+/// Master and by Foremen (making hierarchies of arbitrary width and depth,
+/// paper §3).
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+  /// Timed pull: waits up to `wait` for a task.  nullopt means either a
+  /// timeout or end-of-work — check drained() to distinguish.  Timed rather
+  /// than indefinitely blocking so an evicted worker's slots can notice and
+  /// exit instead of hanging on the connection.
+  virtual std::optional<TaskSpec> next_task(std::chrono::milliseconds wait) = 0;
+  /// True once no more tasks will ever arrive.
+  virtual bool drained() const = 0;
+  /// Report a finished (or evicted) task upward.
+  virtual void deliver(TaskResult result) = 0;
+};
+
+}  // namespace lobster::wq

@@ -1,0 +1,97 @@
+#include "xrootd/federation.hpp"
+
+namespace lobster::xrootd {
+
+void RedirectorTable::add_replica(const std::string& lfn,
+                                  const std::string& site) {
+  if (lfn.empty() || site.empty())
+    throw std::invalid_argument("redirector: empty lfn or site");
+  replicas_[lfn].push_back(site);
+}
+
+std::vector<std::string> RedirectorTable::locate(const std::string& lfn) const {
+  const auto it = replicas_.find(lfn);
+  if (it == replicas_.end()) return {};
+  return it->second;
+}
+
+std::optional<std::string> RedirectorTable::pick(const std::string& lfn) {
+  const auto it = replicas_.find(lfn);
+  if (it == replicas_.end() || it->second.empty()) return std::nullopt;
+  const std::size_t i = next_[lfn]++ % it->second.size();
+  return it->second[i];
+}
+
+FederationSim::FederationSim(des::Simulation& sim, const Params& params)
+    : sim_(sim), params_(params), uplink_(sim, params.campus_uplink_rate) {}
+
+void FederationSim::schedule_outage(double start, double duration) {
+  if (start < 0.0 || duration <= 0.0)
+    throw std::invalid_argument("federation: bad outage window");
+  sim_.schedule(start, [this] {
+    ++outage_counter_;
+    if (outage_depth_++ == 0) uplink_.set_capacity(0.0);
+  });
+  sim_.schedule(start + duration, [this] {
+    if (--outage_depth_ == 0) uplink_.set_capacity(params_.campus_uplink_rate);
+  });
+}
+
+des::Task<double> FederationSim::transfer(double bytes, double& accounting) {
+  const double t0 = sim_.now();
+  if (outage_active()) {
+    ++failed_opens_;
+    co_await sim_.delay(params_.open_fail_delay);
+    throw AccessError("xrootd: open failed (wide-area outage)");
+  }
+  const std::uint64_t epoch = outage_counter_;
+  co_await sim_.delay(params_.open_latency);
+  co_await uplink_.transfer(bytes, params_.per_stream_rate);
+  if (outage_counter_ != epoch) {
+    // An outage began while this stream was in flight: the connection
+    // broke, and the fluid-model bytes that trickled through are moot —
+    // the task sees a read error after the stall.
+    throw AccessError("xrootd: stream broken by wide-area outage");
+  }
+  accounting += bytes;
+  co_return sim_.now() - t0;
+}
+
+des::Task<double> FederationSim::stream(double bytes) {
+  return transfer(bytes, bytes_streamed_);
+}
+
+des::Task<double> FederationSim::stage(double bytes) {
+  return transfer(bytes, bytes_staged_);
+}
+
+void SiteStore::put(const std::string& lfn, double bytes) {
+  if (bytes < 0.0) throw std::invalid_argument("site: negative size");
+  files_[lfn] = bytes;
+}
+
+bool SiteStore::has(const std::string& lfn) const {
+  return files_.count(lfn) > 0;
+}
+
+double SiteStore::open(const std::string& lfn) const {
+  const auto it = files_.find(lfn);
+  if (it == files_.end())
+    throw AccessError("xrootd: " + name_ + " has no replica of " + lfn);
+  return it->second;
+}
+
+void Client::attach_site(std::shared_ptr<SiteStore> site) {
+  sites_[site->name()] = std::move(site);
+}
+
+std::pair<std::string, double> Client::read(const std::string& lfn) {
+  const auto site = redirector_->pick(lfn);
+  if (!site) throw AccessError("xrootd: no replica registered for " + lfn);
+  const auto it = sites_.find(*site);
+  if (it == sites_.end())
+    throw AccessError("xrootd: site " + *site + " not attached");
+  return {*site, it->second->open(lfn)};
+}
+
+}  // namespace lobster::xrootd

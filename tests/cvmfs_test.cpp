@@ -1,0 +1,393 @@
+// Tests for the CVMFS substrate: repository/release, the three Parrot cache
+// locking modes (including real multithreaded races), and the squid proxy
+// (real LRU implementation and DES model).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/repository.hpp"
+#include "cvmfs/squid.hpp"
+#include "des/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace cv = lobster::cvmfs;
+namespace des = lobster::des;
+namespace lu = lobster::util;
+
+// ----------------------------------------------------------- repository ----
+
+TEST(Repository, AddLookupDigest) {
+  cv::Repository repo;
+  repo.add("/cvmfs/cms/lib1.so", 1000.0);
+  ASSERT_TRUE(repo.has("/cvmfs/cms/lib1.so"));
+  const auto obj = repo.lookup("/cvmfs/cms/lib1.so");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->digest, cv::digest_of("/cvmfs/cms/lib1.so", 1000.0));
+  EXPECT_DOUBLE_EQ(repo.total_bytes(), 1000.0);
+  EXPECT_FALSE(repo.lookup("/missing").has_value());
+}
+
+TEST(Repository, RejectsDuplicatesAndBadInput) {
+  cv::Repository repo;
+  repo.add("/a", 1.0);
+  EXPECT_THROW(repo.add("/a", 2.0), std::invalid_argument);
+  EXPECT_THROW(repo.add("", 1.0), std::invalid_argument);
+  EXPECT_THROW(repo.add("/b", -1.0), std::invalid_argument);
+}
+
+TEST(Digest, DistinctInputsDistinctDigests) {
+  const auto a = cv::digest_of("/a", 1.0);
+  const auto b = cv::digest_of("/b", 1.0);
+  const auto c = cv::digest_of("/a", 2.0);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.hex().size(), 32u);
+}
+
+TEST(Release, CatalogMatchesSpec) {
+  cv::ReleaseSpec spec;
+  spec.num_files = 500;
+  spec.total_bytes = 6.0e9;
+  spec.working_set_bytes = 1.5e9;
+  cv::Release rel(spec, lu::Rng(1));
+  EXPECT_EQ(rel.repository().num_files(), 500u);
+  EXPECT_NEAR(rel.repository().total_bytes(), 6.0e9, 1.0);
+}
+
+TEST(Release, WorkingSetVolumeMatchesTarget) {
+  cv::ReleaseSpec spec;
+  spec.num_files = 500;
+  spec.total_bytes = 6.0e9;
+  spec.working_set_bytes = 1.5e9;
+  cv::Release rel(spec, lu::Rng(2));
+  lu::Rng rng(3);
+  double total = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const auto ws = rel.sample_working_set(rng);
+    for (const auto& f : ws) total += f.size_bytes;
+  }
+  // Expected working-set volume ~1.5 GB per task (20% tolerance).
+  EXPECT_NEAR(total / trials, 1.5e9, 0.3e9);
+}
+
+TEST(Release, WorkingSetsOverlapInTheHead) {
+  // Two tasks should share most of their bytes (the popular Zipf head) —
+  // the property that makes hot caches effective.
+  cv::ReleaseSpec spec;
+  spec.num_files = 500;
+  cv::Release rel(spec, lu::Rng(4));
+  lu::Rng rng(5);
+  const auto a = rel.sample_working_set(rng);
+  const auto b = rel.sample_working_set(rng);
+  std::map<std::string, double> in_a;
+  double a_bytes = 0.0;
+  for (const auto& f : a) {
+    in_a[f.path] = f.size_bytes;
+    a_bytes += f.size_bytes;
+  }
+  double shared = 0.0;
+  for (const auto& f : b)
+    if (in_a.count(f.path)) shared += f.size_bytes;
+  EXPECT_GT(shared / a_bytes, 0.5);
+}
+
+// ---------------------------------------------------------- parrot cache ----
+
+namespace {
+// A fetcher that verifies content addressing and counts invocations, with an
+// optional artificial delay to expose locking behaviour.
+struct CountingFetcher {
+  std::atomic<int> calls{0};
+  std::chrono::microseconds delay{0};
+  cv::Fetcher fn() {
+    return [this](const cv::FileObject& obj) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      return cv::digest_of(obj.path, obj.size_bytes);
+    };
+  }
+};
+
+std::vector<cv::FileObject> test_objects(std::size_t n) {
+  std::vector<cv::FileObject> objs;
+  for (std::size_t i = 0; i < n; ++i) {
+    cv::FileObject o;
+    o.path = "/cvmfs/obj" + std::to_string(i);
+    o.size_bytes = 100.0 * static_cast<double>(i + 1);
+    o.digest = cv::digest_of(o.path, o.size_bytes);
+    objs.push_back(std::move(o));
+  }
+  return objs;
+}
+}  // namespace
+
+class ParrotCacheModes : public ::testing::TestWithParam<cv::CacheMode> {};
+
+TEST_P(ParrotCacheModes, SingleInstanceHitAfterMiss) {
+  CountingFetcher fetcher;
+  cv::CacheGroup group(GetParam(), fetcher.fn());
+  auto inst = group.make_instance();
+  const auto objs = test_objects(1);
+  const auto first = inst.access(objs[0]);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.digest, objs[0].digest);
+  const auto second = inst.access(objs[0]);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.digest, objs[0].digest);
+  EXPECT_EQ(fetcher.calls.load(), 1);
+}
+
+TEST_P(ParrotCacheModes, ConcurrentAccessIsSafeAndCorrect) {
+  CountingFetcher fetcher;
+  cv::CacheGroup group(GetParam(), fetcher.fn());
+  const auto objs = test_objects(40);
+  constexpr int kThreads = 8;
+  std::vector<cv::CacheGroup::Instance> instances;
+  for (int i = 0; i < kThreads; ++i) instances.push_back(group.make_instance());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      lu::Rng rng(static_cast<std::uint64_t>(t) + 100);
+      for (int i = 0; i < 500; ++i) {
+        const auto& obj =
+            objs[static_cast<std::size_t>(rng.uniform_int(0, 39))];
+        const auto res = instances[static_cast<std::size_t>(t)].access(obj);
+        if (!(res.digest == obj.digest)) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0) << "cache must never serve corrupt content";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ParrotCacheModes,
+                         ::testing::Values(cv::CacheMode::Exclusive,
+                                           cv::CacheMode::PerInstance,
+                                           cv::CacheMode::Alien),
+                         [](const auto& info) {
+                           return std::string(cv::to_string(info.param)) ==
+                                          "per-instance"
+                                      ? "PerInstance"
+                                      : cv::to_string(info.param);
+                         });
+
+TEST(ParrotCache, AlienFetchesEachObjectExactlyOnce) {
+  CountingFetcher fetcher;
+  fetcher.delay = std::chrono::microseconds(200);
+  cv::CacheGroup group(cv::CacheMode::Alien, fetcher.fn());
+  const auto objs = test_objects(20);
+  constexpr int kThreads = 8;
+  std::vector<cv::CacheGroup::Instance> instances;
+  for (int i = 0; i < kThreads; ++i) instances.push_back(group.make_instance());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const auto& obj : objs)
+        instances[static_cast<std::size_t>(t)].access(obj);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // The alien-cache invariant: one fetch per object per node, no matter how
+  // many instances raced.
+  EXPECT_EQ(fetcher.calls.load(), 20);
+  EXPECT_EQ(group.stats().fetches.load(), 20u);
+  EXPECT_EQ(group.stored_objects(), 20u);
+}
+
+TEST(ParrotCache, PerInstanceDuplicatesFetches) {
+  CountingFetcher fetcher;
+  cv::CacheGroup group(cv::CacheMode::PerInstance, fetcher.fn());
+  const auto objs = test_objects(10);
+  auto i1 = group.make_instance();
+  auto i2 = group.make_instance();
+  for (const auto& obj : objs) {
+    i1.access(obj);
+    i2.access(obj);
+  }
+  // Both instances fetched everything: 2x bandwidth, 2x storage (paper:
+  // "this increases the bandwidth required in direct proportion to the
+  // number of tasks running per worker").
+  EXPECT_EQ(fetcher.calls.load(), 20);
+  EXPECT_EQ(group.stored_objects(), 20u);
+  double expect_bytes = 0.0;
+  for (const auto& obj : objs) expect_bytes += 2.0 * obj.size_bytes;
+  EXPECT_DOUBLE_EQ(group.stored_bytes(), expect_bytes);
+}
+
+TEST(ParrotCache, ExclusiveSharesOneCopy) {
+  CountingFetcher fetcher;
+  cv::CacheGroup group(cv::CacheMode::Exclusive, fetcher.fn());
+  const auto objs = test_objects(10);
+  auto i1 = group.make_instance();
+  auto i2 = group.make_instance();
+  for (const auto& obj : objs) i1.access(obj);
+  for (const auto& obj : objs) {
+    const auto res = i2.access(obj);
+    EXPECT_TRUE(res.hit);
+  }
+  EXPECT_EQ(fetcher.calls.load(), 10);
+  EXPECT_EQ(group.stored_objects(), 10u);
+}
+
+TEST(ParrotCache, NullFetcherRejected) {
+  EXPECT_THROW(cv::CacheGroup(cv::CacheMode::Alien, nullptr),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- squid (real) ----
+
+TEST(SquidProxy, HitMissAccounting) {
+  CountingFetcher upstream;
+  cv::SquidProxy squid(1e9, upstream.fn());
+  const auto objs = test_objects(5);
+  for (const auto& obj : objs) squid.fetch(obj);  // all misses
+  for (const auto& obj : objs) squid.fetch(obj);  // all hits
+  EXPECT_EQ(squid.misses(), 5u);
+  EXPECT_EQ(squid.hits(), 5u);
+  EXPECT_EQ(upstream.calls.load(), 5);
+  EXPECT_DOUBLE_EQ(squid.bytes_upstream(), squid.bytes_served() / 2.0);
+}
+
+TEST(SquidProxy, LruEvictionUnderCapacity) {
+  CountingFetcher upstream;
+  // Capacity fits only ~2 of the 100-300 byte objects.
+  cv::SquidProxy squid(450.0, upstream.fn());
+  const auto objs = test_objects(3);
+  squid.fetch(objs[0]);  // 100
+  squid.fetch(objs[1]);  // 200
+  squid.fetch(objs[2]);  // 300 -> evicts LRU (objs[0], then objs[1])
+  EXPECT_LE(squid.resident_bytes(), 450.0 + 300.0);
+  squid.fetch(objs[0]);  // must re-fetch
+  EXPECT_GE(upstream.calls.load(), 4);
+}
+
+TEST(SquidProxy, ServesAsCacheGroupFetcher) {
+  CountingFetcher upstream;
+  cv::SquidProxy squid(1e9, upstream.fn());
+  cv::CacheGroup node1(cv::CacheMode::Alien, squid.as_fetcher());
+  cv::CacheGroup node2(cv::CacheMode::Alien, squid.as_fetcher());
+  auto a = node1.make_instance();
+  auto b = node2.make_instance();
+  const auto objs = test_objects(10);
+  for (const auto& obj : objs) a.access(obj);
+  for (const auto& obj : objs) b.access(obj);
+  // Node 2 misses locally but hits in the shared squid: upstream sees each
+  // object once in total.
+  EXPECT_EQ(upstream.calls.load(), 10);
+  EXPECT_EQ(squid.hits(), 10u);
+}
+
+TEST(SquidProxy, ThreadSafetyUnderLoad) {
+  CountingFetcher upstream;
+  cv::SquidProxy squid(1e12, upstream.fn());
+  const auto objs = test_objects(50);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      lu::Rng rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 1000; ++i) {
+        const auto& obj =
+            objs[static_cast<std::size_t>(rng.uniform_int(0, 49))];
+        if (!(squid.fetch(obj) == obj.digest)) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(squid.hits() + squid.misses(), 8000u);
+}
+
+// ------------------------------------------------------------ squid (sim) ----
+
+namespace {
+des::Process sim_fetch(des::Simulation& sim, cv::SquidSim& squid, double bytes,
+                       bool hit, std::vector<double>& durations,
+                       int& failures) {
+  try {
+    const double dt = co_await squid.fetch(bytes, hit);
+    durations.push_back(dt);
+  } catch (const cv::SquidSim::TimeoutError&) {
+    ++failures;
+  }
+  (void)sim;
+}
+}  // namespace
+
+TEST(SquidSim, MissSlowerThanHit) {
+  des::Simulation sim;
+  cv::SquidSim::Params p;
+  p.max_connections = 10;
+  p.service_rate = 1e8;
+  p.upstream_rate = 1e7;
+  p.request_latency = 0.1;
+  cv::SquidSim squid(sim, p);
+  std::vector<double> durations;
+  int failures = 0;
+  sim.spawn(sim_fetch(sim, squid, 1e8, false, durations, failures));
+  sim.run();
+  sim.spawn(sim_fetch(sim, squid, 1e8, true, durations, failures));
+  sim.run();
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_NEAR(durations[0], 0.1 + 10.0 + 1.0, 1e-9);  // upstream + service
+  EXPECT_NEAR(durations[1], 0.1 + 1.0, 1e-9);         // service only
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(SquidSim, SaturationGrowsOverheadWithClients) {
+  // The Figure 5 mechanism: mean fetch time grows once concurrent clients
+  // saturate the proxy service link.
+  auto mean_fetch_time = [](int clients) {
+    des::Simulation sim;
+    cv::SquidSim::Params p;
+    p.max_connections = 100000;
+    p.service_rate = 1e9;
+    p.request_latency = 0.0;
+    cv::SquidSim squid(sim, p);
+    std::vector<double> durations;
+    int failures = 0;
+    for (int i = 0; i < clients; ++i)
+      sim.spawn(sim_fetch(sim, squid, 25e6, true, durations, failures));
+    sim.run();
+    double sum = 0.0;
+    for (double d : durations) sum += d;
+    return sum / static_cast<double>(durations.size());
+  };
+  const double t10 = mean_fetch_time(10);
+  const double t1000 = mean_fetch_time(1000);
+  EXPECT_GT(t1000, 5.0 * t10);
+}
+
+TEST(SquidSim, ConnectTimeoutProducesFailures) {
+  des::Simulation sim;
+  cv::SquidSim::Params p;
+  p.max_connections = 1;
+  p.service_rate = 1e6;
+  p.request_latency = 0.0;
+  p.connect_timeout = 5.0;
+  cv::SquidSim squid(sim, p);
+  std::vector<double> durations;
+  int failures = 0;
+  // Each transfer takes 100 s on the service link; queued clients exceed
+  // the 5 s connect timeout.
+  for (int i = 0; i < 4; ++i)
+    sim.spawn(sim_fetch(sim, squid, 1e8, true, durations, failures));
+  sim.run();
+  EXPECT_EQ(durations.size(), 1u);
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(squid.timeouts(), 3u);
+}
+
+TEST(SquidSim, NoteRequestTracksProxyCacheState) {
+  des::Simulation sim;
+  cv::SquidSim squid(sim, {});
+  EXPECT_FALSE(squid.note_request("/cvmfs/a"));
+  EXPECT_TRUE(squid.note_request("/cvmfs/a"));
+  EXPECT_FALSE(squid.note_request("/cvmfs/b"));
+}

@@ -1,0 +1,106 @@
+// Tests for the dataset bookkeeping service and synthetic dataset builder.
+#include <gtest/gtest.h>
+
+#include "dbs/dbs.hpp"
+
+namespace dbs = lobster::dbs;
+namespace lu = lobster::util;
+
+TEST(Dbs, PublishAndQuery) {
+  dbs::DatasetBookkeeping svc;
+  dbs::Dataset ds;
+  ds.name = "/Test/Run/AOD";
+  ds.files.push_back({"/Test/Run/AOD/f0.root", 1e9, 10000, {{1, 1}, {1, 2}}});
+  svc.publish(ds);
+  EXPECT_TRUE(svc.has("/Test/Run/AOD"));
+  const auto q = svc.query("/Test/Run/AOD");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->files.size(), 1u);
+  EXPECT_EQ(q->files[0].events, 10000u);
+  EXPECT_FALSE(svc.query("/Missing/DS").has_value());
+}
+
+TEST(Dbs, DuplicateAndEmptyNamesRejected) {
+  dbs::DatasetBookkeeping svc;
+  dbs::Dataset ds;
+  ds.name = "/A/B/C";
+  svc.publish(ds);
+  EXPECT_THROW(svc.publish(ds), std::invalid_argument);
+  dbs::Dataset anon;
+  EXPECT_THROW(svc.publish(anon), std::invalid_argument);
+}
+
+TEST(Dbs, ListIsSorted) {
+  dbs::DatasetBookkeeping svc;
+  for (const char* name : {"/Z/x", "/A/y", "/M/z"}) {
+    dbs::Dataset ds;
+    ds.name = name;
+    svc.publish(ds);
+  }
+  const auto names = svc.list();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "/A/y");
+  EXPECT_EQ(names[2], "/Z/x");
+}
+
+TEST(Dbs, DatasetAggregates) {
+  dbs::Dataset ds;
+  ds.files.push_back({"a", 10.0, 5, {{1, 1}}});
+  ds.files.push_back({"b", 20.0, 7, {{1, 2}, {1, 3}}});
+  EXPECT_DOUBLE_EQ(ds.total_bytes(), 30.0);
+  EXPECT_EQ(ds.total_events(), 12u);
+  EXPECT_EQ(ds.total_lumis(), 3u);
+}
+
+TEST(SyntheticDataset, RespectsSpec) {
+  dbs::SyntheticDatasetSpec spec;
+  spec.num_files = 50;
+  spec.mean_file_bytes = 2.0e9;
+  spec.event_bytes = 100.0e3;
+  const auto ds = dbs::make_synthetic_dataset(spec, lu::Rng(1));
+  EXPECT_EQ(ds.files.size(), 50u);
+  // Mean file size within 20% of the target.
+  EXPECT_NEAR(ds.total_bytes() / 50.0, 2.0e9, 0.4e9);
+  for (const auto& f : ds.files) {
+    EXPECT_GT(f.size_bytes, 0.0);
+    EXPECT_GE(f.events, 1u);
+    EXPECT_FALSE(f.lumis.empty());
+    // events ~ size / event_bytes
+    EXPECT_NEAR(static_cast<double>(f.events), f.size_bytes / 100.0e3, 1.0);
+  }
+}
+
+TEST(SyntheticDataset, DeterministicForSeed) {
+  dbs::SyntheticDatasetSpec spec;
+  spec.num_files = 10;
+  const auto a = dbs::make_synthetic_dataset(spec, lu::Rng(7));
+  const auto b = dbs::make_synthetic_dataset(spec, lu::Rng(7));
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].lfn, b.files[i].lfn);
+    EXPECT_DOUBLE_EQ(a.files[i].size_bytes, b.files[i].size_bytes);
+  }
+}
+
+TEST(SyntheticDataset, LumisAreUniqueAndOrdered) {
+  dbs::SyntheticDatasetSpec spec;
+  spec.num_files = 20;
+  const auto ds = dbs::make_synthetic_dataset(spec, lu::Rng(3));
+  dbs::Lumisection prev{0, 0};
+  for (const auto& f : ds.files)
+    for (const auto& l : f.lumis) {
+      EXPECT_TRUE(prev < l) << "lumis must be strictly increasing";
+      prev = l;
+    }
+}
+
+TEST(SyntheticDataset, RejectsBadSpec) {
+  dbs::SyntheticDatasetSpec spec;
+  spec.num_files = 0;
+  EXPECT_THROW(dbs::make_synthetic_dataset(spec, lu::Rng(1)),
+               std::invalid_argument);
+  spec.num_files = 1;
+  spec.mean_file_bytes = -1.0;
+  EXPECT_THROW(dbs::make_synthetic_dataset(spec, lu::Rng(1)),
+               std::invalid_argument);
+}

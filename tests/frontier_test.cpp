@@ -1,0 +1,142 @@
+// Tests for the Frontier conditions-data service: IOV resolution, proxy
+// caching with serial-based invalidation, chaining, and thread safety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "frontier/frontier.hpp"
+
+namespace fr = lobster::frontier;
+
+namespace {
+fr::ConditionsDatabase two_tag_db() {
+  fr::ConditionsDatabase db;
+  db.publish("ALIGN_v1", {100, 199, "align-a"});
+  db.publish("ALIGN_v1", {200, 299, "align-b"});
+  db.publish("BEAMSPOT_v2", {100, 299, "beamspot"});
+  return db;
+}
+}  // namespace
+
+TEST(Conditions, IovResolution) {
+  const auto db = two_tag_db();
+  EXPECT_EQ(db.lookup("ALIGN_v1", 150)->blob, "align-a");
+  EXPECT_EQ(db.lookup("ALIGN_v1", 200)->blob, "align-b");
+  EXPECT_EQ(db.lookup("ALIGN_v1", 299)->blob, "align-b");
+  EXPECT_FALSE(db.lookup("ALIGN_v1", 99).has_value());
+  EXPECT_FALSE(db.lookup("ALIGN_v1", 300).has_value());
+  EXPECT_FALSE(db.lookup("UNKNOWN", 150).has_value());
+}
+
+TEST(Conditions, OverlappingIovRejected) {
+  fr::ConditionsDatabase db;
+  db.publish("T", {100, 199, "a"});
+  EXPECT_THROW(db.publish("T", {150, 250, "b"}), fr::FrontierError);
+  EXPECT_THROW(db.publish("T", {50, 100, "c"}), fr::FrontierError);
+  EXPECT_THROW(db.publish("T", {120, 110, "d"}), fr::FrontierError)
+      << "inverted interval";
+  db.publish("T", {200, 299, "ok"});  // adjacent is fine
+}
+
+TEST(Conditions, SerialBumpsOnPublish) {
+  fr::ConditionsDatabase db;
+  EXPECT_EQ(db.tag_serial("T"), 0u);
+  db.publish("T", {1, 10, "a"});
+  EXPECT_EQ(db.tag_serial("T"), 1u);
+  db.publish("T", {11, 20, "b"});
+  EXPECT_EQ(db.tag_serial("T"), 2u);
+}
+
+TEST(FrontierServer, QueryAndErrors) {
+  const auto db = two_tag_db();
+  fr::FrontierServer server(db);
+  EXPECT_EQ(server.query("BEAMSPOT_v2", 250), "beamspot");
+  EXPECT_THROW(server.query("BEAMSPOT_v2", 9999), fr::FrontierError);
+  EXPECT_EQ(server.queries(), 2u);
+}
+
+TEST(FrontierProxy, CachesQueries) {
+  const auto db = two_tag_db();
+  fr::FrontierServer server(db);
+  fr::FrontierProxy proxy(server, db);
+  EXPECT_EQ(proxy.query("ALIGN_v1", 150), "align-a");
+  EXPECT_EQ(proxy.query("ALIGN_v1", 150), "align-a");
+  EXPECT_EQ(proxy.query("ALIGN_v1", 150), "align-a");
+  EXPECT_EQ(server.queries(), 1u) << "only the first query went upstream";
+  EXPECT_EQ(proxy.hits(), 2u);
+  EXPECT_EQ(proxy.misses(), 1u);
+}
+
+TEST(FrontierProxy, RepublishInvalidatesCache) {
+  auto db = two_tag_db();
+  fr::FrontierServer server(db);
+  fr::FrontierProxy proxy(server, db);
+  EXPECT_EQ(proxy.query("ALIGN_v1", 250), "align-b");
+  // A new IOV is appended to the tag: the serial bumps, cached entries for
+  // the tag refresh on next access.
+  db.publish("ALIGN_v1", {300, 399, "align-c"});
+  EXPECT_EQ(proxy.query("ALIGN_v1", 250), "align-b");
+  EXPECT_EQ(proxy.refreshes(), 1u);
+  EXPECT_EQ(proxy.query("ALIGN_v1", 350), "align-c");
+}
+
+TEST(FrontierProxy, ChainsThroughTiers) {
+  const auto db = two_tag_db();
+  fr::FrontierServer server(db);
+  fr::FrontierProxy site_proxy(server, db);
+  fr::FrontierProxy campus_proxy(site_proxy, db);
+  EXPECT_EQ(campus_proxy.query("ALIGN_v1", 150), "align-a");
+  EXPECT_EQ(campus_proxy.query("ALIGN_v1", 150), "align-a");
+  EXPECT_EQ(server.queries(), 1u);
+  EXPECT_EQ(site_proxy.misses(), 1u);
+  EXPECT_EQ(campus_proxy.hits(), 1u);
+}
+
+TEST(FrontierProxy, ThreadSafeUnderLoad) {
+  const auto db = two_tag_db();
+  fr::FrontierServer server(db);
+  fr::FrontierProxy proxy(server, db);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const std::uint32_t run = 100 + static_cast<std::uint32_t>(i % 200);
+        const auto blob = proxy.query("ALIGN_v1", run);
+        if (blob != (run < 200 ? "align-a" : "align-b")) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(proxy.hits() + proxy.misses(), 4000u);
+  EXPECT_EQ(proxy.entries(), 200u) << "one entry per distinct (tag, run)";
+  // Each of the 200 distinct queries goes upstream once, plus a handful of
+  // thundering-herd duplicates when threads miss the same key concurrently.
+  EXPECT_GE(server.queries(), 200u);
+  EXPECT_LE(server.queries(), 400u);
+}
+
+TEST(SyntheticConditions, CoversRunRangeForEveryTag) {
+  const auto db = fr::make_synthetic_conditions(/*tags=*/5, /*first_run=*/1000,
+                                                /*runs=*/200,
+                                                /*blob_bytes=*/256,
+                                                /*seed=*/7);
+  const auto tags = db.tags();
+  ASSERT_EQ(tags.size(), 5u);
+  for (const auto& tag : tags) {
+    for (std::uint32_t run = 1000; run < 1200; run += 13)
+      EXPECT_TRUE(db.lookup(tag, run).has_value())
+          << tag << " run " << run;
+    EXPECT_FALSE(db.lookup(tag, 999).has_value());
+    EXPECT_FALSE(db.lookup(tag, 1200).has_value());
+  }
+}
+
+TEST(SyntheticConditions, RejectsEmptySpec) {
+  EXPECT_THROW(fr::make_synthetic_conditions(0, 1, 1, 1, 1),
+               fr::FrontierError);
+  EXPECT_THROW(fr::make_synthetic_conditions(1, 1, 0, 1, 1),
+               fr::FrontierError);
+}

@@ -1,0 +1,69 @@
+// Tests for the Global Pool baseline model (central fair-share scheduling).
+#include <gtest/gtest.h>
+
+#include "lobsim/global_pool.hpp"
+
+namespace lobsim = lobster::lobsim;
+
+TEST(GlobalPool, SingleUserBoundedByParallelism) {
+  // 100 cores available but the user can only run 10-wide: 1000 core-s of
+  // work takes 100 s.
+  const auto out = lobsim::simulate_global_pool(
+      100.0, {{"u", 0.0, 1000.0, 10.0}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].turnaround(), 100.0, 1e-6);
+}
+
+TEST(GlobalPool, FairShareBetweenEqualUsers) {
+  const auto out = lobsim::simulate_global_pool(
+      100.0, {{"a", 0.0, 5000.0, 1e9}, {"b", 0.0, 5000.0, 1e9}});
+  // Each gets 50 cores: both finish at t = 100.
+  EXPECT_NEAR(out[0].turnaround(), 100.0, 1e-6);
+  EXPECT_NEAR(out[1].turnaround(), 100.0, 1e-6);
+}
+
+TEST(GlobalPool, SmallUserFinishesAndBigUserSpeedsUp) {
+  const auto out = lobsim::simulate_global_pool(
+      100.0, {{"big", 0.0, 10000.0, 1e9}, {"small", 0.0, 1000.0, 1e9}});
+  // small: 50 cores -> done at 20 s.  big: 50 cores for 20 s (1000 done),
+  // then 100 cores for the remaining 9000 -> 20 + 90 = 110 s.
+  EXPECT_NEAR(out[1].turnaround(), 20.0, 1e-6);
+  EXPECT_NEAR(out[0].turnaround(), 110.0, 1e-6);
+}
+
+TEST(GlobalPool, LateSubmitterQueuesBehindBacklog) {
+  const auto out = lobsim::simulate_global_pool(
+      100.0, {{"backlog", 0.0, 20000.0, 1e9}, {"late", 100.0, 1000.0, 1e9}});
+  // At t=100 the backlog has 10000 core-s left; both share 50/50.
+  // late: 1000 @ 50 cores -> finishes at t = 120 (turnaround 20).
+  EXPECT_NEAR(out[1].turnaround(), 20.0, 1e-6);
+}
+
+TEST(GlobalPool, ValidatesInput) {
+  EXPECT_THROW(lobsim::simulate_global_pool(0.0, {{"u", 0.0, 1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(lobsim::simulate_global_pool(10.0, {{"u", 0.0, 0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(LobsterBurst, CompletionArithmetic) {
+  EXPECT_NEAR(lobsim::lobster_burst_completion(65000.0, 100.0, 0.65), 1000.0,
+              1e-9);
+  EXPECT_THROW(lobsim::lobster_burst_completion(1.0, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(lobsim::lobster_burst_completion(1.0, 1.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(GlobalPool, ContentionSlowsTheDeadlineUser) {
+  // The §7 comparison in miniature: the same campaign with and without a
+  // crowded pool.
+  std::vector<lobsim::PoolUser> crowded;
+  for (int i = 0; i < 50; ++i)
+    crowded.push_back({"bg" + std::to_string(i), 0.0, 1e6, 1e9});
+  crowded.push_back({"me", 0.0, 1e6, 1e9});
+  const auto busy = lobsim::simulate_global_pool(1000.0, crowded);
+  const auto quiet =
+      lobsim::simulate_global_pool(1000.0, {{"me", 0.0, 1e6, 1e9}});
+  EXPECT_GT(busy.back().turnaround(), 10.0 * quiet.back().turnaround());
+}

@@ -1,0 +1,312 @@
+// Tests for the Monitor (timelines, Figure 8 breakdown, §5 diagnosis
+// advisor), the instrumented wrapper, and the workflow configuration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/config.hpp"
+#include "core/monitor.hpp"
+#include "core/wrapper.hpp"
+
+namespace core = lobster::core;
+namespace wq = lobster::wq;
+using namespace std::chrono_literals;
+
+namespace {
+core::TaskRecord record_with(double cpu, double io, double stage_in,
+                             double stage_out, double env, double dispatch,
+                             double finish_time,
+                             core::TaskStatus status = core::TaskStatus::Done,
+                             double lost = 0.0) {
+  core::TaskRecord r;
+  r.status = status;
+  r.finish_time = finish_time;
+  r.cpu_time = cpu;
+  r.lost_time = lost;
+  auto seg = [&r](core::Segment s) -> double& {
+    return r.segment_time[static_cast<std::size_t>(s)];
+  };
+  seg(core::Segment::Execute) = cpu;
+  seg(core::Segment::ExecuteIo) = io;
+  seg(core::Segment::StageIn) = stage_in;
+  seg(core::Segment::StageOut) = stage_out;
+  seg(core::Segment::EnvSetup) = env;
+  seg(core::Segment::Dispatch) = dispatch;
+  return r;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- monitor ----
+
+TEST(Monitor, BreakdownAccumulates) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(100, 20, 10, 5, 3, 2, 30.0));
+  mon.on_task_finished(record_with(200, 40, 20, 10, 6, 4, 90.0));
+  const auto b = mon.breakdown();
+  EXPECT_DOUBLE_EQ(b.cpu, 300.0);
+  EXPECT_DOUBLE_EQ(b.io, 60.0);
+  EXPECT_DOUBLE_EQ(b.stage_in, 30.0);
+  EXPECT_DOUBLE_EQ(b.stage_out, 15.0);
+  EXPECT_DOUBLE_EQ(b.other, 15.0);
+  EXPECT_DOUBLE_EQ(b.failed, 0.0);
+  EXPECT_EQ(mon.tasks_seen(), 2u);
+}
+
+TEST(Monitor, FailedTasksChargedToFailed) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(100, 0, 10, 0, 5, 5, 30.0,
+                                   core::TaskStatus::Failed));
+  const auto b = mon.breakdown();
+  EXPECT_DOUBLE_EQ(b.cpu, 0.0);
+  EXPECT_DOUBLE_EQ(b.failed, 120.0);
+  EXPECT_EQ(mon.tasks_failed(), 1u);
+  EXPECT_DOUBLE_EQ(mon.failed_timeline().sum(0), 1.0);
+}
+
+TEST(Monitor, TimelinesBinByFinishTime) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(10, 0, 0, 0, 0, 0, 30.0));
+  mon.on_task_finished(record_with(10, 0, 0, 0, 0, 0, 45.0));
+  mon.on_task_finished(record_with(10, 0, 0, 0, 0, 0, 130.0));
+  EXPECT_DOUBLE_EQ(mon.completed_timeline().sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(mon.completed_timeline().sum(2), 1.0);
+  mon.sample_running(10.0, 500);
+  mon.sample_running(20.0, 700);
+  EXPECT_DOUBLE_EQ(mon.running_timeline().mean_level(0), 600.0);
+}
+
+TEST(Monitor, EfficiencyTimelineIsCpuOverWall) {
+  core::Monitor mon(60.0);
+  // cpu 70, wall 100 (cpu 70 + io 20 + stage 10) -> 0.7 in bin 0.
+  mon.on_task_finished(record_with(70, 20, 10, 0, 0, 0, 30.0));
+  const auto eff = mon.efficiency_timeline();
+  ASSERT_FALSE(eff.empty());
+  EXPECT_NEAR(eff[0], 0.7, 1e-9);
+}
+
+TEST(Monitor, SetupAndStageoutTimelines) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(10, 0, 0, 8.0, 400.0, 0, 30.0));
+  mon.on_task_finished(record_with(10, 0, 0, 4.0, 200.0, 0, 40.0));
+  const auto setup = mon.setup_time_timeline();
+  const auto stageout = mon.stageout_time_timeline();
+  EXPECT_NEAR(setup[0], 300.0, 1e-9);
+  EXPECT_NEAR(stageout[0], 6.0, 1e-9);
+}
+
+TEST(Advisor, HighLostRuntimeSuggestsSmallerTasks) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(
+      record_with(100, 0, 0, 0, 0, 0, 30.0, core::TaskStatus::Done, 80.0));
+  const auto diags = mon.diagnose();
+  ASSERT_FALSE(diags.empty());
+  bool found = false;
+  for (const auto& d : diags)
+    found |= d.advice.find("task size") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, LongDispatchSuggestsForemen) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(100, 0, 0, 0, 0, 50.0, 30.0));
+  const auto diags = mon.diagnose();
+  bool found = false;
+  for (const auto& d : diags)
+    found |= d.advice.find("foremen") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, LongSetupSuggestsSquid) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(100, 0, 0, 0, 60.0, 0, 30.0));
+  const auto diags = mon.diagnose();
+  bool found = false;
+  for (const auto& d : diags)
+    found |= d.advice.find("squid") != std::string::npos ||
+             d.advice.find("proxies") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, LongStagingSuggestsChirp) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(100, 0, 30.0, 30.0, 0, 0, 30.0));
+  const auto diags = mon.diagnose();
+  bool found = false;
+  for (const auto& d : diags)
+    found |= d.advice.find("Chirp") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, HealthyRunHasNoDiagnoses) {
+  core::Monitor mon(60.0);
+  mon.on_task_finished(record_with(1000, 50, 10, 10, 10, 5, 30.0));
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Advisor, SortedBySeverity) {
+  core::Monitor mon(60.0);
+  // Both staging and lost-time problems; lost is far worse.
+  mon.on_task_finished(
+      record_with(10, 0, 20.0, 20.0, 0, 0, 30.0, core::TaskStatus::Done,
+                  500.0));
+  const auto diags = mon.diagnose();
+  ASSERT_GE(diags.size(), 2u);
+  for (std::size_t i = 1; i < diags.size(); ++i)
+    EXPECT_GE(diags[i - 1].severity, diags[i].severity);
+}
+
+// ---------------------------------------------------------------- wrapper ----
+
+TEST(Wrapper, RunsAllSegmentsAndTimesThem) {
+  bool env = false, in = false, ran = false, out = false, clean = false;
+  auto work = core::make_wrapper({
+      .check_machine = [](wq::TaskContext&) { return true; },
+      .setup_environment =
+          [&](wq::TaskContext&) {
+            env = true;
+            std::this_thread::sleep_for(5ms);
+            return true;
+          },
+      .stage_in = [&](wq::TaskContext&) { return in = true; },
+      .execute =
+          [&](wq::TaskContext&) {
+            ran = true;
+            return 0;
+          },
+      .stage_out = [&](wq::TaskContext&) { return out = true; },
+      .cleanup = [&](wq::TaskContext&) { return clean = true; },
+  });
+  wq::TaskContext ctx;
+  EXPECT_EQ(work(ctx), 0);
+  EXPECT_TRUE(env && in && ran && out && clean);
+  EXPECT_GE(std::strtod(ctx.outputs.at(core::wrapper_keys::kEnvSetup).c_str(),
+                        nullptr),
+            0.004);
+  EXPECT_TRUE(ctx.outputs.count(core::wrapper_keys::kExecute));
+}
+
+TEST(Wrapper, SegmentFailureCodes) {
+  wq::TaskContext ctx;
+  auto env_fail = core::make_wrapper(
+      {.setup_environment = [](wq::TaskContext&) { return false; }});
+  EXPECT_EQ(env_fail(ctx), static_cast<int>(wq::TaskExit::EnvironmentFailure));
+  auto in_fail =
+      core::make_wrapper({.stage_in = [](wq::TaskContext&) { return false; }});
+  EXPECT_EQ(in_fail(ctx), static_cast<int>(wq::TaskExit::StageInFailure));
+  auto exec_fail =
+      core::make_wrapper({.execute = [](wq::TaskContext&) { return 42; }});
+  EXPECT_EQ(exec_fail(ctx), 42);
+  auto out_fail = core::make_wrapper(
+      {.stage_out = [](wq::TaskContext&) { return false; }});
+  EXPECT_EQ(out_fail(ctx), static_cast<int>(wq::TaskExit::StageOutFailure));
+}
+
+TEST(Wrapper, SkippedStagesSucceedWithZeroTime) {
+  auto work = core::make_wrapper({});
+  wq::TaskContext ctx;
+  EXPECT_EQ(work(ctx), 0);
+  EXPECT_DOUBLE_EQ(
+      std::strtod(ctx.outputs.at(core::wrapper_keys::kStageIn).c_str(),
+                  nullptr),
+      0.0);
+}
+
+TEST(Wrapper, EvictionBetweenSegments) {
+  auto work = core::make_wrapper({
+      .stage_in =
+          [](wq::TaskContext& ctx) {
+            ctx.cancel.cancel();  // evicted mid stage-in
+            return true;
+          },
+      .execute = [](wq::TaskContext&) { return 0; },
+  });
+  wq::TaskContext ctx;
+  EXPECT_EQ(work(ctx), static_cast<int>(wq::TaskExit::Evicted));
+}
+
+TEST(Wrapper, FillRecordFromResult) {
+  wq::TaskResult result;
+  result.worker_name = "w7";
+  result.exit_code = 0;
+  result.dispatch_time = 1.5;
+  result.outputs[core::wrapper_keys::kEnvSetup] = "2.0";
+  result.outputs[core::wrapper_keys::kExecute] = "100.0";
+  result.outputs[core::wrapper_keys::kCpuSeconds] = "80.0";
+  result.outputs[core::wrapper_keys::kIoSeconds] = "20.0";
+  result.outputs[core::wrapper_keys::kStageOut] = "3.0";
+  result.outputs[core::wrapper_keys::kOutputBytes] = "5e7";
+  core::TaskRecord rec;
+  core::fill_record_from_result(result, rec);
+  EXPECT_EQ(rec.status, core::TaskStatus::Done);
+  EXPECT_EQ(rec.worker, "w7");
+  EXPECT_DOUBLE_EQ(rec.cpu_time, 80.0);
+  EXPECT_DOUBLE_EQ(
+      rec.segment_time[static_cast<std::size_t>(core::Segment::Dispatch)],
+      1.5);
+  EXPECT_DOUBLE_EQ(rec.outputs_bytes, 5e7);
+}
+
+TEST(Wrapper, FillRecordEvicted) {
+  wq::TaskResult result;
+  result.evicted = true;
+  result.exit_code = static_cast<int>(wq::TaskExit::Evicted);
+  result.outputs[core::wrapper_keys::kExecute] = "50.0";
+  result.outputs[core::wrapper_keys::kEnvSetup] = "5.0";
+  core::TaskRecord rec;
+  core::fill_record_from_result(result, rec);
+  EXPECT_EQ(rec.status, core::TaskStatus::Evicted);
+  EXPECT_DOUBLE_EQ(rec.lost_time, 55.0);
+  EXPECT_DOUBLE_EQ(rec.cpu_time, 0.0);
+}
+
+// ----------------------------------------------------------------- config ----
+
+TEST(WorkflowConfig, ParsesFullSection) {
+  const auto ini = lobster::util::Config::parse(R"(
+[workflow]
+label = ttbar
+dataset = /TTbar/Run2015A/AOD
+lumis_per_tasklet = 4
+tasklets_per_task = 8
+task_buffer = 200
+max_attempts = 3
+access = stage
+merge = hadoop
+merge_size = 4GB
+adaptive_sizing = true
+)");
+  const auto cfg = core::WorkflowConfig::from_config(ini);
+  EXPECT_EQ(cfg.label, "ttbar");
+  EXPECT_EQ(cfg.dataset, "/TTbar/Run2015A/AOD");
+  EXPECT_EQ(cfg.lumis_per_tasklet, 4u);
+  EXPECT_EQ(cfg.tasklets_per_task, 8u);
+  EXPECT_EQ(cfg.task_buffer, 200u);
+  EXPECT_EQ(cfg.max_attempts, 3u);
+  EXPECT_EQ(cfg.access, core::DataAccessMode::Stage);
+  EXPECT_EQ(cfg.merge_mode, core::MergeMode::Hadoop);
+  EXPECT_DOUBLE_EQ(cfg.merge_policy.target_bytes, 4e9);
+  EXPECT_TRUE(cfg.adaptive_sizing);
+}
+
+TEST(WorkflowConfig, DefaultsMatchPaper) {
+  const auto cfg = core::WorkflowConfig::from_config(
+      lobster::util::Config::parse("[workflow]\n"));
+  EXPECT_EQ(cfg.task_buffer, 400u) << "dispatch buffer of 400 tasks (§4.1)";
+  EXPECT_EQ(cfg.merge_mode, core::MergeMode::Interleaved)
+      << "Lobster currently uses interleaved merging (§4.4)";
+  EXPECT_NEAR(cfg.merge_policy.target_bytes, 3.5e9, 1e9)
+      << "3-4 GB merged files";
+  EXPECT_DOUBLE_EQ(cfg.merge_policy.start_fraction, 0.10);
+}
+
+TEST(WorkflowConfig, RejectsUnknownEnums) {
+  EXPECT_THROW(core::WorkflowConfig::from_config(lobster::util::Config::parse(
+                   "[workflow]\naccess = teleport\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::WorkflowConfig::from_config(lobster::util::Config::parse(
+                   "[workflow]\nmerge = shred\n")),
+               std::runtime_error);
+  EXPECT_THROW(core::WorkflowConfig::from_config(lobster::util::Config::parse(
+                   "[workflow]\ntasklets_per_task = 0\n")),
+               std::runtime_error);
+}

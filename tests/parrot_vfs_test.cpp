@@ -1,0 +1,143 @@
+// Tests for the Parrot VFS: mount resolution, POSIX-like descriptor
+// semantics over CVMFS-backed and scratch files, deterministic content,
+// and cache interaction.
+#include <gtest/gtest.h>
+
+#include "cvmfs/parrot_cache.hpp"
+#include "cvmfs/parrot_vfs.hpp"
+#include "cvmfs/repository.hpp"
+
+namespace cv = lobster::cvmfs;
+
+namespace {
+struct Fixture {
+  cv::Repository repo;
+  std::unique_ptr<cv::CacheGroup> group;
+  int fetches = 0;
+
+  Fixture() {
+    repo.add("/cvmfs/cms.cern.ch/lib/libPhysics.so", 4096.0);
+    repo.add("/cvmfs/cms.cern.ch/lib/libTracker.so", 100.0);
+    repo.add("/cvmfs/cms.cern.ch/bin/cmsRun", 512.0);
+    group = std::make_unique<cv::CacheGroup>(
+        cv::CacheMode::Alien, [this](const cv::FileObject& obj) {
+          ++fetches;
+          return cv::digest_of(obj.path, obj.size_bytes);
+        });
+  }
+
+  cv::ParrotVfs make_vfs() {
+    cv::ParrotVfs vfs;
+    vfs.mount_cvmfs("/cvmfs/cms.cern.ch", repo, group->make_instance());
+    vfs.mount_scratch("/tmp/sandbox");
+    return vfs;
+  }
+};
+}  // namespace
+
+TEST(ParrotVfs, OpenReadCloseCvmfsFile) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  const int fd = vfs.open("/cvmfs/cms.cern.ch/bin/cmsRun");
+  const auto data = vfs.read(fd, 512);
+  EXPECT_EQ(data.size(), 512u);
+  EXPECT_TRUE(vfs.read(fd, 1).empty()) << "EOF";
+  vfs.close(fd);
+  EXPECT_EQ(vfs.open_fds(), 0u);
+  EXPECT_EQ(fx.fetches, 1);
+}
+
+TEST(ParrotVfs, ReadsAreDeterministicAndSeekable) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  const int fd = vfs.open("/cvmfs/cms.cern.ch/lib/libTracker.so");
+  const auto all = vfs.read(fd, 100);
+  ASSERT_EQ(all.size(), 100u);
+  // Seek to the middle; bytes must match the suffix of a full read —
+  // "a seek operation is done with the local copy whenever possible".
+  EXPECT_EQ(vfs.seek(fd, 40), 40u);
+  const auto tail = vfs.read(fd, 60);
+  EXPECT_EQ(tail, all.substr(40));
+  // Independent opens see identical content.
+  const int fd2 = vfs.open("/cvmfs/cms.cern.ch/lib/libTracker.so");
+  EXPECT_EQ(vfs.read(fd2, 100), all);
+  // And the object_content helper agrees.
+  const auto obj = fx.repo.lookup("/cvmfs/cms.cern.ch/lib/libTracker.so");
+  EXPECT_EQ(cv::object_content(*obj, 0, 100), all);
+}
+
+TEST(ParrotVfs, CacheHitOnSecondOpen) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  vfs.close(vfs.open("/cvmfs/cms.cern.ch/lib/libPhysics.so"));
+  vfs.close(vfs.open("/cvmfs/cms.cern.ch/lib/libPhysics.so"));
+  EXPECT_EQ(fx.fetches, 1) << "second open served from the parrot cache";
+}
+
+TEST(ParrotVfs, CvmfsIsReadOnly) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  EXPECT_THROW(vfs.create("/cvmfs/cms.cern.ch/lib/evil.so"), cv::VfsError);
+  const int fd = vfs.open("/cvmfs/cms.cern.ch/bin/cmsRun");
+  EXPECT_THROW(vfs.write(fd, "nope"), cv::VfsError);
+}
+
+TEST(ParrotVfs, ScratchCreateWriteReadBack) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  const int fd = vfs.create("/tmp/sandbox/out.root");
+  vfs.write(fd, "histo");
+  vfs.write(fd, "grams");
+  vfs.close(fd);
+  const int rd = vfs.open("/tmp/sandbox/out.root");
+  EXPECT_EQ(vfs.read(rd, 100), "histograms");
+  EXPECT_EQ(vfs.stat("/tmp/sandbox/out.root").size, 10u);
+  EXPECT_FALSE(vfs.stat("/tmp/sandbox/out.root").read_only);
+}
+
+TEST(ParrotVfs, StatExistsListdir) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  EXPECT_TRUE(vfs.exists("/cvmfs/cms.cern.ch/bin/cmsRun"));
+  EXPECT_FALSE(vfs.exists("/cvmfs/cms.cern.ch/bin/missing"));
+  const auto st = vfs.stat("/cvmfs/cms.cern.ch/lib/libPhysics.so");
+  EXPECT_EQ(st.size, 4096u);
+  EXPECT_TRUE(st.read_only);
+  const auto libs = vfs.listdir("/cvmfs/cms.cern.ch/lib");
+  ASSERT_EQ(libs.size(), 2u);
+  EXPECT_EQ(libs[0], "libPhysics.so");
+  EXPECT_EQ(libs[1], "libTracker.so");
+}
+
+TEST(ParrotVfs, ErrorsOnBadPathsAndDescriptors) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  EXPECT_THROW(vfs.open("/cvmfs/cms.cern.ch/nope"), cv::VfsError);
+  EXPECT_THROW(vfs.open("/unmounted/path"), cv::VfsError);
+  EXPECT_THROW(vfs.stat("/unmounted/path"), cv::VfsError);
+  EXPECT_THROW(vfs.read(99, 1), cv::VfsError);
+  EXPECT_THROW(vfs.seek(99, 0), cv::VfsError);
+  EXPECT_THROW(vfs.close(99), cv::VfsError);
+  EXPECT_THROW(vfs.mount_scratch("relative/path"), cv::VfsError);
+}
+
+TEST(ParrotVfs, PrefixMatchingRespectsComponents) {
+  Fixture fx;
+  cv::Repository other;
+  other.add("/cvmfs/cms.cern.ch-extra/file", 10.0);
+  auto vfs = fx.make_vfs();
+  // "/cvmfs/cms.cern.ch-extra" must NOT match the "/cvmfs/cms.cern.ch"
+  // mount.
+  EXPECT_THROW(vfs.open("/cvmfs/cms.cern.ch-extra/file"), cv::VfsError);
+}
+
+TEST(ParrotVfs, PartialReadsAdvanceOffset) {
+  Fixture fx;
+  auto vfs = fx.make_vfs();
+  const int fd = vfs.open("/cvmfs/cms.cern.ch/lib/libTracker.so");
+  std::string assembled;
+  for (int i = 0; i < 20; ++i) assembled += vfs.read(fd, 7);
+  EXPECT_EQ(assembled.size(), 100u) << "7-byte chunks until EOF";
+  vfs.seek(fd, 0);
+  EXPECT_EQ(vfs.read(fd, 100), assembled);
+}

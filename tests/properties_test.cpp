@@ -1,0 +1,184 @@
+// Cross-module property and fault-injection tests: randomized sweeps over
+// seeds and inputs asserting the system-level invariants DESIGN.md §5
+// promises.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/db.hpp"
+#include "core/merge.hpp"
+#include "core/task_size_model.hpp"
+#include "des/bandwidth.hpp"
+#include "des/simulation.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+namespace core = lobster::core;
+namespace des = lobster::des;
+namespace lu = lobster::util;
+
+// Property: the task-size model's accounting identity holds across seeds,
+// eviction regimes and task lengths.
+class TaskSizeModelSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TaskSizeModelSweep, AccountingAndBounds) {
+  const auto [seed, hours] = GetParam();
+  core::TaskSizeModelParams p;
+  p.num_tasklets = 3000;
+  p.num_workers = 250;
+  p.seed = static_cast<std::uint64_t>(seed);
+  const core::ConstantEviction eviction(0.2);
+  const auto r = core::simulate_task_size(p, eviction, hours);
+  EXPECT_NEAR(r.total_time, r.effective_time + r.overhead_time + r.lost_time,
+              1e-6);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LT(r.efficiency, 1.0);
+  // All tasklets were processed exactly once: the effective time per
+  // tasklet averages near the distribution mean.
+  EXPECT_NEAR(r.effective_time / static_cast<double>(p.num_tasklets),
+              p.tasklet_mean, 0.15 * p.tasklet_mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLengths, TaskSizeModelSweep,
+    ::testing::Combine(::testing::Values(1, 7, 42, 1337),
+                       ::testing::Values(0.5, 1.0, 4.0)));
+
+// Property: merge planning conserves outputs for random size sets.
+TEST(Properties, MergePlanningConservesForRandomSizes) {
+  lu::Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 200));
+    std::vector<core::OutputRecord> outputs(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      auto& o = outputs[static_cast<std::size_t>(i)];
+      o.output_id = static_cast<std::uint64_t>(i + 1);
+      o.bytes = rng.uniform(1e6, 5e9);
+      total += o.bytes;
+    }
+    core::MergePolicy policy;
+    policy.target_bytes = rng.uniform(1e9, 8e9);
+    const auto groups = core::plan_merges(outputs, policy, false, 0);
+    double grouped = 0.0;
+    std::set<std::uint64_t> seen;
+    for (const auto& g : groups) {
+      grouped += g.total_bytes;
+      for (auto id : g.output_ids)
+        EXPECT_TRUE(seen.insert(id).second) << "output grouped twice";
+    }
+    EXPECT_NEAR(grouped, total, 1.0) << "merging must conserve bytes";
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  }
+}
+
+// Property: bandwidth-link allocation never exceeds capacity at any
+// sampled instant, across random capacity changes.
+TEST(Properties, LinkAllocationBoundedUnderCapacityChurn) {
+  lu::Rng rng(99);
+  des::Simulation sim;
+  des::BandwidthLink link(sim, 1e6);
+  double current_capacity = 1e6;
+  bool ok = true;
+  auto spawn_flow = [&](double bytes) {
+    struct Runner {
+      static des::Process go(des::BandwidthLink& l, double b) {
+        co_await l.transfer(b);
+      }
+    };
+    sim.spawn(Runner::go(link, bytes));
+  };
+  for (int i = 0; i < 100; ++i)
+    sim.schedule(rng.uniform(0.0, 50.0),
+                 [&, b = rng.uniform(1e4, 1e7)] { spawn_flow(b); });
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule(rng.uniform(0.0, 60.0), [&, c = rng.uniform(1e5, 2e6)] {
+      current_capacity = c;
+      link.set_capacity(c);
+    });
+  }
+  for (double t = 0.5; t < 80.0; t += 0.5) {
+    sim.schedule(t, [&] {
+      ok = ok && link.allocated_rate() <= current_capacity * (1.0 + 1e-9);
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(link.active_flows(), 0u) << "all flows must eventually drain";
+}
+
+// Fault injection: a corrupted journal is rejected, not misread.
+TEST(Properties, CorruptJournalRejected) {
+  const std::string path = ::testing::TempDir() + "corrupt.jsonl";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("{\"type\":\"gibberish\",\"id\":1}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(core::Db::load_journal(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(core::Db::load_journal("/nonexistent/journal.jsonl"),
+               std::runtime_error);
+}
+
+// Fault injection: config parser survives random byte soup (either parses
+// or throws; never crashes or hangs).
+TEST(Properties, ConfigParserFuzz) {
+  lu::Rng rng(2718);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    const int len = static_cast<int>(rng.uniform_int(0, 400));
+    for (int i = 0; i < len; ++i) {
+      const char alphabet[] = "[]=#;\"\n abc123_./-";
+      soup += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+    }
+    try {
+      const auto cfg = lu::Config::parse(soup);
+      (void)cfg.sections();
+    } catch (const std::runtime_error&) {
+      // fine: rejected with a diagnostic
+    }
+  }
+  SUCCEED();
+}
+
+// Property: DB tasklet ledger is conserved through arbitrary interleavings
+// of create/finish(success|evict)/merge operations.
+TEST(Properties, DbLedgerConservedUnderRandomOps) {
+  lu::Rng rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    core::Db db;
+    const std::size_t n = 40;
+    std::vector<core::Tasklet> tasklets(n);
+    for (std::size_t i = 0; i < n; ++i) tasklets[i].id = i + 1;
+    db.register_tasklets(tasklets);
+    std::vector<std::uint64_t> open_tasks;
+    for (int op = 0; op < 200; ++op) {
+      if (!open_tasks.empty() && rng.chance(0.5)) {
+        // finish a random open task
+        const std::size_t k = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(open_tasks.size()) - 1));
+        const auto id = open_tasks[k];
+        open_tasks.erase(open_tasks.begin() + static_cast<long>(k));
+        core::TaskRecord rec;
+        rec.status = rng.chance(0.3) ? core::TaskStatus::Evicted
+                                     : core::TaskStatus::Done;
+        db.finish_task(id, rec);
+        if (rec.status == core::TaskStatus::Done)
+          db.record_output(id, "out", 1e6);
+      } else {
+        const auto pending = db.pending_tasklets(
+            static_cast<std::size_t>(rng.uniform_int(1, 5)));
+        if (pending.empty()) continue;
+        open_tasks.push_back(
+            db.create_task(core::TaskKind::Analysis, pending, 0.0));
+      }
+    }
+    // Ledger: every tasklet is in exactly one state and the counts add up.
+    std::size_t total = 0;
+    for (const auto& [status, count] : db.tasklet_status_counts())
+      total += count;
+    EXPECT_EQ(total, n);
+  }
+}

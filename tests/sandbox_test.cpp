@@ -1,0 +1,158 @@
+// Tests for Work Queue file management: sandboxes, the worker file cache,
+// and end-to-end input staging / output shipping through real workers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wq/master.hpp"
+#include "wq/sandbox.hpp"
+#include "wq/worker.hpp"
+
+namespace wq = lobster::wq;
+
+// ---------------------------------------------------------------- sandbox ----
+
+TEST(Sandbox, StageReadWrite) {
+  wq::Sandbox box;
+  box.stage(wq::InputFile::make("input.root", "eventdata"));
+  EXPECT_TRUE(box.has("input.root"));
+  EXPECT_EQ(box.read("input.root"), "eventdata");
+  box.write("output.root", "histograms");
+  EXPECT_EQ(box.read("output.root"), "histograms");
+  EXPECT_THROW(box.read("missing"), std::out_of_range);
+  EXPECT_DOUBLE_EQ(box.bytes(), 9.0 + 10.0);
+}
+
+TEST(Sandbox, OutputsExcludeInputs) {
+  wq::Sandbox box;
+  box.stage(wq::InputFile::make("in", "abc"));
+  box.write("out1", "x");
+  box.write("out2", "yy");
+  const auto outs = box.outputs();
+  EXPECT_EQ(outs.size(), 2u);
+  EXPECT_EQ(outs.at("out2"), "yy");
+  const auto names = box.list();
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(Sandbox, WriteShadowsStagedInput) {
+  wq::Sandbox box;
+  box.stage(wq::InputFile::make("f", "original"));
+  box.write("f", "modified");
+  EXPECT_EQ(box.read("f"), "modified");
+}
+
+TEST(InputFile, HashDistinguishesContent) {
+  const auto a = wq::InputFile::make("x", "aaaa");
+  const auto b = wq::InputFile::make("x", "aaab");
+  EXPECT_NE(a.hash, b.hash);
+  EXPECT_EQ(a.hash, wq::content_hash("aaaa"));
+}
+
+// ------------------------------------------------------------- file cache ----
+
+TEST(WorkerFileCache, CacheableTransferredOnce) {
+  wq::WorkerFileCache cache;
+  const auto f = wq::InputFile::make("sandbox.tar", std::string(1000, 's'));
+  const auto first = cache.stage_through(f);
+  const auto second = cache.stage_through(f);
+  EXPECT_EQ(first, second) << "same shared content";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(cache.bytes_transferred(), 1000.0);
+  EXPECT_DOUBLE_EQ(cache.bytes_saved(), 1000.0);
+}
+
+TEST(WorkerFileCache, NonCacheableAlwaysTransfers) {
+  wq::WorkerFileCache cache;
+  const auto f =
+      wq::InputFile::make("unique.cfg", "per-task", /*cacheable=*/false);
+  cache.stage_through(f);
+  cache.stage_through(f);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// -------------------------------------------------------------- end to end ----
+
+namespace {
+wq::TaskSpec file_task(std::uint64_t id, const wq::InputFile& shared,
+                       const std::string& unique_content) {
+  wq::TaskSpec spec;
+  spec.id = id;
+  spec.input_files.push_back(shared);
+  spec.input_files.push_back(wq::InputFile::make(
+      "config.py", unique_content, /*cacheable=*/false));
+  spec.work = [](wq::TaskContext& ctx) {
+    if (!ctx.sandbox || !ctx.sandbox->has("sandbox.tar") ||
+        !ctx.sandbox->has("config.py"))
+      return 1;
+    // Produce an output derived from the inputs.
+    ctx.sandbox->write("out.root",
+                       "processed:" + ctx.sandbox->read("config.py"));
+    return 0;
+  };
+  return spec;
+}
+}  // namespace
+
+TEST(WorkerFiles, SandboxSharedAcrossTasksOutputsShippedBack) {
+  wq::Master master;
+  const auto shared =
+      wq::InputFile::make("sandbox.tar", std::string(5000, 'S'));
+  for (int i = 0; i < 20; ++i)
+    master.submit(file_task(static_cast<std::uint64_t>(i), shared,
+                            "cfg-" + std::to_string(i)));
+  master.close_submission();
+  wq::Worker worker("w0", master, 2);
+  std::set<std::string> outputs;
+  while (auto r = master.next_result()) {
+    EXPECT_TRUE(r->success());
+    ASSERT_EQ(r->output_files.size(), 1u);
+    outputs.insert(r->output_files.at("out.root"));
+  }
+  worker.join();
+  EXPECT_EQ(outputs.size(), 20u) << "each task produced its own output";
+  // The 5 kB sandbox crossed the wire once; configs crossed 20 times.
+  EXPECT_EQ(worker.file_cache().hits(), 19u);
+  EXPECT_DOUBLE_EQ(worker.file_cache().bytes_saved(), 19.0 * 5000.0);
+  // "cfg-0".."cfg-9" are 5 bytes, "cfg-10".."cfg-19" are 6 bytes.
+  EXPECT_DOUBLE_EQ(worker.file_cache().bytes_transferred(),
+                   5000.0 + 10.0 * 5.0 + 10.0 * 6.0);
+}
+
+TEST(WorkerFiles, PerTaskStagingAccounting) {
+  wq::Master master;
+  const auto shared = wq::InputFile::make("lib.so", std::string(100, 'L'));
+  master.submit(file_task(1, shared, "a"));
+  master.submit(file_task(2, shared, "b"));
+  master.close_submission();
+  wq::Worker worker("w0", master, 1);
+  std::map<std::uint64_t, wq::TaskResult> results;
+  while (auto r = master.next_result()) results[r->id] = *r;
+  worker.join();
+  // First task paid the shared transfer; the second saved it.
+  const double first = results.at(1).stage_in_bytes;
+  const double second = results.at(2).stage_in_bytes;
+  // Task order on one slot is submission order.
+  EXPECT_DOUBLE_EQ(first, 100.0 + 1.0);
+  EXPECT_DOUBLE_EQ(second, 1.0);
+  EXPECT_DOUBLE_EQ(results.at(2).cache_saved_bytes, 100.0);
+}
+
+TEST(WorkerFiles, TasksWithoutFilesStillRun) {
+  wq::Master master;
+  wq::TaskSpec spec;
+  spec.id = 1;
+  spec.work = [](wq::TaskContext& ctx) {
+    return ctx.sandbox != nullptr && ctx.sandbox->list().empty() ? 0 : 1;
+  };
+  master.submit(std::move(spec));
+  master.close_submission();
+  wq::Worker worker("w0", master, 1);
+  const auto r = master.next_result();
+  worker.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->success());
+}

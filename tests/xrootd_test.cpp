@@ -1,0 +1,167 @@
+// Tests for the XrootD data federation: redirector, DES streaming/staging
+// model with outage injection, and the in-process client.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "xrootd/federation.hpp"
+
+namespace xr = lobster::xrootd;
+namespace des = lobster::des;
+
+// ------------------------------------------------------------ redirector ----
+
+TEST(Redirector, LocateAndPick) {
+  xr::RedirectorTable rt;
+  rt.add_replica("/store/a.root", "T2_US_Nebraska");
+  rt.add_replica("/store/a.root", "T2_DE_DESY");
+  const auto sites = rt.locate("/store/a.root");
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_TRUE(rt.locate("/store/missing.root").empty());
+  // Round-robin picks alternate.
+  EXPECT_EQ(rt.pick("/store/a.root"), "T2_US_Nebraska");
+  EXPECT_EQ(rt.pick("/store/a.root"), "T2_DE_DESY");
+  EXPECT_EQ(rt.pick("/store/a.root"), "T2_US_Nebraska");
+  EXPECT_FALSE(rt.pick("/store/missing.root").has_value());
+}
+
+TEST(Redirector, RejectsEmptyInput) {
+  xr::RedirectorTable rt;
+  EXPECT_THROW(rt.add_replica("", "site"), std::invalid_argument);
+  EXPECT_THROW(rt.add_replica("/f", ""), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- DES federation ----
+
+namespace {
+des::Process run_stream(des::Simulation& sim, xr::FederationSim& fed,
+                        double bytes, std::vector<double>& times,
+                        int& failures, bool staged = false) {
+  try {
+    const double dt = staged ? co_await fed.stage(bytes)
+                             : co_await fed.stream(bytes);
+    times.push_back(dt);
+  } catch (const xr::AccessError&) {
+    ++failures;
+  }
+  (void)sim;
+}
+}  // namespace
+
+TEST(FederationSim, SingleStreamLimitedByPerStreamRate) {
+  des::Simulation sim;
+  xr::FederationSim::Params p;
+  p.campus_uplink_rate = 1.25e9;
+  p.per_stream_rate = 3.0e7;
+  p.open_latency = 1.0;
+  xr::FederationSim fed(sim, p);
+  std::vector<double> times;
+  int failures = 0;
+  sim.spawn(run_stream(sim, fed, 3.0e8, times, failures));
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_NEAR(times[0], 1.0 + 10.0, 1e-9);  // open + 300MB at 30MB/s
+  EXPECT_DOUBLE_EQ(fed.bytes_streamed(), 3.0e8);
+}
+
+TEST(FederationSim, ManyStreamsSaturateCampusUplink) {
+  des::Simulation sim;
+  xr::FederationSim::Params p;
+  p.campus_uplink_rate = 1.25e9;  // 10 Gbit/s
+  p.per_stream_rate = 3.0e7;
+  p.open_latency = 0.0;
+  xr::FederationSim fed(sim, p);
+  std::vector<double> times;
+  int failures = 0;
+  // 100 streams * 30 MB/s = 3 GB/s demand > 1.25 GB/s uplink.
+  for (int i = 0; i < 100; ++i)
+    sim.spawn(run_stream(sim, fed, 1.25e8, times, failures));
+  sim.run();
+  ASSERT_EQ(times.size(), 100u);
+  // Each gets 12.5 MB/s: 125 MB / 12.5 MB/s = 10 s, vs 4.17 s unloaded.
+  EXPECT_NEAR(times[0], 10.0, 1e-6);
+}
+
+TEST(FederationSim, OutageFailsOpensAndBreaksInFlightStreams) {
+  des::Simulation sim;
+  xr::FederationSim::Params p;
+  p.campus_uplink_rate = 1e8;
+  p.per_stream_rate = 1e8;
+  p.open_latency = 0.0;
+  p.open_fail_delay = 2.0;
+  xr::FederationSim fed(sim, p);
+  std::vector<double> times;
+  int failures = 0;
+  // Flow A starts at t=0, needs 20 s unloaded (2e9 / 1e8); the outage at
+  // t=5 breaks its connection, so it errors once the stall resolves.
+  sim.spawn(run_stream(sim, fed, 2e9, times, failures));
+  fed.schedule_outage(5.0, 10.0);
+  // Flow B opens at t=7 (inside the outage) => immediate AccessError.
+  sim.schedule(7.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e6, times, failures));
+  });
+  // Flow C opens after the outage and completes normally.
+  sim.schedule(20.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e8, times, failures));
+  });
+  sim.run();
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(fed.failed_opens(), 1u);
+  EXPECT_EQ(fed.outages_started(), 1u);
+  ASSERT_EQ(times.size(), 1u);  // only flow C succeeded
+}
+
+TEST(FederationSim, StageAccountsSeparately) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, {});
+  std::vector<double> times;
+  int failures = 0;
+  sim.spawn(run_stream(sim, fed, 1e7, times, failures, /*staged=*/true));
+  sim.run();
+  EXPECT_DOUBLE_EQ(fed.bytes_staged(), 1e7);
+  EXPECT_DOUBLE_EQ(fed.bytes_streamed(), 0.0);
+}
+
+TEST(FederationSim, BadOutageWindowRejected) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, {});
+  EXPECT_THROW(fed.schedule_outage(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(fed.schedule_outage(0.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ real client ----
+
+TEST(Client, ReadThroughRedirector) {
+  xr::RedirectorTable rt;
+  auto site = std::make_shared<xr::SiteStore>("T2_US_Nebraska");
+  site->put("/store/a.root", 2.1e9);
+  rt.add_replica("/store/a.root", "T2_US_Nebraska");
+  xr::Client client(rt);
+  client.attach_site(site);
+  const auto [where, bytes] = client.read("/store/a.root");
+  EXPECT_EQ(where, "T2_US_Nebraska");
+  EXPECT_DOUBLE_EQ(bytes, 2.1e9);
+}
+
+TEST(Client, ErrorsOnMissingReplicaOrSite) {
+  xr::RedirectorTable rt;
+  xr::Client client(rt);
+  EXPECT_THROW(client.read("/store/unknown.root"), xr::AccessError);
+  rt.add_replica("/store/b.root", "T2_Unattached");
+  EXPECT_THROW(client.read("/store/b.root"), xr::AccessError);
+  auto site = std::make_shared<xr::SiteStore>("T2_Attached");
+  rt.add_replica("/store/c.root", "T2_Attached");
+  client.attach_site(site);
+  EXPECT_THROW(client.read("/store/c.root"), xr::AccessError)
+      << "site lacks the file";
+}
+
+TEST(SiteStore, PutHasOpen) {
+  xr::SiteStore s("T3_ND");
+  EXPECT_FALSE(s.has("/f"));
+  s.put("/f", 100.0);
+  EXPECT_TRUE(s.has("/f"));
+  EXPECT_DOUBLE_EQ(s.open("/f"), 100.0);
+  EXPECT_THROW(s.put("/g", -1.0), std::invalid_argument);
+}

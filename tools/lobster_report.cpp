@@ -1,0 +1,122 @@
+// lobster_report — offline analysis of a Lobster DB journal (paper §5).
+//
+// "All of these records are stored in the Lobster DB, so that it becomes
+// easy to generate histograms and time lines showing the distribution of
+// behavior at each stage of the execution."  This tool is that drill-down:
+// point it at a journal written with Db::save_journal() and it prints the
+// workflow state, per-segment time distributions, the runtime breakdown,
+// and the §5 diagnosis.
+//
+// Usage: lobster_report <journal.jsonl> [--csv]
+//   --csv   additionally dump the task table as CSV to stdout
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/db.hpp"
+#include "core/monitor.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <journal.jsonl> [--csv]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool want_csv = argc > 2 && std::strcmp(argv[2], "--csv") == 0;
+
+  core::Db db;
+  try {
+    db = core::Db::load_journal(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("== Lobster DB report: %s ==\n\n", path.c_str());
+
+  // ---- workflow state --------------------------------------------------------
+  util::Table state({"tasklet status", "count"});
+  for (const auto& [status, n] : db.tasklet_status_counts())
+    state.row({core::to_string(status),
+               util::Table::integer(static_cast<long long>(n))});
+  std::fputs(state.str().c_str(), stdout);
+
+  util::Table tasks({"task status", "count"});
+  for (const auto& [status, n] : db.task_status_counts())
+    tasks.row({core::to_string(status),
+               util::Table::integer(static_cast<long long>(n))});
+  std::fputs(tasks.str().c_str(), stdout);
+
+  // ---- per-segment totals -----------------------------------------------------
+  const auto totals = db.segment_totals();
+  double grand = 0.0;
+  for (double v : totals) grand += v;
+  util::Table segments({"segment", "total time", "fraction"});
+  for (std::size_t s = 0; s < core::kNumSegments; ++s) {
+    segments.row(
+        {core::to_string(static_cast<core::Segment>(s)),
+         util::format_duration(totals[s]),
+         grand > 0.0 ? util::Table::num(100.0 * totals[s] / grand, 1) + " %"
+                     : "-"});
+  }
+  segments.row({"(lost to eviction)", util::format_duration(db.total_lost_time()),
+                ""});
+  std::fputs(segments.str().c_str(), stdout);
+
+  // ---- segment histograms ------------------------------------------------------
+  for (const auto segment :
+       {core::Segment::EnvSetup, core::Segment::Execute,
+        core::Segment::StageOut}) {
+    // Range heuristic: four times the per-task mean of this segment.
+    const double mean =
+        totals[static_cast<std::size_t>(segment)] /
+        static_cast<double>(std::max<std::size_t>(1, db.num_tasks()));
+    const auto h = db.segment_histogram(segment, 12, std::max(1.0, 4.0 * mean));
+    std::printf("\nsegment '%s' duration distribution:\n",
+                core::to_string(segment));
+    std::fputs(h.ascii(40).c_str(), stdout);
+  }
+
+  // ---- reconstructed monitor + diagnosis ---------------------------------------
+  core::Monitor monitor(600.0);
+  for (std::uint64_t id = 1; id <= db.num_tasks(); ++id) {
+    const auto& rec = db.task(id);
+    if (rec.status == core::TaskStatus::Done ||
+        rec.status == core::TaskStatus::Failed ||
+        rec.status == core::TaskStatus::Evicted)
+      monitor.on_task_finished(rec);
+  }
+  const auto b = monitor.breakdown();
+  std::puts("\nruntime breakdown (Figure 8 form):");
+  util::Table breakdown({"phase", "time", "fraction"});
+  const double total = b.total();
+  auto frac = [total](double v) {
+    return total > 0.0 ? util::Table::num(100.0 * v / total, 1) + " %" : "-";
+  };
+  breakdown.row({"Task CPU Time", util::format_duration(b.cpu), frac(b.cpu)});
+  breakdown.row({"Task I/O Time", util::format_duration(b.io), frac(b.io)});
+  breakdown.row({"Task Failed", util::format_duration(b.failed),
+                 frac(b.failed)});
+  breakdown.row({"WQ Stage In", util::format_duration(b.stage_in + b.other),
+                 frac(b.stage_in + b.other)});
+  breakdown.row({"WQ Stage Out", util::format_duration(b.stage_out),
+                 frac(b.stage_out)});
+  std::fputs(breakdown.str().c_str(), stdout);
+
+  std::puts("\ndiagnosis (paper SS5 rules):");
+  const auto diags = monitor.diagnose();
+  if (diags.empty()) std::puts("  no bottlenecks detected");
+  for (const auto& d : diags)
+    std::printf("  [%.2f] %s\n         -> %s\n", d.severity, d.symptom.c_str(),
+                d.advice.c_str());
+
+  if (want_csv) {
+    std::puts("\n-- task table (CSV) --");
+    std::fputs(db.tasks_csv().c_str(), stdout);
+  }
+  return 0;
+}

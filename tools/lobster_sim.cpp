@@ -1,0 +1,151 @@
+// lobster_sim — run a cluster-scale Lobster scenario from a configuration
+// file and report the outcome.  This is the "plan before you burn CPU" CLI:
+// describe the opportunistic cluster and the workflow in INI form, and the
+// DES engine predicts makespan, efficiency, failure behaviour and the §5
+// diagnosis.
+//
+// Usage: lobster_sim <scenario.ini>
+//
+// Example scenario file:
+//
+//   [cluster]
+//   cores = 5000
+//   cores_per_worker = 8
+//   ramp = 1h
+//   availability_hours = 8
+//   evictions = true
+//   uplink = 10          # Gbit/s
+//   squids = 1
+//   chirp_connections = 24
+//
+//   [workflow]
+//   tasklets = 30000
+//   tasklets_per_task = 6
+//   tasklet_cpu = 10m
+//   input_per_tasklet = 350MB
+//   read_fraction = 0.3
+//   output_per_tasklet = 20MB
+//   access = stream            # or stage
+//   merge = interleaved        # or sequential / hadoop
+//
+//   [failures]
+//   outage_start = 3h          # optional WAN outage window
+//   outage_duration = 30m
+#include <cstdio>
+#include <string>
+
+#include "lobsim/engine.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace lobster;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <scenario.ini>\n", argv[0]);
+    return 2;
+  }
+
+  util::Config cfg;
+  try {
+    cfg = util::Config::load(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  lobsim::ClusterParams cluster;
+  cluster.target_cores = static_cast<std::size_t>(
+      cfg.get_int("cluster", "cores", 5000));
+  cluster.cores_per_worker = static_cast<std::size_t>(
+      cfg.get_int("cluster", "cores_per_worker", 8));
+  cluster.ramp_seconds = cfg.get_duration("cluster", "ramp", 3600.0);
+  cluster.availability_scale_hours =
+      cfg.get_double("cluster", "availability_hours", 8.0);
+  cluster.evictions = cfg.get_bool("cluster", "evictions", true);
+  cluster.federation.campus_uplink_rate =
+      util::gbit_per_s(cfg.get_double("cluster", "uplink", 10.0));
+  cluster.num_squids =
+      static_cast<std::size_t>(cfg.get_int("cluster", "squids", 1));
+  cluster.chirp.max_connections =
+      cfg.get_int("cluster", "chirp_connections", 24);
+
+  lobsim::WorkloadParams workload;
+  workload.num_tasklets = static_cast<std::uint64_t>(
+      cfg.get_int("workflow", "tasklets", 30000));
+  workload.tasklets_per_task = static_cast<std::uint32_t>(
+      cfg.get_int("workflow", "tasklets_per_task", 6));
+  workload.tasklet_cpu_mean =
+      cfg.get_duration("workflow", "tasklet_cpu", 600.0);
+  workload.tasklet_cpu_sigma = workload.tasklet_cpu_mean / 2.0;
+  workload.tasklet_input_bytes =
+      cfg.get_size("workflow", "input_per_tasklet", 350e6);
+  workload.read_fraction = cfg.get_double("workflow", "read_fraction", 0.3);
+  workload.tasklet_output_bytes =
+      cfg.get_size("workflow", "output_per_tasklet", 20e6);
+
+  const std::string access = cfg.get_string("workflow", "access", "stream");
+  if (access == "stage")
+    workload.access = core::DataAccessMode::Stage;
+  else if (access != "stream") {
+    std::fprintf(stderr, "error: unknown access mode '%s'\n", access.c_str());
+    return 1;
+  }
+  const std::string merge = cfg.get_string("workflow", "merge", "interleaved");
+  if (merge == "sequential")
+    workload.merge_mode = core::MergeMode::Sequential;
+  else if (merge == "hadoop")
+    workload.merge_mode = core::MergeMode::Hadoop;
+  else if (merge != "interleaved") {
+    std::fprintf(stderr, "error: unknown merge mode '%s'\n", merge.c_str());
+    return 1;
+  }
+
+  lobsim::Engine engine(cluster, workload,
+                        static_cast<std::uint64_t>(
+                            cfg.get_int("workflow", "seed", 2015)));
+  const double outage_start = cfg.get_duration("failures", "outage_start", 0.0);
+  const double outage_duration =
+      cfg.get_duration("failures", "outage_duration", 0.0);
+  if (outage_start > 0.0 && outage_duration > 0.0)
+    engine.schedule_outage(outage_start, outage_duration);
+
+  std::printf("simulating %zu cores, %llu tasklets (%s each)...\n",
+              cluster.target_cores,
+              static_cast<unsigned long long>(workload.num_tasklets),
+              util::format_duration(workload.tasklet_cpu_mean).c_str());
+  const auto& m = engine.run(30.0 * 86400.0);
+  const auto b = m.monitor.breakdown();
+  const double total = b.total();
+
+  util::Table table({"result", "value"});
+  table.row({"makespan", util::format_duration(m.makespan)});
+  table.row({"peak concurrent tasks",
+             util::Table::integer(static_cast<long long>(m.peak_running))});
+  table.row({"tasklets processed",
+             util::Table::integer(static_cast<long long>(m.tasklets_processed))});
+  table.row({"tasks evicted / failed",
+             util::Table::integer(static_cast<long long>(m.tasks_evicted)) +
+                 " / " +
+                 util::Table::integer(static_cast<long long>(m.tasks_failed))});
+  table.row({"WAN streamed", util::format_bytes(m.bytes_streamed)});
+  table.row({"staged out", util::format_bytes(m.bytes_staged_out)});
+  table.row({"merged files", util::Table::integer(static_cast<long long>(
+                                 m.merge_tasks_completed))});
+  if (total > 0.0) {
+    table.row({"CPU fraction", util::Table::num(100.0 * b.cpu / total, 1) + " %"});
+    table.row({"I/O fraction", util::Table::num(100.0 * b.io / total, 1) + " %"});
+    table.row({"failed fraction",
+               util::Table::num(100.0 * b.failed / total, 1) + " %"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\ndiagnosis:");
+  const auto diags = m.monitor.diagnose();
+  if (diags.empty()) std::puts("  no bottlenecks detected");
+  for (const auto& d : diags)
+    std::printf("  [%.2f] %s\n         -> %s\n", d.severity, d.symptom.c_str(),
+                d.advice.c_str());
+  return 0;
+}
