@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_eviction_probability.dir/fig02_eviction_probability.cpp.o"
+  "CMakeFiles/fig02_eviction_probability.dir/fig02_eviction_probability.cpp.o.d"
+  "fig02_eviction_probability"
+  "fig02_eviction_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_eviction_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_task_size_efficiency.dir/fig03_task_size_efficiency.cpp.o"
+  "CMakeFiles/fig03_task_size_efficiency.dir/fig03_task_size_efficiency.cpp.o.d"
+  "fig03_task_size_efficiency"
+  "fig03_task_size_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_task_size_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

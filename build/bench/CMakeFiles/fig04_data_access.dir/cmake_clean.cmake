@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_data_access.dir/fig04_data_access.cpp.o"
+  "CMakeFiles/fig04_data_access.dir/fig04_data_access.cpp.o.d"
+  "fig04_data_access"
+  "fig04_data_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_data_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cache_modes.dir/fig06_cache_modes.cpp.o"
+  "CMakeFiles/fig06_cache_modes.dir/fig06_cache_modes.cpp.o.d"
+  "fig06_cache_modes"
+  "fig06_cache_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cache_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

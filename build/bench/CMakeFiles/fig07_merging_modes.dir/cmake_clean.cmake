@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_merging_modes.dir/fig07_merging_modes.cpp.o"
+  "CMakeFiles/fig07_merging_modes.dir/fig07_merging_modes.cpp.o.d"
+  "fig07_merging_modes"
+  "fig07_merging_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_merging_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_merging_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_xrootd_volume.dir/fig09_xrootd_volume.cpp.o"
+  "CMakeFiles/fig09_xrootd_volume.dir/fig09_xrootd_volume.cpp.o.d"
+  "fig09_xrootd_volume"
+  "fig09_xrootd_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_xrootd_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_processing_timeline.dir/fig10_processing_timeline.cpp.o"
+  "CMakeFiles/fig10_processing_timeline.dir/fig10_processing_timeline.cpp.o.d"
+  "fig10_processing_timeline"
+  "fig10_processing_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_processing_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

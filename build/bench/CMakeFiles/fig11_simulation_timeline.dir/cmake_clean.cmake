@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_simulation_timeline.dir/fig11_simulation_timeline.cpp.o"
+  "CMakeFiles/fig11_simulation_timeline.dir/fig11_simulation_timeline.cpp.o.d"
+  "fig11_simulation_timeline"
+  "fig11_simulation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_simulation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adaptive_sizing.dir/fig12_adaptive_sizing.cpp.o"
+  "CMakeFiles/fig12_adaptive_sizing.dir/fig12_adaptive_sizing.cpp.o.d"
+  "fig12_adaptive_sizing"
+  "fig12_adaptive_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adaptive_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

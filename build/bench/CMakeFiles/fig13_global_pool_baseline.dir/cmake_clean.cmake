@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_global_pool_baseline.dir/fig13_global_pool_baseline.cpp.o"
+  "CMakeFiles/fig13_global_pool_baseline.dir/fig13_global_pool_baseline.cpp.o.d"
+  "fig13_global_pool_baseline"
+  "fig13_global_pool_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_global_pool_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

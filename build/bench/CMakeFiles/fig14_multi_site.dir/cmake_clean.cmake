@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multi_site.dir/fig14_multi_site.cpp.o"
+  "CMakeFiles/fig14_multi_site.dir/fig14_multi_site.cpp.o.d"
+  "fig14_multi_site"
+  "fig14_multi_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multi_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_des.dir/micro_des.cpp.o"
+  "CMakeFiles/micro_des.dir/micro_des.cpp.o.d"
+  "micro_des"
+  "micro_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

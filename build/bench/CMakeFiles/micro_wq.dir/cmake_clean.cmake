@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wq.dir/micro_wq.cpp.o"
+  "CMakeFiles/micro_wq.dir/micro_wq.cpp.o.d"
+  "micro_wq"
+  "micro_wq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

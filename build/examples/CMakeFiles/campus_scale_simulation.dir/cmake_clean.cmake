@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_scale_simulation.dir/campus_scale_simulation.cpp.o"
+  "CMakeFiles/campus_scale_simulation.dir/campus_scale_simulation.cpp.o.d"
+  "campus_scale_simulation"
+  "campus_scale_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_scale_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_pipeline.dir/merge_pipeline.cpp.o"
+  "CMakeFiles/merge_pipeline.dir/merge_pipeline.cpp.o.d"
+  "merge_pipeline"
+  "merge_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

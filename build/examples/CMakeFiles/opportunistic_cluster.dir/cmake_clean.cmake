@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunistic_cluster.dir/opportunistic_cluster.cpp.o"
+  "CMakeFiles/opportunistic_cluster.dir/opportunistic_cluster.cpp.o.d"
+  "opportunistic_cluster"
+  "opportunistic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunistic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

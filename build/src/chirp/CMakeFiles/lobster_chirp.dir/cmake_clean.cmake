@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_chirp.dir/chirp.cpp.o"
+  "CMakeFiles/lobster_chirp.dir/chirp.cpp.o.d"
+  "CMakeFiles/lobster_chirp.dir/hdfs_backend.cpp.o"
+  "CMakeFiles/lobster_chirp.dir/hdfs_backend.cpp.o.d"
+  "liblobster_chirp.a"
+  "liblobster_chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/lobster_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/db.cpp" "src/core/CMakeFiles/lobster_core.dir/db.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/db.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/lobster_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/lobster_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/lobster_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/task_size_model.cpp" "src/core/CMakeFiles/lobster_core.dir/task_size_model.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/task_size_model.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/lobster_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/workflow.cpp.o.d"
+  "/root/repo/src/core/wrapper.cpp" "src/core/CMakeFiles/lobster_core.dir/wrapper.cpp.o" "gcc" "src/core/CMakeFiles/lobster_core.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lobster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbs/CMakeFiles/lobster_dbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wq/CMakeFiles/lobster_wq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

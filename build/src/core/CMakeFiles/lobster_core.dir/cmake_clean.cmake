@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_core.dir/config.cpp.o"
+  "CMakeFiles/lobster_core.dir/config.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/db.cpp.o"
+  "CMakeFiles/lobster_core.dir/db.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/merge.cpp.o"
+  "CMakeFiles/lobster_core.dir/merge.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/monitor.cpp.o"
+  "CMakeFiles/lobster_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/scheduler.cpp.o"
+  "CMakeFiles/lobster_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/task_size_model.cpp.o"
+  "CMakeFiles/lobster_core.dir/task_size_model.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/workflow.cpp.o"
+  "CMakeFiles/lobster_core.dir/workflow.cpp.o.d"
+  "CMakeFiles/lobster_core.dir/wrapper.cpp.o"
+  "CMakeFiles/lobster_core.dir/wrapper.cpp.o.d"
+  "liblobster_core.a"
+  "liblobster_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

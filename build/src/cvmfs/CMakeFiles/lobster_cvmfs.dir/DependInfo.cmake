@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cvmfs/parrot_cache.cpp" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/parrot_cache.cpp.o" "gcc" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/parrot_cache.cpp.o.d"
+  "/root/repo/src/cvmfs/parrot_vfs.cpp" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/parrot_vfs.cpp.o" "gcc" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/parrot_vfs.cpp.o.d"
+  "/root/repo/src/cvmfs/repository.cpp" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/repository.cpp.o" "gcc" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/repository.cpp.o.d"
+  "/root/repo/src/cvmfs/squid.cpp" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/squid.cpp.o" "gcc" "src/cvmfs/CMakeFiles/lobster_cvmfs.dir/squid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lobster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/lobster_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_cvmfs.dir/parrot_cache.cpp.o"
+  "CMakeFiles/lobster_cvmfs.dir/parrot_cache.cpp.o.d"
+  "CMakeFiles/lobster_cvmfs.dir/parrot_vfs.cpp.o"
+  "CMakeFiles/lobster_cvmfs.dir/parrot_vfs.cpp.o.d"
+  "CMakeFiles/lobster_cvmfs.dir/repository.cpp.o"
+  "CMakeFiles/lobster_cvmfs.dir/repository.cpp.o.d"
+  "CMakeFiles/lobster_cvmfs.dir/squid.cpp.o"
+  "CMakeFiles/lobster_cvmfs.dir/squid.cpp.o.d"
+  "liblobster_cvmfs.a"
+  "liblobster_cvmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_cvmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lobster_cvmfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_dbs.dir/dbs.cpp.o"
+  "CMakeFiles/lobster_dbs.dir/dbs.cpp.o.d"
+  "CMakeFiles/lobster_dbs.dir/publication.cpp.o"
+  "CMakeFiles/lobster_dbs.dir/publication.cpp.o.d"
+  "liblobster_dbs.a"
+  "liblobster_dbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_dbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblobster_dbs.a"
+)

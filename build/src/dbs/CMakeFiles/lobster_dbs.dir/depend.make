@@ -1,0 +1,2 @@
+# Empty dependencies file for lobster_dbs.
+# This may be replaced when dependencies are built.

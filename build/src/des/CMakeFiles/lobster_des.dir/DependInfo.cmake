@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/bandwidth.cpp" "src/des/CMakeFiles/lobster_des.dir/bandwidth.cpp.o" "gcc" "src/des/CMakeFiles/lobster_des.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/des/resource.cpp" "src/des/CMakeFiles/lobster_des.dir/resource.cpp.o" "gcc" "src/des/CMakeFiles/lobster_des.dir/resource.cpp.o.d"
+  "/root/repo/src/des/simulation.cpp" "src/des/CMakeFiles/lobster_des.dir/simulation.cpp.o" "gcc" "src/des/CMakeFiles/lobster_des.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lobster_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

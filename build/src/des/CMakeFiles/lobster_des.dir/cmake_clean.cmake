@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_des.dir/bandwidth.cpp.o"
+  "CMakeFiles/lobster_des.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/lobster_des.dir/resource.cpp.o"
+  "CMakeFiles/lobster_des.dir/resource.cpp.o.d"
+  "CMakeFiles/lobster_des.dir/simulation.cpp.o"
+  "CMakeFiles/lobster_des.dir/simulation.cpp.o.d"
+  "liblobster_des.a"
+  "liblobster_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

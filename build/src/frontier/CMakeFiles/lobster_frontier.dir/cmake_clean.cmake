@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_frontier.dir/frontier.cpp.o"
+  "CMakeFiles/lobster_frontier.dir/frontier.cpp.o.d"
+  "liblobster_frontier.a"
+  "liblobster_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_hdfs.dir/hdfs.cpp.o"
+  "CMakeFiles/lobster_hdfs.dir/hdfs.cpp.o.d"
+  "liblobster_hdfs.a"
+  "liblobster_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

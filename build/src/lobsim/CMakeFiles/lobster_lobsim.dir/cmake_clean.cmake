@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_lobsim.dir/engine.cpp.o"
+  "CMakeFiles/lobster_lobsim.dir/engine.cpp.o.d"
+  "CMakeFiles/lobster_lobsim.dir/global_pool.cpp.o"
+  "CMakeFiles/lobster_lobsim.dir/global_pool.cpp.o.d"
+  "CMakeFiles/lobster_lobsim.dir/scenarios.cpp.o"
+  "CMakeFiles/lobster_lobsim.dir/scenarios.cpp.o.d"
+  "liblobster_lobsim.a"
+  "liblobster_lobsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_lobsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

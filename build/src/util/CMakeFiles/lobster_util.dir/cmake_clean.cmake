@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_util.dir/config.cpp.o"
+  "CMakeFiles/lobster_util.dir/config.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/histogram.cpp.o"
+  "CMakeFiles/lobster_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/log.cpp.o"
+  "CMakeFiles/lobster_util.dir/log.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/rng.cpp.o"
+  "CMakeFiles/lobster_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/stats.cpp.o"
+  "CMakeFiles/lobster_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/table.cpp.o"
+  "CMakeFiles/lobster_util.dir/table.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lobster_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lobster_util.dir/units.cpp.o"
+  "CMakeFiles/lobster_util.dir/units.cpp.o.d"
+  "liblobster_util.a"
+  "liblobster_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wq/foreman.cpp" "src/wq/CMakeFiles/lobster_wq.dir/foreman.cpp.o" "gcc" "src/wq/CMakeFiles/lobster_wq.dir/foreman.cpp.o.d"
+  "/root/repo/src/wq/master.cpp" "src/wq/CMakeFiles/lobster_wq.dir/master.cpp.o" "gcc" "src/wq/CMakeFiles/lobster_wq.dir/master.cpp.o.d"
+  "/root/repo/src/wq/sandbox.cpp" "src/wq/CMakeFiles/lobster_wq.dir/sandbox.cpp.o" "gcc" "src/wq/CMakeFiles/lobster_wq.dir/sandbox.cpp.o.d"
+  "/root/repo/src/wq/worker.cpp" "src/wq/CMakeFiles/lobster_wq.dir/worker.cpp.o" "gcc" "src/wq/CMakeFiles/lobster_wq.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lobster_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_wq.dir/foreman.cpp.o"
+  "CMakeFiles/lobster_wq.dir/foreman.cpp.o.d"
+  "CMakeFiles/lobster_wq.dir/master.cpp.o"
+  "CMakeFiles/lobster_wq.dir/master.cpp.o.d"
+  "CMakeFiles/lobster_wq.dir/sandbox.cpp.o"
+  "CMakeFiles/lobster_wq.dir/sandbox.cpp.o.d"
+  "CMakeFiles/lobster_wq.dir/worker.cpp.o"
+  "CMakeFiles/lobster_wq.dir/worker.cpp.o.d"
+  "liblobster_wq.a"
+  "liblobster_wq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_wq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_xrootd.dir/federation.cpp.o"
+  "CMakeFiles/lobster_xrootd.dir/federation.cpp.o.d"
+  "liblobster_xrootd.a"
+  "liblobster_xrootd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_xrootd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

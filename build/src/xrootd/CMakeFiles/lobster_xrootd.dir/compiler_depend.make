@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lobster_xrootd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for lobster_xrootd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_test.dir/chirp_test.cpp.o"
+  "CMakeFiles/chirp_test.dir/chirp_test.cpp.o.d"
+  "chirp_test"
+  "chirp_test.pdb"
+  "chirp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

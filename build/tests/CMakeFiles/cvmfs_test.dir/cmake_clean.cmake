@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvmfs_test.dir/cvmfs_test.cpp.o"
+  "CMakeFiles/cvmfs_test.dir/cvmfs_test.cpp.o.d"
+  "cvmfs_test"
+  "cvmfs_test.pdb"
+  "cvmfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvmfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_test.dir/dbs_test.cpp.o"
+  "CMakeFiles/dbs_test.dir/dbs_test.cpp.o.d"
+  "dbs_test"
+  "dbs_test.pdb"
+  "dbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_pool_test.dir/global_pool_test.cpp.o"
+  "CMakeFiles/global_pool_test.dir/global_pool_test.cpp.o.d"
+  "global_pool_test"
+  "global_pool_test.pdb"
+  "global_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

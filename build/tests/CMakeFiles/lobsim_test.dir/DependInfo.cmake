@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lobsim_test.cpp" "tests/CMakeFiles/lobsim_test.dir/lobsim_test.cpp.o" "gcc" "tests/CMakeFiles/lobsim_test.dir/lobsim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lobsim/CMakeFiles/lobster_lobsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lobster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbs/CMakeFiles/lobster_dbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wq/CMakeFiles/lobster_wq.dir/DependInfo.cmake"
+  "/root/repo/build/src/cvmfs/CMakeFiles/lobster_cvmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrootd/CMakeFiles/lobster_xrootd.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/lobster_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/lobster_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/lobster_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lobster_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobsim_test.dir/lobsim_test.cpp.o"
+  "CMakeFiles/lobsim_test.dir/lobsim_test.cpp.o.d"
+  "lobsim_test"
+  "lobsim_test.pdb"
+  "lobsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

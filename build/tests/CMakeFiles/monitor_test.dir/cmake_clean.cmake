@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_test.dir/monitor_test.cpp.o"
+  "CMakeFiles/monitor_test.dir/monitor_test.cpp.o.d"
+  "monitor_test"
+  "monitor_test.pdb"
+  "monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

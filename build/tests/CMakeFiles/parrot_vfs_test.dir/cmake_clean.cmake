@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_vfs_test.dir/parrot_vfs_test.cpp.o"
+  "CMakeFiles/parrot_vfs_test.dir/parrot_vfs_test.cpp.o.d"
+  "parrot_vfs_test"
+  "parrot_vfs_test.pdb"
+  "parrot_vfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

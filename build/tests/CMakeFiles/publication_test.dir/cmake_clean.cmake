@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_test.dir/publication_test.cpp.o"
+  "CMakeFiles/publication_test.dir/publication_test.cpp.o.d"
+  "publication_test"
+  "publication_test.pdb"
+  "publication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

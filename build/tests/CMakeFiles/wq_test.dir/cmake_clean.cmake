@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wq_test.dir/wq_test.cpp.o"
+  "CMakeFiles/wq_test.dir/wq_test.cpp.o.d"
+  "wq_test"
+  "wq_test.pdb"
+  "wq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrootd_test.dir/xrootd_test.cpp.o"
+  "CMakeFiles/xrootd_test.dir/xrootd_test.cpp.o.d"
+  "xrootd_test"
+  "xrootd_test.pdb"
+  "xrootd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrootd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/dbs_test[1]_include.cmake")
+include("/root/repo/build/tests/cvmfs_test[1]_include.cmake")
+include("/root/repo/build/tests/xrootd_test[1]_include.cmake")
+include("/root/repo/build/tests/chirp_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/wq_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/lobsim_test[1]_include.cmake")
+include("/root/repo/build/tests/sandbox_test[1]_include.cmake")
+include("/root/repo/build/tests/parrot_vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/frontier_test[1]_include.cmake")
+include("/root/repo/build/tests/publication_test[1]_include.cmake")
+include("/root/repo/build/tests/global_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")

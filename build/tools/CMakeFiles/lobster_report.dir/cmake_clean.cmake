@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_report.dir/lobster_report.cpp.o"
+  "CMakeFiles/lobster_report.dir/lobster_report.cpp.o.d"
+  "lobster_report"
+  "lobster_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobster_sim.dir/lobster_sim.cpp.o"
+  "CMakeFiles/lobster_sim.dir/lobster_sim.cpp.o.d"
+  "lobster_sim"
+  "lobster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
