@@ -1,0 +1,152 @@
+#include "lobsim/campaign.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace lobster::lobsim {
+
+namespace {
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+}  // namespace
+
+void parallel_runs(std::size_t n, std::size_t jobs,
+                   const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool pool(std::min(jobs, n));
+  for (std::size_t i = 0; i < n; ++i)
+    pool.submit([&fn, i] { fn(i); });
+  pool.wait();
+}
+
+Campaign::Campaign(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {}
+
+void Campaign::add(RunSpec spec) { specs_.push_back(std::move(spec)); }
+
+void Campaign::add_seed_sweep(const RunSpec& base,
+                              const std::vector<std::uint64_t>& seeds) {
+  for (std::uint64_t seed : seeds) {
+    RunSpec spec = base;
+    spec.seed = seed;
+    specs_.push_back(std::move(spec));
+  }
+}
+
+RunStats Campaign::execute(const RunSpec& spec,
+                           std::shared_ptr<const EngineMetrics>* metrics_out) {
+  Engine engine(spec.cluster, spec.workload, spec.seed,
+                spec.metric_bin_seconds);
+  if (spec.outage_start > 0.0 && spec.outage_duration > 0.0)
+    engine.schedule_outage(spec.outage_start, spec.outage_duration);
+  const EngineMetrics& m = engine.run(spec.time_cap);
+
+  RunStats s;
+  s.makespan = m.makespan;
+  s.last_analysis_finish = m.last_analysis_finish;
+  s.last_merge_finish = m.last_merge_finish;
+  s.bytes_streamed = m.bytes_streamed;
+  s.bytes_staged = m.bytes_staged;
+  s.bytes_staged_out = m.bytes_staged_out;
+  s.tasks_completed = m.tasks_completed;
+  s.tasks_failed = m.tasks_failed;
+  s.tasks_evicted = m.tasks_evicted;
+  s.merge_tasks_completed = m.merge_tasks_completed;
+  s.tasklets_processed = m.tasklets_processed;
+  s.peak_running = m.peak_running;
+  s.breakdown = m.monitor.breakdown();
+  if (metrics_out) *metrics_out = std::make_shared<EngineMetrics>(m);
+  return s;
+}
+
+const std::vector<RunResult>& Campaign::run() {
+  if (ran_) return results_;
+  ran_ = true;
+  results_.resize(specs_.size());
+  // Each worker writes only its own submission slot; no shared Engine
+  // state crosses threads (one DES kernel and RNG universe per run).
+  parallel_runs(specs_.size(), jobs_, [this](std::size_t i) {
+    const RunSpec& spec = specs_[i];
+    RunResult& out = results_[i];
+    out.label = spec.label;
+    out.seed = spec.seed;
+    try {
+      std::shared_ptr<const EngineMetrics> metrics;
+      out.stats = execute(spec, keep_metrics_ ? &metrics : nullptr);
+      out.metrics = std::move(metrics);
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    } catch (...) {
+      out.error = "unknown error";
+    }
+  });
+  return results_;
+}
+
+std::vector<CampaignAggregate> Campaign::aggregate() const {
+  std::vector<CampaignAggregate> out;
+  auto find = [&out](const std::string& label) -> CampaignAggregate& {
+    for (auto& agg : out)
+      if (agg.label == label) return agg;
+    out.emplace_back();
+    out.back().label = label;
+    return out.back();
+  };
+  for (const auto& r : results_) {
+    CampaignAggregate& agg = find(r.label);
+    if (!r.ok()) {
+      ++agg.errors;
+      continue;
+    }
+    ++agg.runs;
+    agg.makespan.add(r.stats.makespan);
+    agg.analysis_finish.add(r.stats.last_analysis_finish);
+    agg.merge_finish.add(r.stats.last_merge_finish);
+    agg.tasks_failed.add(static_cast<double>(r.stats.tasks_failed));
+    agg.tasks_evicted.add(static_cast<double>(r.stats.tasks_evicted));
+    agg.merge_tasks.add(static_cast<double>(r.stats.merge_tasks_completed));
+    agg.bytes_streamed.add(r.stats.bytes_streamed);
+    agg.bytes_staged_out.add(r.stats.bytes_staged_out);
+    agg.peak_running.add(static_cast<double>(r.stats.peak_running));
+  }
+  return out;
+}
+
+CampaignOptions parse_campaign_flags(int argc, char** argv,
+                                     std::uint64_t base_seed,
+                                     std::size_t default_seeds) {
+  std::size_t n_seeds = default_seeds;
+  CampaignOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto numeric_value = [&](const char* flag) -> long long {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      const long long v = std::atoll(argv[++i]);
+      if (v < 0)
+        throw std::invalid_argument(std::string(flag) + " must be >= 0");
+      return v;
+    };
+    if (arg == "--seeds") {
+      n_seeds = static_cast<std::size_t>(numeric_value("--seeds"));
+      if (n_seeds == 0) throw std::invalid_argument("--seeds must be >= 1");
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<std::size_t>(numeric_value("--jobs"));
+    }
+  }
+  opts.seeds.reserve(n_seeds);
+  for (std::size_t i = 0; i < n_seeds; ++i)
+    opts.seeds.push_back(base_seed + i);
+  return opts;
+}
+
+}  // namespace lobster::lobsim

@@ -1,0 +1,148 @@
+// campaign.hpp — the parallel experiment substrate.
+//
+// The paper's evaluation is a *family* of runs: sweeps over proxy counts,
+// cache modes, merge strategies, and two production-scale campaigns.  Every
+// figure bench used to drive one Engine serially with a single seed; a
+// Campaign executes N independent Engine instances (seed sweeps, parameter
+// sweeps) across a util::ThreadPool instead.  Each run is a self-contained
+// RunSpec — its own DES kernel, its own RNG universe derived from its own
+// seed — so runs never share mutable state and the campaign parallelises
+// embarrassingly.
+//
+// Determinism: results are indexed by submission order no matter which
+// worker thread executed them, and aggregation folds them in that order on
+// the calling thread, so a --jobs 8 campaign aggregates bitwise identically
+// to a serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "lobsim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace lobster::lobsim {
+
+/// One simulation to execute: a complete Engine configuration.
+struct RunSpec {
+  /// Grouping key for aggregation (runs sharing a label aggregate
+  /// together — e.g. one label per merge mode, swept over seeds).
+  std::string label = "run";
+  ClusterParams cluster;
+  WorkloadParams workload;
+  std::uint64_t seed = 2015;
+  double time_cap = 30.0 * 86400.0;
+  double metric_bin_seconds = 600.0;
+  /// Optional WAN outage injected before the run (0 = none).
+  double outage_start = 0.0;
+  double outage_duration = 0.0;
+};
+
+/// Scalar outcome of one run — the copyable subset of EngineMetrics that
+/// sweeps aggregate over.
+struct RunStats {
+  double makespan = 0.0;
+  double last_analysis_finish = 0.0;
+  double last_merge_finish = 0.0;
+  double bytes_streamed = 0.0;
+  double bytes_staged = 0.0;
+  double bytes_staged_out = 0.0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t tasks_evicted = 0;
+  std::uint64_t merge_tasks_completed = 0;
+  std::uint64_t tasklets_processed = 0;
+  std::size_t peak_running = 0;
+  core::RuntimeBreakdown breakdown;
+};
+
+struct RunResult {
+  std::string label;
+  std::uint64_t seed = 0;
+  RunStats stats;
+  /// Retained full metrics (timelines, monitor) when the campaign was
+  /// asked to keep them; null otherwise.
+  std::shared_ptr<const EngineMetrics> metrics;
+  /// Non-empty when the run threw instead of completing.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Mean/stddev aggregate over every successful run sharing one label.
+struct CampaignAggregate {
+  std::string label;
+  std::uint64_t runs = 0;    ///< successful runs folded in
+  std::uint64_t errors = 0;  ///< runs that threw
+  util::RunningStats makespan;
+  util::RunningStats analysis_finish;
+  util::RunningStats merge_finish;
+  util::RunningStats tasks_failed;
+  util::RunningStats tasks_evicted;
+  util::RunningStats merge_tasks;
+  util::RunningStats bytes_streamed;
+  util::RunningStats bytes_staged_out;
+  util::RunningStats peak_running;
+};
+
+class Campaign {
+ public:
+  /// `jobs` worker threads; 0 means hardware concurrency, 1 runs inline on
+  /// the calling thread (no pool).
+  explicit Campaign(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+  /// Retain each run's full EngineMetrics (timelines for figure panels).
+  /// Off by default: a big sweep only needs the scalar RunStats.
+  void keep_metrics(bool keep) { keep_metrics_ = keep; }
+
+  void add(RunSpec spec);
+  /// The base spec replicated across `seeds` (label kept for aggregation).
+  void add_seed_sweep(const RunSpec& base,
+                      const std::vector<std::uint64_t>& seeds);
+  std::size_t size() const { return specs_.size(); }
+
+  /// Execute every queued run across the pool.  Safe to call once; returns
+  /// results in submission order.
+  const std::vector<RunResult>& run();
+  const std::vector<RunResult>& results() const { return results_; }
+
+  /// Aggregates grouped by label, labels in first-submission order, runs
+  /// folded in submission order (serial and parallel campaigns agree
+  /// bitwise).
+  std::vector<CampaignAggregate> aggregate() const;
+
+  /// Execute a single spec to completion (what each worker thread runs).
+  static RunStats execute(const RunSpec& spec,
+                          std::shared_ptr<const EngineMetrics>* metrics_out =
+                              nullptr);
+
+ private:
+  std::size_t jobs_;
+  bool keep_metrics_ = false;
+  bool ran_ = false;
+  std::vector<RunSpec> specs_;
+  std::vector<RunResult> results_;
+};
+
+/// Order-preserving parallel for: invoke fn(0..n-1) across `jobs` threads
+/// (inline when jobs <= 1).  fn must confine itself to index-owned state;
+/// exceptions must not escape fn.
+void parallel_runs(std::size_t n, std::size_t jobs,
+                   const std::function<void(std::size_t)>& fn);
+
+/// Seed-list and worker-count flags shared by the campaign-driven benches
+/// and the CLI: `--seeds N` expands to base_seed..base_seed+N-1, `--jobs M`
+/// sets the pool width (0 = hardware concurrency).
+struct CampaignOptions {
+  std::vector<std::uint64_t> seeds;
+  std::size_t jobs = 1;
+};
+CampaignOptions parse_campaign_flags(int argc, char** argv,
+                                     std::uint64_t base_seed,
+                                     std::size_t default_seeds = 1);
+
+}  // namespace lobster::lobsim

@@ -1,0 +1,48 @@
+#include "lobsim/dispatch_policy.hpp"
+
+#include <stdexcept>
+
+namespace lobster::lobsim {
+
+const char* to_string(DispatchMode m) {
+  switch (m) {
+    case DispatchMode::Fifo: return "fifo";
+    case DispatchMode::TailShrink: return "tail-shrink";
+    case DispatchMode::SiteAware: return "site-aware";
+  }
+  return "?";
+}
+
+std::optional<TaskUnit> DispatchPolicy::next(const DispatchContext& ctx) {
+  if (!merge_queue_.empty()) {
+    TaskUnit t;
+    t.is_merge = true;
+    t.merge_input_bytes = merge_queue_.front();
+    merge_queue_.pop_front();
+    return t;
+  }
+  if (tasklets_pending_ > 0) {
+    TaskUnit t;
+    const std::uint64_t size = std::max<std::uint32_t>(1, task_size(ctx));
+    t.n_tasklets = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(size, tasklets_pending_));
+    tasklets_pending_ -= t.n_tasklets;
+    return t;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(
+    DispatchMode mode, std::uint32_t tasklets_per_task) {
+  switch (mode) {
+    case DispatchMode::Fifo:
+      return std::make_unique<FifoDispatch>(tasklets_per_task);
+    case DispatchMode::TailShrink:
+      return std::make_unique<TailShrinkDispatch>(tasklets_per_task);
+    case DispatchMode::SiteAware:
+      return std::make_unique<SiteAwareDispatch>(tasklets_per_task);
+  }
+  throw std::invalid_argument("dispatch: unknown mode");
+}
+
+}  // namespace lobster::lobsim

@@ -1,0 +1,139 @@
+// dispatch_policy.hpp — task construction, extracted from the Engine.
+//
+// Lobster's master decides what a pulling worker slot runs next: a planned
+// merge group, or an analysis task assembled from the pending tasklet pool
+// (paper §4.1: "jobs are created on demand ... sized to the expected
+// lifetime of the worker").  That decision used to live inline in
+// Engine::next_task(); it is now a policy object so scenario studies can
+// swap strategies without touching the simulation loop:
+//
+//  * Fifo       — fixed task size (`tasklets_per_task`), the production
+//                 default the paper measured;
+//  * TailShrink — shrink to single tasklets once the pending pool fits in
+//                 the slot count, so the drain phase does not deepen the
+//                 eviction-retry chains of the last stragglers (the §8
+//                 task-size adaptivity; see fig12/fig14);
+//  * SiteAware  — size per requesting site: dedicated (non-evicting) sites
+//                 take full tasks, sites under an eviction climate take
+//                 half-size ones to bound the work lost per eviction.
+//
+// The policy owns the dispatchable pools (pending tasklets, planned merge
+// groups) and is pure logic over them — no DES types — so it unit-tests
+// without running a simulation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+namespace lobster::lobsim {
+
+/// One dispatched task: either a group of tasklets or a merge group.
+struct TaskUnit {
+  bool is_merge = false;
+  std::uint32_t n_tasklets = 0;
+  double merge_input_bytes = 0.0;  ///< total inputs to a merge task
+};
+
+/// What a policy may consult when constructing the next task.
+struct DispatchContext {
+  /// Cluster-wide core count (every site's target_cores summed).
+  std::uint64_t total_slots = 0;
+  /// Requesting worker's site and whether that site evicts workers.
+  std::size_t site = 0;
+  bool site_evictable = true;
+};
+
+enum class DispatchMode : std::uint8_t { Fifo, TailShrink, SiteAware };
+const char* to_string(DispatchMode m);
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  virtual const char* name() const = 0;
+
+  // ---- dispatchable pools (owned here; the Engine only feeds them) ----
+
+  /// Tasklets enter the pool at workflow start and on failed-task retry.
+  void add_tasklets(std::uint64_t n) { tasklets_pending_ += n; }
+  std::uint64_t tasklets_pending() const { return tasklets_pending_; }
+
+  /// A planned merge task of `total_bytes` input volume.
+  void push_merge_group(double total_bytes) {
+    merge_queue_.push_back(total_bytes);
+  }
+  std::size_t merge_backlog() const { return merge_queue_.size(); }
+
+  bool idle() const { return tasklets_pending_ == 0 && merge_queue_.empty(); }
+
+  /// Construct the next task for a pulling slot: merge groups first (their
+  /// outputs gate publication), then an analysis task whose size the
+  /// concrete policy chooses.  nullopt when both pools are empty.
+  std::optional<TaskUnit> next(const DispatchContext& ctx);
+
+ protected:
+  explicit DispatchPolicy(std::uint32_t tasklets_per_task)
+      : tasklets_per_task_(tasklets_per_task ? tasklets_per_task : 1) {}
+
+  /// Preferred analysis-task size for this request (clamped to the pool).
+  virtual std::uint32_t task_size(const DispatchContext& ctx) const = 0;
+
+  std::uint32_t tasklets_per_task_;
+  std::uint64_t tasklets_pending_ = 0;
+  std::deque<double> merge_queue_;
+};
+
+/// Fixed-size tasks: the behaviour of the production system the paper
+/// measured (Figure 3 fixes the optimum around 1 h of work).
+class FifoDispatch final : public DispatchPolicy {
+ public:
+  explicit FifoDispatch(std::uint32_t tasklets_per_task)
+      : DispatchPolicy(tasklets_per_task) {}
+  const char* name() const override { return "fifo"; }
+
+ protected:
+  std::uint32_t task_size(const DispatchContext&) const override {
+    return tasklets_per_task_;
+  }
+};
+
+/// Fixed-size until the drain phase: once the pending pool fits in the slot
+/// count, long tasks only extend the eviction-retry tail, so shrink to
+/// single tasklets.
+class TailShrinkDispatch final : public DispatchPolicy {
+ public:
+  explicit TailShrinkDispatch(std::uint32_t tasklets_per_task)
+      : DispatchPolicy(tasklets_per_task) {}
+  const char* name() const override { return "tail-shrink"; }
+
+ protected:
+  std::uint32_t task_size(const DispatchContext& ctx) const override {
+    if (tasklets_pending_ <= ctx.total_slots) return 1;
+    return tasklets_per_task_;
+  }
+};
+
+/// Site-aware sizing: a dedicated cloud site keeps full-size tasks, an
+/// eviction-prone partition gets half-size ones (less work lost per
+/// eviction, at the cost of more per-task overhead).  Both shrink to
+/// single tasklets at the drain phase, like TailShrink.
+class SiteAwareDispatch final : public DispatchPolicy {
+ public:
+  explicit SiteAwareDispatch(std::uint32_t tasklets_per_task)
+      : DispatchPolicy(tasklets_per_task) {}
+  const char* name() const override { return "site-aware"; }
+
+ protected:
+  std::uint32_t task_size(const DispatchContext& ctx) const override {
+    if (tasklets_pending_ <= ctx.total_slots) return 1;
+    if (!ctx.site_evictable) return tasklets_per_task_;
+    return std::max<std::uint32_t>(1, tasklets_per_task_ / 2);
+  }
+};
+
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(
+    DispatchMode mode, std::uint32_t tasklets_per_task);
+
+}  // namespace lobster::lobsim

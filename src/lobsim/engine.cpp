@@ -19,35 +19,6 @@ constexpr int kExitEvicted = 179;
 constexpr double kIdleRetryDelay = 60.0;
 }  // namespace
 
-/// A worker node: one batch-system slot of `cores_per_worker` cores
-/// sharing a Parrot cache, a squid assignment, and a common fate under
-/// eviction.
-struct Engine::WorkerNode {
-  std::size_t id = 0;
-  util::Rng rng{0};
-  std::size_t site = 0;
-  std::size_t squid = 0;
-  double death = std::numeric_limits<double>::infinity();
-  bool alive = false;
-  // Cache state for the current life.  Population is a retryable state
-  // machine: if the populating slot's fetch fails (squid timeout), the
-  // state returns to Cold and the waiters of that round are woken so one
-  // of them can retry — a failure must never strand the other slots.
-  enum class CacheState { Cold, Populating, Ready };
-  CacheState cache_state = CacheState::Cold;
-  std::shared_ptr<des::Event> cache_round;
-  std::vector<bool> slot_head_ready;  // PerInstance only
-  // Exclusive mode: the whole-cache write lock serialising every access.
-  std::unique_ptr<des::Resource> cache_lock;
-};
-
-/// One dispatched task: either a group of tasklets or a merge group.
-struct Engine::TaskUnit {
-  bool is_merge = false;
-  std::uint32_t n_tasklets = 0;
-  double merge_input_bytes = 0.0;  // total inputs to a merge task
-};
-
 Engine::Engine(ClusterParams cluster, WorkloadParams workload,
                std::uint64_t seed, double metric_bin_seconds)
     : cluster_(std::move(cluster)),
@@ -57,64 +28,33 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
       sim_, static_cast<double>(std::max<std::size_t>(1, cluster_.num_foremen)) *
                 cluster_.foreman_uplink_rate);
   chirp_ = std::make_unique<chirp::ChirpSim>(sim_, cluster_.chirp);
+  sites_ = std::make_unique<SiteManager>(sim_, cluster_, rng_);
+  per_site_tasklets_.assign(sites_->num_sites(), 0);
 
-  // Site 0 is always the home campus; extra_sites are harvested alongside
-  // it (paper §7), each with its own WAN path, squids and eviction climate.
-  std::vector<SiteParams> site_params;
-  SiteParams home;
-  home.name = "home";
-  home.target_cores = cluster_.target_cores;
-  home.ramp_seconds = cluster_.ramp_seconds;
-  home.availability_scale_hours = cluster_.availability_scale_hours;
-  home.availability_shape = cluster_.availability_shape;
-  home.evictions = cluster_.evictions;
-  home.num_squids = cluster_.num_squids;
-  home.squid = cluster_.squid;
-  home.federation = cluster_.federation;
-  site_params.push_back(home);
-  for (const auto& s : cluster_.extra_sites) site_params.push_back(s);
-
-  for (std::size_t i = 0; i < site_params.size(); ++i) {
-    const auto& p = site_params[i];
-    if (p.num_squids == 0)
-      throw std::invalid_argument("engine: site needs at least one squid");
-    Site site;
-    site.params = p;
-    site.federation =
-        std::make_unique<xrootd::FederationSim>(sim_, p.federation);
-    for (std::size_t q = 0; q < p.num_squids; ++q)
-      site.squids.push_back(
-          std::make_unique<cvmfs::SquidSim>(sim_, p.squid));
-    if (p.evictions) {
-      auto log = core::synthesize_availability_log(
-          50000, rng_.stream("availability", i), p.availability_shape,
-          p.availability_scale_hours);
-      site.eviction = std::make_unique<core::EmpiricalEviction>(
-          util::EmpiricalDistribution(std::move(log)));
-    } else {
-      site.eviction = std::make_unique<core::NoEviction>();
-    }
-    sites_.push_back(std::move(site));
-  }
-  per_site_tasklets_.assign(sites_.size(), 0);
-  total_slots_ = 0;
-  for (const auto& site : sites_) total_slots_ += site.params.target_cores;
+  // The legacy tail_shrink switch upgrades the default policy.
+  DispatchMode mode = workload_.dispatch;
+  if (workload_.tail_shrink && mode == DispatchMode::Fifo)
+    mode = DispatchMode::TailShrink;
+  dispatch_ = make_dispatch_policy(mode, workload_.tasklets_per_task);
+  dispatch_->add_tasklets(workload_.num_tasklets);
+  planner_ = MergePlanner::make(workload_.merge_mode, workload_.merge_policy);
 
   metrics_ = std::make_unique<EngineMetrics>(metric_bin_seconds);
-  tasklets_pending_ = workload_.num_tasklets;
 }
 
 Engine::~Engine() = default;
 
 void Engine::schedule_outage(double start, double duration) {
-  // The wide-area data handling system is shared: every site's path to the
-  // federation breaks together (as in the Figure 10 incident).
-  for (auto& site : sites_) site.federation->schedule_outage(start, duration);
+  sites_->schedule_outage(start, duration);
 }
 
 const EngineMetrics& Engine::run(double time_cap) {
   end_time_cap_ = time_cap;
-  sim_.spawn(batch_system());
+  sites_->start(
+      [this](std::shared_ptr<WorkerNode> node, std::size_t slot) {
+        return core_slot(std::move(node), slot);
+      },
+      [this] { return done_; }, time_cap);
   sim_.spawn(
       gauge_sampler(metrics_->monitor.running_timeline().bin_width() / 3.0));
   // Advance in slices so progress is observable at Debug log level and a
@@ -129,17 +69,18 @@ const EngineMetrics& Engine::run(double time_cap) {
                       sim_.now(),
                       static_cast<unsigned long long>(sim_.events_executed()),
                       running_tasks_,
-                      static_cast<unsigned long long>(tasklets_pending_),
+                      static_cast<unsigned long long>(
+                          dispatch_->tasklets_pending()),
                       static_cast<unsigned long long>(tasklets_done_),
-                      merge_queue_.size(), done_ ? 1 : 0);
+                      dispatch_->merge_backlog(), done_ ? 1 : 0);
   }
   metrics_->makespan =
       std::max(metrics_->last_analysis_finish, metrics_->last_merge_finish);
   metrics_->bytes_streamed = 0.0;
   metrics_->bytes_staged = 0.0;
-  for (const auto& site : sites_) {
-    metrics_->bytes_streamed += site.federation->bytes_streamed();
-    metrics_->bytes_staged += site.federation->bytes_staged();
+  for (std::size_t s = 0; s < sites_->num_sites(); ++s) {
+    metrics_->bytes_streamed += sites_->federation(s).bytes_streamed();
+    metrics_->bytes_staged += sites_->federation(s).bytes_staged();
   }
   metrics_->bytes_staged_out = chirp_->bytes_in();
   return *metrics_;
@@ -154,58 +95,10 @@ des::Process Engine::gauge_sampler(double period) {
   }
 }
 
-des::Process Engine::batch_system() {
-  for (std::size_t s = 0; s < sites_.size(); ++s)
-    sim_.spawn(site_batch_system(s));
-  co_return;
-}
-
-des::Process Engine::site_batch_system(std::size_t site_index) {
-  const Site& site = sites_[site_index];
-  if (site.params.target_cores == 0) co_return;
-  const std::size_t num_workers = std::max<std::size_t>(
-      1, site.params.target_cores / cluster_.cores_per_worker);
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    auto node = std::make_shared<WorkerNode>();
-    node->id = w;
-    node->site = site_index;
-    node->rng = rng_.stream("node." + std::to_string(site_index), w);
-    node->squid = w % site.squids.size();
-    sim_.spawn(worker_life(node));
-    // Stagger worker arrivals across the site's ramp window.
-    co_await sim_.delay(site.params.ramp_seconds /
-                        static_cast<double>(num_workers));
-    if (done_) co_return;
-  }
-}
-
-des::Process Engine::worker_life(std::shared_ptr<WorkerNode> node) {
-  while (!done_ && sim_.now() < end_time_cap_) {
-    // A new life: fresh survival draw, cold cache.
-    node->alive = true;
-    node->death = sim_.now() + sites_[node->site].eviction->sample_survival(
-                                   node->rng);
-    node->cache_state = WorkerNode::CacheState::Cold;
-    node->cache_round = sim_.make_event();
-    node->slot_head_ready.assign(cluster_.cores_per_worker, false);
-    node->cache_lock = std::make_unique<des::Resource>(sim_, 1);
-
-    std::vector<des::ProcessRef> slots;
-    slots.reserve(cluster_.cores_per_worker);
-    for (std::size_t s = 0; s < cluster_.cores_per_worker; ++s)
-      slots.push_back(sim_.spawn(core_slot(node, s)));
-    for (auto& ref : slots) co_await ref.done();
-    node->alive = false;
-    if (done_) co_return;
-    // Evicted: the batch system hands the node back after a backoff.
-    co_await sim_.delay(node->rng.exponential(cluster_.rejoin_mean_seconds));
-  }
-}
-
 des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
                                std::size_t slot) {
   while (!done_ && sim_.now() < node->death && sim_.now() < end_time_cap_) {
-    auto task = next_task();
+    auto task = next_task(*node);
     if (!task) {
       if (workflow_complete()) co_return;
       // Momentarily idle (e.g. waiting for merge work); poll again.
@@ -241,7 +134,7 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
 des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
                                        std::size_t slot,
                                        core::TaskRecord& record) {
-  auto& squid = *sites_[node->site].squids[node->squid];
+  auto& squid = sites_->squid(node->site, node->squid);
   const auto mode = workload_.cache_mode;
   const double t0 = sim_.now();
 
@@ -324,7 +217,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     // Merge task: inputs via XrootD, CPU ~ proportional to volume, output
     // staged via Chirp (paper §4.4).
     const double t_in0 = sim_.now();
-    co_await sites_[node->site].federation->stage(task.merge_input_bytes);
+    co_await sites_->federation(node->site).stage(task.merge_input_bytes);
     seg(core::Segment::StageIn) += sim_.now() - t_in0;
     if (evicted_now()) {
       mark_evicted();
@@ -368,7 +261,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
       workload_.tasklet_input_bytes * task.n_tasklets;
   if (workload_.access == core::DataAccessMode::Stage && input_bytes > 0.0) {
     const double t0 = sim_.now();
-    co_await sites_[node->site].federation->stage(input_bytes);
+    co_await sites_->federation(node->site).stage(input_bytes);
     seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
@@ -394,7 +287,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
 
   if (stream_bytes > 0.0) {
     const double t0 = sim_.now();
-    co_await sites_[node->site].federation->stream(stream_bytes);
+    co_await sites_->federation(node->site).stream(stream_bytes);
     seg(core::Segment::ExecuteIo) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
@@ -430,28 +323,14 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
   co_return true;
 }
 
-std::optional<Engine::TaskUnit> Engine::next_task() {
-  if (!merge_queue_.empty()) {
-    TaskUnit t;
-    t.is_merge = true;
-    double total = 0.0;
-    for (double b : merge_queue_.front()) total += b;
-    t.merge_input_bytes = total;
-    merge_queue_.pop_front();
-    ++running_merges_;
-    return t;
-  }
-  if (tasklets_pending_ > 0) {
-    TaskUnit t;
-    std::uint64_t size = workload_.tasklets_per_task;
-    if (workload_.tail_shrink && tasklets_pending_ <= total_slots_)
-      size = 1;  // drain phase: minimise per-task eviction exposure
-    t.n_tasklets = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(size, tasklets_pending_));
-    tasklets_pending_ -= t.n_tasklets;
-    return t;
-  }
-  return std::nullopt;
+std::optional<TaskUnit> Engine::next_task(const WorkerNode& node) {
+  DispatchContext ctx;
+  ctx.total_slots = sites_->total_slots();
+  ctx.site = node.site;
+  ctx.site_evictable = sites_->site_evictable(node.site);
+  auto task = dispatch_->next(ctx);
+  if (task && task->is_merge) ++running_merges_;
+  return task;
 }
 
 void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
@@ -480,8 +359,7 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
       metrics_->last_merge_finish = now;
     } else {
       // The group's outputs return to the unmerged pool.
-      unmerged_outputs_.push_back(task.merge_input_bytes);
-      unmerged_bytes_ += task.merge_input_bytes;
+      planner_->return_group(task.merge_input_bytes);
     }
   } else {
     if (success) {
@@ -491,63 +369,22 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
       tasklets_done_ += task.n_tasklets;
       metrics_->tasklets_processed += task.n_tasklets;
       per_site_tasklets_[site] += task.n_tasklets;
-      unmerged_outputs_.push_back(workload_.tasklet_output_bytes *
-                                  task.n_tasklets);
-      unmerged_bytes_ += workload_.tasklet_output_bytes * task.n_tasklets;
+      planner_->add_output(workload_.tasklet_output_bytes * task.n_tasklets);
     } else {
-      tasklets_pending_ += task.n_tasklets;  // retry
+      dispatch_->add_tasklets(task.n_tasklets);  // retry
     }
   }
 
-  const bool analysis_complete =
-      tasklets_done_ >= workload_.num_tasklets && tasklets_pending_ == 0;
-  if (workload_.merge_mode == core::MergeMode::Interleaved)
-    maybe_plan_merges(analysis_complete);
-  else if (analysis_complete)
-    maybe_plan_merges(true);
+  auto plan = planner_->plan(tasklets_done_, workload_.num_tasklets,
+                             analysis_complete());
+  for (double group_bytes : plan.groups)
+    dispatch_->push_merge_group(group_bytes);
+  if (plan.start_hadoop && !hadoop_started_) {
+    hadoop_started_ = true;
+    sim_.spawn(hadoop_merge());
+  }
 
   if (workflow_complete()) done_ = true;
-}
-
-void Engine::maybe_plan_merges(bool final_sweep) {
-  if (workload_.merge_mode == core::MergeMode::Hadoop) {
-    if (final_sweep && !hadoop_started_) {
-      hadoop_started_ = true;
-      sim_.spawn(hadoop_merge());
-    }
-    return;
-  }
-  const double target = workload_.merge_policy.target_bytes;
-  const double min_fill = workload_.merge_policy.min_fill;
-  if (!final_sweep) {
-    // Interleaved: only once >= start_fraction of tasklets are processed.
-    const double frac = static_cast<double>(tasklets_done_) /
-                        static_cast<double>(workload_.num_tasklets);
-    if (frac < workload_.merge_policy.start_fraction) return;
-  }
-  // Greedy FIFO grouping; full groups only unless this is the final sweep.
-  // The last output of a group may overshoot the target ("files of 3-4 GB",
-  // paper §4.4) — insisting on an exact ceiling could make full groups
-  // unconstructible for large outputs.
-  while (unmerged_bytes_ >= target * min_fill ||
-         (final_sweep && !unmerged_outputs_.empty())) {
-    std::vector<double> group;
-    double bytes = 0.0;
-    while (!unmerged_outputs_.empty() && bytes < target * min_fill) {
-      bytes += unmerged_outputs_.front();
-      group.push_back(unmerged_outputs_.front());
-      unmerged_outputs_.pop_front();
-    }
-    if (group.empty()) break;
-    if (bytes < target * min_fill && !final_sweep) {
-      // Put them back; not enough yet.
-      for (auto it = group.rbegin(); it != group.rend(); ++it)
-        unmerged_outputs_.push_front(*it);
-      break;
-    }
-    unmerged_bytes_ -= bytes;
-    merge_queue_.push_back(std::move(group));
-  }
 }
 
 des::Process Engine::hadoop_merge() {
@@ -555,19 +392,7 @@ des::Process Engine::hadoop_merge() {
   // cluster.  Reducers run concurrently up to the slot limit; each reads
   // its group from HDFS locally and writes the merged file back — no Chirp
   // or WAN involvement.
-  const double target = workload_.merge_policy.target_bytes;
-  std::vector<double> groups;
-  double acc = 0.0;
-  for (double b : unmerged_outputs_) {
-    acc += b;
-    if (acc >= target) {
-      groups.push_back(acc);
-      acc = 0.0;
-    }
-  }
-  if (acc > 0.0) groups.push_back(acc);
-  unmerged_outputs_.clear();
-  unmerged_bytes_ = 0.0;
+  std::vector<double> groups = planner_->take_hadoop_groups();
 
   des::Resource slots(sim_, workload_.hadoop_reduce_slots);
   std::vector<des::ProcessRef> reducers;
@@ -591,13 +416,16 @@ des::Process Engine::hadoop_merge() {
   if (workflow_complete()) done_ = true;
 }
 
+bool Engine::analysis_complete() const {
+  return tasklets_done_ >= workload_.num_tasklets &&
+         dispatch_->tasklets_pending() == 0;
+}
+
 bool Engine::workflow_complete() const {
-  const bool analysis_done =
-      tasklets_done_ >= workload_.num_tasklets && tasklets_pending_ == 0;
-  if (!analysis_done) return false;
-  if (workload_.merge_mode == core::MergeMode::Hadoop)
+  if (!analysis_complete()) return false;
+  if (planner_->mode() == core::MergeMode::Hadoop)
     return hadoop_started_ ? hadoop_done_ : false;
-  return unmerged_outputs_.empty() && merge_queue_.empty() &&
+  return planner_->drained() && dispatch_->merge_backlog() == 0 &&
          running_merges_ == 0;
 }
 

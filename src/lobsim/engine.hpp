@@ -8,13 +8,22 @@
 // and the Lobster scheduling semantics (task construction from tasklets,
 // retry-on-eviction, interleaved merging) mirror core::Scheduler.
 //
-// One Engine instance runs one workload scenario and exposes the metrics
-// each figure needs (timelines, runtime breakdown, infrastructure gauges).
+// The Engine is a thin coordinator over three pluggable layers:
+//
+//   SiteManager    — batch-system ramp, worker lifecycle, eviction models
+//                    (site_manager.hpp; also owns ClusterParams/SiteParams);
+//   DispatchPolicy — task construction from the pending pools
+//                    (dispatch_policy.hpp: fifo / tail-shrink / site-aware);
+//   MergePlanner   — output-merge planning
+//                    (merge_planner.hpp: sequential / hadoop / interleaved).
+//
+// What remains here is the task execution pipeline itself (software setup,
+// stage-in, execute, stage-out against the shared infrastructure) and the
+// metrics.  One Engine instance runs one workload scenario; campaign.hpp
+// runs many of them in parallel.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -28,59 +37,14 @@
 #include "cvmfs/squid.hpp"
 #include "des/queue.hpp"
 #include "des/simulation.hpp"
+#include "lobsim/dispatch_policy.hpp"
+#include "lobsim/merge_planner.hpp"
+#include "lobsim/site_manager.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "xrootd/federation.hpp"
 
 namespace lobster::lobsim {
-
-/// An additional remote site contributing opportunistic workers (paper §7:
-/// "Lobster's design makes it possible to harvest resources from several
-/// clusters, and even commercial clouds, together").  Each site brings its
-/// own WAN path and squid; outputs still flow to the home Chirp server.
-struct SiteParams {
-  std::string name = "remote";
-  std::size_t target_cores = 0;
-  double ramp_seconds = 3600.0;
-  /// Per-site availability (a commercial cloud is effectively dedicated
-  /// while paid for; a borrowed HPC partition may be harsher than campus).
-  double availability_scale_hours = 4.0;
-  double availability_shape = 0.8;
-  bool evictions = true;
-  std::size_t num_squids = 1;
-  cvmfs::SquidSim::Params squid;
-  xrootd::FederationSim::Params federation;
-};
-
-/// Cluster and infrastructure parameters.
-struct ClusterParams {
-  std::size_t target_cores = 10000;
-  std::size_t cores_per_worker = 8;  ///< paper §3: 8-core workers
-  /// Workers join gradually (batch system grants) over this window.
-  double ramp_seconds = 3600.0;
-  /// Availability model: Weibull availability like the Figure 2 logs.
-  double availability_scale_hours = 4.0;
-  double availability_shape = 0.8;
-  /// Evicted workers return after an exponential backoff with this mean.
-  double rejoin_mean_seconds = 1800.0;
-  /// When false, workers are dedicated (no eviction) — ablation switch.
-  bool evictions = true;
-
-  /// Foreman fan-out: sandboxes and task payloads reach workers through
-  /// `num_foremen` intermediaries, each with `foreman_uplink_rate` of
-  /// outbound bandwidth (paper §3: "one intermediate rank of four foremen").
-  std::size_t num_foremen = 4;
-  double foreman_uplink_rate = 1.25e8;  // 1 Gbit/s each
-
-  std::size_t num_squids = 1;
-  cvmfs::SquidSim::Params squid;
-  chirp::ChirpSim::Params chirp;
-  xrootd::FederationSim::Params federation;
-
-  /// Extra sites harvested alongside the home campus (index 0 is always
-  /// the home site built from the fields above).
-  std::vector<SiteParams> extra_sites;
-};
 
 /// Workload parameters (one workflow).
 struct WorkloadParams {
@@ -113,11 +77,13 @@ struct WorkloadParams {
   /// A slot that just watched its task fail backs off before pulling new
   /// work (the wrapper's retry discipline; damps outage retry storms).
   double failure_backoff = 300.0;
+  /// Task-construction policy (dispatch_policy.hpp).  Fifo mirrors the
+  /// production system the paper measured; tail_shrink below is a legacy
+  /// alias that upgrades Fifo to TailShrink.
+  DispatchMode dispatch = DispatchMode::Fifo;
   /// Shrink tasks to single tasklets once the pending pool is smaller than
-  /// the slot count: at the drain phase, long tasks only deepen the
-  /// eviction-retry chains of the last stragglers.  This is the task-size
-  /// adaptivity the paper lists as future work (§8); it is OFF by default
-  /// so the engine mirrors the production system the paper measured.
+  /// the slot count (the §8 task-size adaptivity).  Kept for compatibility;
+  /// equivalent to dispatch = DispatchMode::TailShrink.
   bool tail_shrink = false;
   std::uint32_t max_attempts = 50;
 
@@ -176,75 +142,62 @@ class Engine {
   const EngineMetrics& metrics() const { return *metrics_; }
   des::Simulation& sim() { return sim_; }
   /// Home-site federation (site 0).
-  xrootd::FederationSim& federation() { return *sites_.front().federation; }
+  xrootd::FederationSim& federation() { return sites_->federation(0); }
   xrootd::FederationSim& federation(std::size_t site) {
-    return *sites_.at(site).federation;
+    return sites_->federation(site);
   }
   des::BandwidthLink& foreman_fanout() { return *foreman_fanout_; }
   chirp::ChirpSim& chirp() { return *chirp_; }
   /// Home-site squids (site 0).
-  cvmfs::SquidSim& squid(std::size_t i) { return *sites_.front().squids.at(i); }
+  cvmfs::SquidSim& squid(std::size_t i) { return sites_->squid(0, i); }
   cvmfs::SquidSim& squid(std::size_t site, std::size_t i) {
-    return *sites_.at(site).squids.at(i);
+    return sites_->squid(site, i);
   }
-  std::size_t num_sites() const { return sites_.size(); }
+  std::size_t num_sites() const { return sites_->num_sites(); }
   /// Tasklets processed by each site's workers (index as in params).
   const std::vector<std::uint64_t>& per_site_tasklets() const {
     return per_site_tasklets_;
   }
 
+  SiteManager& site_manager() { return *sites_; }
+  DispatchPolicy& dispatch_policy() { return *dispatch_; }
+  MergePlanner& merge_planner() { return *planner_; }
+
   /// Inject a WAN outage (Figure 10's transient failure burst).
   void schedule_outage(double start, double duration);
 
  private:
-  struct WorkerNode;
-  struct TaskUnit;
-
-  des::Process batch_system();
-  des::Process site_batch_system(std::size_t site_index);
   des::Process gauge_sampler(double period);
-  des::Process worker_life(std::shared_ptr<WorkerNode> node);
   des::Process core_slot(std::shared_ptr<WorkerNode> node, std::size_t slot);
   des::Process hadoop_merge();
   des::Task<bool> run_task(std::shared_ptr<WorkerNode> node, std::size_t slot,
                            TaskUnit task, core::TaskRecord& record);
   des::Task<void> setup_software(std::shared_ptr<WorkerNode> node,
                                  std::size_t slot, core::TaskRecord& record);
-  /// Pull the next task (analysis or merge) from the pools; nullopt when
-  /// the workflow is finished.
-  std::optional<TaskUnit> next_task();
+  /// Pull the next task (analysis or merge) from the dispatch policy;
+  /// nullopt when the pools are momentarily empty.
+  std::optional<TaskUnit> next_task(const WorkerNode& node);
   void finish_task(const TaskUnit& task, core::TaskRecord& record,
                    bool success, bool evicted, std::size_t site);
-  void maybe_plan_merges(bool final_sweep);
+  bool analysis_complete() const;
   bool workflow_complete() const;
-
-  /// Runtime state of one harvested site.
-  struct Site {
-    SiteParams params;
-    std::unique_ptr<xrootd::FederationSim> federation;
-    std::vector<std::unique_ptr<cvmfs::SquidSim>> squids;
-    std::unique_ptr<core::EvictionModel> eviction;
-  };
 
   ClusterParams cluster_;
   WorkloadParams workload_;
   util::Rng rng_;
   des::Simulation sim_;
-  std::vector<Site> sites_;
+  std::unique_ptr<SiteManager> sites_;
+  std::unique_ptr<DispatchPolicy> dispatch_;
+  std::unique_ptr<MergePlanner> planner_;
   std::vector<std::uint64_t> per_site_tasklets_;
   std::unique_ptr<des::BandwidthLink> foreman_fanout_;
   std::unique_ptr<chirp::ChirpSim> chirp_;
   std::unique_ptr<EngineMetrics> metrics_;
 
   // ---- workload state ----
-  std::uint64_t tasklets_pending_ = 0;   // not yet in a dispatched task
   std::uint64_t tasklets_done_ = 0;
-  std::deque<double> unmerged_outputs_;        // output sizes awaiting merge
-  double unmerged_bytes_ = 0.0;
-  std::deque<std::vector<double>> merge_queue_;  // planned merge groups
   std::size_t running_tasks_ = 0;
   std::size_t running_merges_ = 0;
-  std::uint64_t total_slots_ = 0;
   bool hadoop_started_ = false;
   bool hadoop_done_ = false;
   bool done_ = false;

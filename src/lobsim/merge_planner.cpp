@@ -1,0 +1,96 @@
+#include "lobsim/merge_planner.hpp"
+
+#include <stdexcept>
+
+namespace lobster::lobsim {
+
+std::vector<double> MergePlanner::take_groups(bool final_sweep) {
+  const double target = policy_.target_bytes;
+  const double min_fill = policy_.min_fill;
+  std::vector<double> planned;
+  while (bytes_ >= target * min_fill || (final_sweep && !outputs_.empty())) {
+    std::vector<double> group;
+    double group_bytes = 0.0;
+    while (!outputs_.empty() && group_bytes < target * min_fill) {
+      group_bytes += outputs_.front();
+      group.push_back(outputs_.front());
+      outputs_.pop_front();
+    }
+    if (group.empty()) break;
+    if (group_bytes < target * min_fill && !final_sweep) {
+      // Put them back; not enough yet.
+      for (auto it = group.rbegin(); it != group.rend(); ++it)
+        outputs_.push_front(*it);
+      break;
+    }
+    bytes_ -= group_bytes;
+    planned.push_back(group_bytes);
+  }
+  return planned;
+}
+
+std::vector<double> MergePlanner::take_hadoop_groups() {
+  // Reducer inputs accumulate straight to the target (no min_fill: the
+  // map phase groups everything it sees in one pass).
+  const double target = policy_.target_bytes;
+  std::vector<double> groups;
+  double acc = 0.0;
+  for (double b : outputs_) {
+    acc += b;
+    if (acc >= target) {
+      groups.push_back(acc);
+      acc = 0.0;
+    }
+  }
+  if (acc > 0.0) groups.push_back(acc);
+  outputs_.clear();
+  bytes_ = 0.0;
+  return groups;
+}
+
+MergePlan SequentialMergePlanner::plan(std::uint64_t, std::uint64_t,
+                                       bool analysis_complete) {
+  MergePlan p;
+  if (analysis_complete) p.groups = take_groups(/*final_sweep=*/true);
+  return p;
+}
+
+MergePlan InterleavedMergePlanner::plan(std::uint64_t tasklets_done,
+                                        std::uint64_t num_tasklets,
+                                        bool analysis_complete) {
+  MergePlan p;
+  if (!analysis_complete) {
+    const double frac = num_tasklets
+                            ? static_cast<double>(tasklets_done) /
+                                  static_cast<double>(num_tasklets)
+                            : 0.0;
+    if (frac < policy_.start_fraction) return p;
+  }
+  p.groups = take_groups(analysis_complete);
+  return p;
+}
+
+MergePlan HadoopMergePlanner::plan(std::uint64_t, std::uint64_t,
+                                   bool analysis_complete) {
+  MergePlan p;
+  if (analysis_complete && !triggered_) {
+    triggered_ = true;
+    p.start_hadoop = true;
+  }
+  return p;
+}
+
+std::unique_ptr<MergePlanner> MergePlanner::make(
+    core::MergeMode mode, const core::MergePolicy& policy) {
+  switch (mode) {
+    case core::MergeMode::Sequential:
+      return std::make_unique<SequentialMergePlanner>(policy);
+    case core::MergeMode::Interleaved:
+      return std::make_unique<InterleavedMergePlanner>(policy);
+    case core::MergeMode::Hadoop:
+      return std::make_unique<HadoopMergePlanner>(policy);
+  }
+  throw std::invalid_argument("merge: unknown mode");
+}
+
+}  // namespace lobster::lobsim

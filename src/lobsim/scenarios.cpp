@@ -86,42 +86,71 @@ SimulationRunScenario simulation_run_scenario() {
   return s;
 }
 
-std::vector<DataAccessResult> run_data_access_comparison(std::uint64_t seed) {
-  std::vector<DataAccessResult> out;
+namespace {
+RunSpec data_access_spec(core::DataAccessMode mode) {
+  RunSpec spec;
+  spec.label = to_string(mode);
+  spec.cluster.target_cores = 512;
+  spec.cluster.cores_per_worker = 8;
+  spec.cluster.ramp_seconds = 600.0;
+  spec.cluster.evictions = false;  // isolate the data-access effect
+  spec.workload.num_tasklets = 3000;
+  spec.workload.tasklets_per_task = 6;
+  // Short, I/O-heavy tasks make the access-mode split visible: staging
+  // must move the whole 6 GB task input before computing, streaming
+  // reads only the ~30% the analysis touches.
+  spec.workload.tasklet_cpu_mean = 300.0;
+  spec.workload.tasklet_cpu_sigma = 150.0;
+  spec.workload.tasklet_input_bytes = 1e9;
+  spec.workload.tasklet_output_bytes = 15e6;
+  spec.workload.access = mode;
+  spec.workload.merge_mode = core::MergeMode::Sequential;
+  spec.workload.merge_policy.target_bytes = 1e12;  // merging out of scope
+  return spec;
+}
+
+DataAccessResult data_access_result(const RunResult& r) {
+  const auto& b = r.stats.breakdown;
+  const double n = static_cast<double>(r.stats.tasks_completed);
+  DataAccessResult d;
+  d.mode = r.label;
+  // "Data processing" = CPU plus I/O interleaved with it; "general
+  // overhead" = everything serialised around the application.
+  d.processing_time = (b.cpu + b.io) / n;
+  d.overhead_time = (b.stage_in + b.stage_out + b.other) / n;
+  d.makespan = r.stats.makespan;
+  return d;
+}
+}  // namespace
+
+DataAccessCampaign run_data_access_campaign(
+    const std::vector<std::uint64_t>& seeds, std::size_t jobs) {
+  Campaign campaign(jobs);
+  for (const auto mode :
+       {core::DataAccessMode::Stage, core::DataAccessMode::Stream})
+    campaign.add_seed_sweep(data_access_spec(mode), seeds);
+  campaign.run();
+
+  DataAccessCampaign out;
   for (const auto mode :
        {core::DataAccessMode::Stage, core::DataAccessMode::Stream}) {
-    ClusterParams cluster;
-    cluster.target_cores = 512;
-    cluster.cores_per_worker = 8;
-    cluster.ramp_seconds = 600.0;
-    cluster.evictions = false;  // isolate the data-access effect
-    WorkloadParams wl;
-    wl.num_tasklets = 3000;
-    wl.tasklets_per_task = 6;
-    // Short, I/O-heavy tasks make the access-mode split visible: staging
-    // must move the whole 6 GB task input before computing, streaming
-    // reads only the ~30% the analysis touches.
-    wl.tasklet_cpu_mean = 300.0;
-    wl.tasklet_cpu_sigma = 150.0;
-    wl.tasklet_input_bytes = 1e9;
-    wl.tasklet_output_bytes = 15e6;
-    wl.access = mode;
-    wl.merge_mode = core::MergeMode::Sequential;
-    wl.merge_policy.target_bytes = 1e12;  // merging out of scope here
-    Engine engine(cluster, wl, seed);
-    const auto& m = engine.run(30.0 * 86400.0);
-    const auto b = m.monitor.breakdown();
-    const double n = static_cast<double>(m.tasks_completed);
-    DataAccessResult r;
-    r.mode = to_string(mode);
-    // "Data processing" = CPU plus I/O interleaved with it; "general
-    // overhead" = everything serialised around the application.
-    r.processing_time = (b.cpu + b.io) / n;
-    r.overhead_time = (b.stage_in + b.stage_out + b.other) / n;
-    r.makespan = m.makespan;
-    out.push_back(r);
+    DataAccessCampaign::ModeAggregate agg;
+    agg.mode = to_string(mode);
+    for (const auto& r : campaign.results()) {
+      if (r.label != agg.mode || !r.ok()) continue;
+      const DataAccessResult d = data_access_result(r);
+      agg.processing_time.add(d.processing_time);
+      agg.overhead_time.add(d.overhead_time);
+      agg.makespan.add(d.makespan);
+      if (r.seed == seeds.front()) out.detail.push_back(d);
+    }
+    out.aggregate.push_back(std::move(agg));
   }
   return out;
+}
+
+std::vector<DataAccessResult> run_data_access_comparison(std::uint64_t seed) {
+  return run_data_access_campaign({seed}, 1).detail;
 }
 
 namespace {
@@ -133,80 +162,142 @@ des::Process proxy_client(des::Simulation& sim, cvmfs::SquidSim& squid,
 }
 }  // namespace
 
+namespace {
+/// One Figure 5 measurement: `n` clients sharing one proxy, cold or hot.
+double proxy_point_overhead(std::size_t n, bool hot, std::uint64_t seed) {
+  des::Simulation sim;
+  cvmfs::SquidSim::Params p;
+  p.max_connections = 100000;  // isolate the bandwidth effect
+  p.service_rate = util::gbit_per_s(10);
+  p.upstream_rate = util::gbit_per_s(1);
+  p.request_latency = 2.0;
+  cvmfs::SquidSim squid(sim, p);
+  util::Rng rng(seed + n);
+  util::RunningStats stats;
+  // Cold caches pull the full working set (~1.5 GB, paper §4.3);
+  // hot caches only the per-task residue.  Cold misses also hit the
+  // upstream stratum; hot content is resident in the proxy.  Task
+  // starts stagger over a short dispatch wave rather than landing in
+  // the same instant.
+  const double bytes = hot ? 25e6 : 1.5e9;
+  const double wave = 20.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double at = rng.uniform(0.0, wave);
+    sim.schedule(at, [&sim, &squid, bytes, hot, &stats] {
+      sim.spawn(proxy_client(sim, squid, bytes, hot, stats));
+    });
+  }
+  sim.run();
+  return stats.mean();
+}
+}  // namespace
+
+std::vector<ProxyScalingPoint> run_proxy_scaling(
+    const std::vector<std::size_t>& client_counts,
+    const std::vector<std::uint64_t>& seeds, std::size_t jobs) {
+  // Every (client count, seed, cold/hot) triple is its own DES instance, so
+  // the sweep fans out across the pool; each cell writes only its own slot
+  // and the fold below runs in submission order on the calling thread.
+  const std::size_t n_points = client_counts.size();
+  const std::size_t n_seeds = seeds.size();
+  std::vector<double> cold(n_points * n_seeds), hot(n_points * n_seeds);
+  parallel_runs(n_points * n_seeds, jobs, [&](std::size_t cell) {
+    const std::size_t point = cell / n_seeds;
+    const std::size_t s = cell % n_seeds;
+    cold[cell] = proxy_point_overhead(client_counts[point], false, seeds[s]);
+    hot[cell] = proxy_point_overhead(client_counts[point], true, seeds[s]);
+  });
+
+  std::vector<ProxyScalingPoint> out;
+  for (std::size_t point = 0; point < n_points; ++point) {
+    util::RunningStats cold_stats, hot_stats;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      cold_stats.add(cold[point * n_seeds + s]);
+      hot_stats.add(hot[point * n_seeds + s]);
+    }
+    ProxyScalingPoint p;
+    p.clients = client_counts[point];
+    p.cold_overhead = cold_stats.mean();
+    p.hot_overhead = hot_stats.mean();
+    p.cold_sd = cold_stats.stddev();
+    p.hot_sd = hot_stats.stddev();
+    out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<ProxyScalingPoint> run_proxy_scaling(
     const std::vector<std::size_t>& client_counts, std::uint64_t seed) {
-  std::vector<ProxyScalingPoint> out;
-  for (std::size_t n : client_counts) {
-    ProxyScalingPoint point;
-    point.clients = n;
-    for (const bool hot : {false, true}) {
-      des::Simulation sim;
-      cvmfs::SquidSim::Params p;
-      p.max_connections = 100000;  // isolate the bandwidth effect
-      p.service_rate = util::gbit_per_s(10);
-      p.upstream_rate = util::gbit_per_s(1);
-      p.request_latency = 2.0;
-      cvmfs::SquidSim squid(sim, p);
-      util::Rng rng(seed + n);
-      util::RunningStats stats;
-      // Cold caches pull the full working set (~1.5 GB, paper §4.3);
-      // hot caches only the per-task residue.  Cold misses also hit the
-      // upstream stratum; hot content is resident in the proxy.  Task
-      // starts stagger over a short dispatch wave rather than landing in
-      // the same instant.
-      const double bytes = hot ? 25e6 : 1.5e9;
-      const double wave = 20.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double at = rng.uniform(0.0, wave);
-        sim.schedule(at, [&sim, &squid, bytes, hot, &stats] {
-          sim.spawn(proxy_client(sim, squid, bytes, hot, stats));
-        });
+  return run_proxy_scaling(client_counts, std::vector<std::uint64_t>{seed}, 1);
+}
+
+namespace {
+RunSpec merge_mode_spec(core::MergeMode mode) {
+  RunSpec spec;
+  spec.label = core::to_string(mode);
+  spec.metric_bin_seconds = 900.0;
+  spec.cluster.target_cores = 1024;
+  spec.cluster.cores_per_worker = 8;
+  spec.cluster.ramp_seconds = 900.0;
+  spec.cluster.availability_scale_hours = 6.0;
+  // Merge transfers contend on a modest Chirp front-end — the load the
+  // paper's sequential mode suffers from.
+  spec.cluster.chirp.max_connections = 8;
+  spec.cluster.chirp.nic_rate = util::gbit_per_s(2);
+  spec.workload.num_tasklets = 9000;
+  spec.workload.tasklets_per_task = 6;
+  spec.workload.tasklet_input_bytes = 120e6;
+  spec.workload.tasklet_output_bytes = 100e6;  // merge volume matters here
+  spec.workload.merge_mode = mode;
+  spec.workload.merge_policy.target_bytes = 3.5e9;
+  return spec;
+}
+}  // namespace
+
+MergeCampaign run_merge_campaign(const std::vector<std::uint64_t>& seeds,
+                                 std::size_t jobs) {
+  constexpr core::MergeMode kModes[] = {core::MergeMode::Sequential,
+                                        core::MergeMode::Hadoop,
+                                        core::MergeMode::Interleaved};
+  Campaign campaign(jobs);
+  campaign.keep_metrics(true);  // the figure needs the per-bin timelines
+  for (const auto mode : kModes)
+    campaign.add_seed_sweep(merge_mode_spec(mode), seeds);
+  campaign.run();
+
+  MergeCampaign out;
+  for (const auto mode : kModes) {
+    MergeCampaign::ModeAggregate agg;
+    agg.mode = mode;
+    for (const auto& r : campaign.results()) {
+      if (r.label != core::to_string(mode) || !r.ok()) continue;
+      agg.analysis_finish.add(r.stats.last_analysis_finish);
+      agg.merge_finish.add(r.stats.last_merge_finish);
+      agg.merge_tasks.add(static_cast<double>(r.stats.merge_tasks_completed));
+      agg.makespan.add(r.stats.makespan);
+      if (r.seed != seeds.front() || !r.metrics) continue;
+      const EngineMetrics& m = *r.metrics;
+      MergeModeResult detail;
+      detail.mode = mode;
+      detail.analysis_finish = m.last_analysis_finish;
+      detail.merge_finish = m.last_merge_finish;
+      detail.merge_tasks = m.merge_tasks_completed;
+      detail.bin_seconds = 900.0;
+      const std::size_t bins =
+          std::max(m.analysis_done.nbins(), m.merge_done.nbins());
+      for (std::size_t b = 0; b < bins; ++b) {
+        detail.analysis_per_bin.push_back(m.analysis_done.sum(b));
+        detail.merge_per_bin.push_back(m.merge_done.sum(b));
       }
-      sim.run();
-      (hot ? point.hot_overhead : point.cold_overhead) = stats.mean();
+      out.detail.push_back(std::move(detail));
     }
-    out.push_back(point);
+    out.aggregate.push_back(std::move(agg));
   }
   return out;
 }
 
 std::vector<MergeModeResult> run_merge_comparison(std::uint64_t seed) {
-  std::vector<MergeModeResult> out;
-  for (const auto mode : {core::MergeMode::Sequential, core::MergeMode::Hadoop,
-                          core::MergeMode::Interleaved}) {
-    ClusterParams cluster;
-    cluster.target_cores = 1024;
-    cluster.cores_per_worker = 8;
-    cluster.ramp_seconds = 900.0;
-    cluster.availability_scale_hours = 6.0;
-    // Merge transfers contend on a modest Chirp front-end — the load the
-    // paper's sequential mode suffers from.
-    cluster.chirp.max_connections = 8;
-    cluster.chirp.nic_rate = util::gbit_per_s(2);
-    WorkloadParams wl;
-    wl.num_tasklets = 9000;
-    wl.tasklets_per_task = 6;
-    wl.tasklet_input_bytes = 120e6;
-    wl.tasklet_output_bytes = 100e6;  // merge volume matters here
-    wl.merge_mode = mode;
-    wl.merge_policy.target_bytes = 3.5e9;
-    Engine engine(cluster, wl, seed, /*metric_bin_seconds=*/900.0);
-    const auto& m = engine.run(30.0 * 86400.0);
-    MergeModeResult r;
-    r.mode = mode;
-    r.analysis_finish = m.last_analysis_finish;
-    r.merge_finish = m.last_merge_finish;
-    r.merge_tasks = m.merge_tasks_completed;
-    r.bin_seconds = 900.0;
-    const std::size_t bins =
-        std::max(m.analysis_done.nbins(), m.merge_done.nbins());
-    for (std::size_t b = 0; b < bins; ++b) {
-      r.analysis_per_bin.push_back(m.analysis_done.sum(b));
-      r.merge_per_bin.push_back(m.merge_done.sum(b));
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
+  return run_merge_campaign({seed}, 1).detail;
 }
 
 std::vector<ConsumerEntry> dashboard_ledger(double lobster_bytes,

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "lobsim/campaign.hpp"
 #include "lobsim/engine.hpp"
+#include "util/stats.hpp"
 
 namespace lobster::lobsim {
 
@@ -42,14 +44,38 @@ struct DataAccessResult {
 };
 std::vector<DataAccessResult> run_data_access_comparison(std::uint64_t seed);
 
+/// Figure 4 as a campaign: each access mode swept over `seeds`, executed
+/// `jobs`-wide.  `detail` is the per-mode view of seeds[0] (what the
+/// single-run figure prints); `aggregate` folds every seed.
+struct DataAccessCampaign {
+  std::vector<DataAccessResult> detail;
+  struct ModeAggregate {
+    std::string mode;
+    util::RunningStats processing_time;  ///< per-task, across seeds
+    util::RunningStats overhead_time;
+    util::RunningStats makespan;
+  };
+  std::vector<ModeAggregate> aggregate;
+};
+DataAccessCampaign run_data_access_campaign(
+    const std::vector<std::uint64_t>& seeds, std::size_t jobs);
+
 /// Figure 5: mean task overhead vs tasks sharing one proxy, cold vs hot.
 struct ProxyScalingPoint {
   std::size_t clients = 0;
   double cold_overhead = 0.0;  ///< mean seconds to populate a cold cache
   double hot_overhead = 0.0;   ///< mean seconds of hot-cache setup
+  double cold_sd = 0.0;        ///< across-seed spread (0 for one seed)
+  double hot_sd = 0.0;
 };
 std::vector<ProxyScalingPoint> run_proxy_scaling(
     const std::vector<std::size_t>& client_counts, std::uint64_t seed);
+
+/// Figure 5 as a campaign: every (client count) point runs as its own DES
+/// instance across `jobs` threads, and each point averages over `seeds`.
+std::vector<ProxyScalingPoint> run_proxy_scaling(
+    const std::vector<std::size_t>& client_counts,
+    const std::vector<std::uint64_t>& seeds, std::size_t jobs);
 
 /// Figure 7: the three merging modes on the same workload.
 struct MergeModeResult {
@@ -63,6 +89,23 @@ struct MergeModeResult {
   double bin_seconds = 0.0;
 };
 std::vector<MergeModeResult> run_merge_comparison(std::uint64_t seed);
+
+/// Figure 7 as a campaign: each merge mode swept over `seeds`, executed
+/// `jobs`-wide.  `detail` holds the per-mode timelines of seeds[0];
+/// `aggregate` folds completion times across every seed.
+struct MergeCampaign {
+  std::vector<MergeModeResult> detail;
+  struct ModeAggregate {
+    core::MergeMode mode = core::MergeMode::Sequential;
+    util::RunningStats analysis_finish;
+    util::RunningStats merge_finish;
+    util::RunningStats merge_tasks;
+    util::RunningStats makespan;
+  };
+  std::vector<ModeAggregate> aggregate;
+};
+MergeCampaign run_merge_campaign(const std::vector<std::uint64_t>& seeds,
+                                 std::size_t jobs);
 
 /// Figure 9: the "global dashboard" ledger of XrootD consumers.  Background
 /// sites are synthesized around the measured Lobster volume.

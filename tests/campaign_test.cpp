@@ -1,0 +1,207 @@
+// Tests for the lobsim::Campaign parallel run harness: per-run determinism,
+// parallel == serial aggregation, seed sweep bookkeeping, error isolation,
+// and the shared --seeds/--jobs flag parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "lobsim/campaign.hpp"
+
+namespace lobster::lobsim {
+namespace {
+
+RunSpec small_spec(std::uint64_t seed = 2015) {
+  RunSpec spec;
+  spec.label = "small";
+  spec.seed = seed;
+  spec.cluster.target_cores = 64;
+  spec.cluster.cores_per_worker = 8;
+  spec.cluster.ramp_seconds = 60.0;
+  spec.cluster.evictions = true;
+  spec.workload.num_tasklets = 300;
+  spec.workload.tasklets_per_task = 6;
+  spec.workload.tasklet_cpu_mean = 600.0;
+  spec.workload.tasklet_cpu_sigma = 120.0;
+  spec.workload.merge_mode = core::MergeMode::Interleaved;
+  spec.time_cap = 10.0 * 86400.0;
+  spec.metric_bin_seconds = 3600.0;
+  return spec;
+}
+
+// All scalar fields, compared exactly: determinism means bitwise equality,
+// not tolerance.
+void expect_stats_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.last_analysis_finish, b.last_analysis_finish);
+  EXPECT_EQ(a.last_merge_finish, b.last_merge_finish);
+  EXPECT_EQ(a.bytes_streamed, b.bytes_streamed);
+  EXPECT_EQ(a.bytes_staged, b.bytes_staged);
+  EXPECT_EQ(a.bytes_staged_out, b.bytes_staged_out);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_EQ(a.tasks_failed, b.tasks_failed);
+  EXPECT_EQ(a.tasks_evicted, b.tasks_evicted);
+  EXPECT_EQ(a.merge_tasks_completed, b.merge_tasks_completed);
+  EXPECT_EQ(a.tasklets_processed, b.tasklets_processed);
+  EXPECT_EQ(a.peak_running, b.peak_running);
+  EXPECT_EQ(a.breakdown.cpu, b.breakdown.cpu);
+  EXPECT_EQ(a.breakdown.io, b.breakdown.io);
+  EXPECT_EQ(a.breakdown.failed, b.breakdown.failed);
+  EXPECT_EQ(a.breakdown.stage_in, b.breakdown.stage_in);
+  EXPECT_EQ(a.breakdown.stage_out, b.breakdown.stage_out);
+}
+
+TEST(CampaignTest, SameSeedTwiceIsBitwiseIdentical) {
+  std::shared_ptr<const EngineMetrics> m1, m2;
+  const RunStats a = Campaign::execute(small_spec(), &m1);
+  const RunStats b = Campaign::execute(small_spec(), &m2);
+  expect_stats_identical(a, b);
+  ASSERT_TRUE(m1 && m2);
+  // Full timeline equality, bin by bin.
+  ASSERT_EQ(m1->analysis_done.nbins(), m2->analysis_done.nbins());
+  for (std::size_t i = 0; i < m1->analysis_done.nbins(); ++i) {
+    EXPECT_EQ(m1->analysis_done.sum(i), m2->analysis_done.sum(i));
+    EXPECT_EQ(m1->merge_done.sum(i), m2->merge_done.sum(i));
+  }
+  EXPECT_EQ(m1->failure_events, m2->failure_events);
+}
+
+TEST(CampaignTest, DifferentSeedsDiffer) {
+  const RunStats a = Campaign::execute(small_spec(2015));
+  const RunStats b = Campaign::execute(small_spec(2016));
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(CampaignTest, ParallelAggregatesIdenticalToSerial) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 2015; s < 2023; ++s) seeds.push_back(s);  // 8 seeds
+
+  Campaign serial(1);
+  serial.add_seed_sweep(small_spec(), seeds);
+  serial.run();
+
+  Campaign parallel(4);
+  parallel.add_seed_sweep(small_spec(), seeds);
+  parallel.run();
+
+  ASSERT_EQ(serial.results().size(), parallel.results().size());
+  for (std::size_t i = 0; i < serial.results().size(); ++i) {
+    const auto& rs = serial.results()[i];
+    const auto& rp = parallel.results()[i];
+    EXPECT_EQ(rs.seed, rp.seed);
+    EXPECT_EQ(rs.label, rp.label);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rp.ok());
+    expect_stats_identical(rs.stats, rp.stats);
+  }
+
+  const auto as = serial.aggregate();
+  const auto ap = parallel.aggregate();
+  ASSERT_EQ(as.size(), 1u);
+  ASSERT_EQ(ap.size(), 1u);
+  EXPECT_EQ(as[0].runs, 8u);
+  // Folding order is submission order in both cases, so the running stats
+  // agree bitwise, not just within tolerance.
+  EXPECT_EQ(as[0].makespan.mean(), ap[0].makespan.mean());
+  EXPECT_EQ(as[0].makespan.stddev(), ap[0].makespan.stddev());
+  EXPECT_EQ(as[0].makespan.min(), ap[0].makespan.min());
+  EXPECT_EQ(as[0].makespan.max(), ap[0].makespan.max());
+  EXPECT_EQ(as[0].tasks_evicted.mean(), ap[0].tasks_evicted.mean());
+  EXPECT_EQ(as[0].merge_tasks.stddev(), ap[0].merge_tasks.stddev());
+  EXPECT_EQ(as[0].bytes_streamed.mean(), ap[0].bytes_streamed.mean());
+}
+
+TEST(CampaignTest, SeedSweepKeepsLabelAndOrder) {
+  Campaign campaign(2);
+  campaign.add_seed_sweep(small_spec(), {7, 9, 11});
+  RunSpec other = small_spec(42);
+  other.label = "other";
+  campaign.add(other);
+  ASSERT_EQ(campaign.size(), 4u);
+  campaign.run();
+  const auto& r = campaign.results();
+  EXPECT_EQ(r[0].seed, 7u);
+  EXPECT_EQ(r[1].seed, 9u);
+  EXPECT_EQ(r[2].seed, 11u);
+  EXPECT_EQ(r[3].seed, 42u);
+  EXPECT_EQ(r[0].label, "small");
+  EXPECT_EQ(r[3].label, "other");
+  // Aggregates group by label in first-submission order.
+  const auto agg = campaign.aggregate();
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].label, "small");
+  EXPECT_EQ(agg[0].runs, 3u);
+  EXPECT_EQ(agg[1].label, "other");
+  EXPECT_EQ(agg[1].runs, 1u);
+}
+
+TEST(CampaignTest, FailedRunIsIsolated) {
+  Campaign campaign(2);
+  RunSpec bad = small_spec();
+  bad.label = "bad";
+  bad.cluster.num_squids = 0;  // engine rejects this in its constructor
+  campaign.add(small_spec());
+  campaign.add(bad);
+  campaign.add(small_spec(2016));
+  campaign.run();
+  const auto& r = campaign.results();
+  EXPECT_TRUE(r[0].ok());
+  EXPECT_FALSE(r[1].ok());
+  EXPECT_NE(r[1].error.find("squid"), std::string::npos);
+  EXPECT_TRUE(r[2].ok());
+  const auto agg = campaign.aggregate();
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[1].label, "bad");
+  EXPECT_EQ(agg[1].runs, 0u);
+  EXPECT_EQ(agg[1].errors, 1u);
+}
+
+TEST(CampaignTest, MetricsRetainedOnlyOnRequest) {
+  Campaign lean(1);
+  lean.add(small_spec());
+  lean.run();
+  EXPECT_EQ(lean.results()[0].metrics, nullptr);
+
+  Campaign full(1);
+  full.keep_metrics(true);
+  full.add(small_spec());
+  full.run();
+  ASSERT_NE(full.results()[0].metrics, nullptr);
+  EXPECT_GT(full.results()[0].metrics->tasklets_processed, 0u);
+}
+
+TEST(ParallelRunsTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_runs(64, 4, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(CampaignFlagsTest, ParsesSeedsAndJobs) {
+  const char* argv_c[] = {"bench", "--seeds", "4", "--jobs", "2"};
+  auto opts = parse_campaign_flags(5, const_cast<char**>(argv_c), 100);
+  ASSERT_EQ(opts.seeds.size(), 4u);
+  EXPECT_EQ(opts.seeds.front(), 100u);
+  EXPECT_EQ(opts.seeds.back(), 103u);
+  EXPECT_EQ(opts.jobs, 2u);
+}
+
+TEST(CampaignFlagsTest, DefaultsAndForeignArgsIgnored) {
+  const char* argv_c[] = {"tool", "scenario.ini"};
+  auto opts = parse_campaign_flags(2, const_cast<char**>(argv_c), 7);
+  ASSERT_EQ(opts.seeds.size(), 1u);
+  EXPECT_EQ(opts.seeds.front(), 7u);
+  EXPECT_EQ(opts.jobs, 1u);
+}
+
+TEST(CampaignFlagsTest, RejectsBadValues) {
+  const char* argv_c[] = {"bench", "--seeds", "0"};
+  EXPECT_THROW(parse_campaign_flags(3, const_cast<char**>(argv_c), 1),
+               std::invalid_argument);
+  const char* argv_m[] = {"bench", "--seeds"};
+  EXPECT_THROW(parse_campaign_flags(2, const_cast<char**>(argv_m), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lobster::lobsim

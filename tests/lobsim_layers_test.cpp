@@ -1,0 +1,211 @@
+// Unit tests for the Engine's extracted layers: DispatchPolicy (task
+// construction) and MergePlanner (merge-group planning).  Both are pure
+// logic over pools — no DES kernel — so these tests pin the switchover
+// points and group sizing directly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/merge.hpp"
+#include "lobsim/dispatch_policy.hpp"
+#include "lobsim/merge_planner.hpp"
+
+namespace lobster::lobsim {
+namespace {
+
+DispatchContext ctx(std::uint64_t slots, bool evictable = true,
+                    std::size_t site = 0) {
+  DispatchContext c;
+  c.total_slots = slots;
+  c.site = site;
+  c.site_evictable = evictable;
+  return c;
+}
+
+TEST(DispatchPolicyTest, FifoAlwaysFullSize) {
+  auto p = make_dispatch_policy(DispatchMode::Fifo, 6);
+  EXPECT_STREQ(p->name(), "fifo");
+  p->add_tasklets(100);
+  const auto t = p->next(ctx(1000));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->is_merge);
+  // Full size even though the pool (100) fits in the slots (1000): fifo
+  // never shrinks.
+  EXPECT_EQ(t->n_tasklets, 6u);
+  EXPECT_EQ(p->tasklets_pending(), 94u);
+}
+
+TEST(DispatchPolicyTest, FifoClampsToRemainder) {
+  auto p = make_dispatch_policy(DispatchMode::Fifo, 6);
+  p->add_tasklets(4);
+  const auto t = p->next(ctx(8));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 4u);
+  EXPECT_TRUE(p->idle());
+  EXPECT_FALSE(p->next(ctx(8)).has_value());
+}
+
+TEST(DispatchPolicyTest, TailShrinkSwitchoverPoint) {
+  auto p = make_dispatch_policy(DispatchMode::TailShrink, 6);
+  EXPECT_STREQ(p->name(), "tail-shrink");
+  // Above the slot count: full-size tasks.
+  p->add_tasklets(65);
+  auto t = p->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 6u);  // pending 65 > slots 64
+  // Now pending == 59 < slots: drain phase, single tasklets.
+  t = p->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 1u);
+  EXPECT_EQ(p->tasklets_pending(), 58u);
+  // Exactly at the boundary (pending == slots) it also shrinks.
+  auto q = make_dispatch_policy(DispatchMode::TailShrink, 6);
+  q->add_tasklets(64);
+  const auto b = q->next(ctx(64));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->n_tasklets, 1u);
+}
+
+TEST(DispatchPolicyTest, SiteAwareSizing) {
+  auto p = make_dispatch_policy(DispatchMode::SiteAware, 6);
+  p->add_tasklets(10000);
+  // Eviction-prone site: half-size tasks.
+  auto t = p->next(ctx(64, /*evictable=*/true));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 3u);
+  // Dedicated site: full-size tasks.
+  t = p->next(ctx(64, /*evictable=*/false));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 6u);
+  // Drain phase shrinks to 1 regardless of the site.
+  auto q = make_dispatch_policy(DispatchMode::SiteAware, 6);
+  q->add_tasklets(8);
+  const auto d = q->next(ctx(64, /*evictable=*/false));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->n_tasklets, 1u);
+}
+
+TEST(DispatchPolicyTest, MergeGroupsDispatchFirst) {
+  auto p = make_dispatch_policy(DispatchMode::Fifo, 6);
+  p->add_tasklets(100);
+  p->push_merge_group(3.5e9);
+  p->push_merge_group(2.0e9);
+  EXPECT_EQ(p->merge_backlog(), 2u);
+  auto t = p->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->is_merge);
+  EXPECT_EQ(t->merge_input_bytes, 3.5e9);  // FIFO among merges
+  t = p->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->is_merge);
+  EXPECT_EQ(t->merge_input_bytes, 2.0e9);
+  t = p->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->is_merge);
+  EXPECT_EQ(p->tasklets_pending(), 94u);
+}
+
+// -- MergePlanner ----------------------------------------------------------
+
+core::MergePolicy test_policy() {
+  core::MergePolicy mp;
+  mp.target_bytes = 1000.0;
+  mp.min_fill = 0.9;
+  mp.start_fraction = 0.10;
+  return mp;
+}
+
+TEST(MergePlannerTest, InterleavedWaitsForStartFraction) {
+  auto p = MergePlanner::make(core::MergeMode::Interleaved, test_policy());
+  EXPECT_STREQ(p->name(), "interleaved");
+  for (int i = 0; i < 20; ++i) p->add_output(100.0);  // 2000 bytes pooled
+  // 5% of the workflow processed: below start_fraction, nothing planned.
+  auto plan = p->plan(50, 1000, false);
+  EXPECT_TRUE(plan.groups.empty());
+  EXPECT_FALSE(plan.start_hadoop);
+  // 10% processed: planning opens up; greedy grouping emits two 900-byte
+  // groups (9 outputs each) and holds the 200-byte remainder mid-run.
+  plan = p->plan(100, 1000, false);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.groups[0], 900.0);
+  EXPECT_EQ(plan.groups[1], 900.0);
+  EXPECT_EQ(p->unmerged_count(), 2u);
+  EXPECT_EQ(p->unmerged_bytes(), 200.0);
+}
+
+TEST(MergePlannerTest, InterleavedHoldsUnderfullGroupMidRun) {
+  auto p = MergePlanner::make(core::MergeMode::Interleaved, test_policy());
+  for (int i = 0; i < 5; ++i) p->add_output(100.0);  // 500 < 900 = target*fill
+  auto plan = p->plan(500, 1000, false);
+  EXPECT_TRUE(plan.groups.empty());
+  EXPECT_EQ(p->unmerged_count(), 5u);
+  // The final sweep flushes the remainder even though it is underfull.
+  plan = p->plan(1000, 1000, true);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0], 500.0);
+  EXPECT_TRUE(p->drained());
+}
+
+TEST(MergePlannerTest, InterleavedGroupSizingMatchesCorePolicy) {
+  // Outputs of 400 bytes against a 1000-byte target, min_fill 0.9: greedy
+  // FIFO grouping packs three per group (1200 >= 900; two would be 800).
+  auto p = MergePlanner::make(core::MergeMode::Interleaved, test_policy());
+  for (int i = 0; i < 9; ++i) p->add_output(400.0);
+  auto plan = p->plan(500, 1000, false);
+  ASSERT_EQ(plan.groups.size(), 3u);
+  for (const double g : plan.groups) EXPECT_EQ(g, 1200.0);
+  EXPECT_TRUE(p->drained());
+}
+
+TEST(MergePlannerTest, SequentialPlansOnlyAfterAnalysis) {
+  auto p = MergePlanner::make(core::MergeMode::Sequential, test_policy());
+  EXPECT_STREQ(p->name(), "sequential");
+  for (int i = 0; i < 10; ++i) p->add_output(500.0);
+  // Mid-run, even at 99%: nothing.
+  EXPECT_TRUE(p->plan(990, 1000, false).groups.empty());
+  // Analysis complete: the whole pool is grouped, remainder included.
+  const auto plan = p->plan(1000, 1000, true);
+  const double total =
+      std::accumulate(plan.groups.begin(), plan.groups.end(), 0.0);
+  EXPECT_EQ(total, 5000.0);
+  EXPECT_FALSE(plan.groups.empty());
+  EXPECT_TRUE(p->drained());
+}
+
+TEST(MergePlannerTest, HadoopTriggersOnceAndKeepsPool) {
+  auto p = MergePlanner::make(core::MergeMode::Hadoop, test_policy());
+  EXPECT_STREQ(p->name(), "hadoop");
+  for (int i = 0; i < 8; ++i) p->add_output(300.0);
+  EXPECT_FALSE(p->plan(500, 1000, false).start_hadoop);
+  // Analysis done: ask the Engine to start the Map-Reduce, exactly once.
+  EXPECT_TRUE(p->plan(1000, 1000, true).start_hadoop);
+  EXPECT_FALSE(p->plan(1000, 1000, true).start_hadoop);
+  // The pool drains through take_hadoop_groups(), not worker-dispatched
+  // groups.
+  EXPECT_EQ(p->unmerged_count(), 8u);
+  const auto groups = p->take_hadoop_groups();
+  EXPECT_FALSE(groups.empty());
+  const double total = std::accumulate(groups.begin(), groups.end(), 0.0);
+  EXPECT_EQ(total, 8 * 300.0);
+  for (std::size_t i = 0; i + 1 < groups.size(); ++i)
+    EXPECT_GE(groups[i], 1000.0);  // reduce groups reach the target size
+  EXPECT_TRUE(p->drained());
+}
+
+TEST(MergePlannerTest, ReturnedGroupReentersPool) {
+  auto p = MergePlanner::make(core::MergeMode::Interleaved, test_policy());
+  for (int i = 0; i < 3; ++i) p->add_output(400.0);
+  auto plan = p->plan(500, 1000, false);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_TRUE(p->drained());
+  // The merge task failed: its inputs come back and are replanned on the
+  // final sweep.
+  p->return_group(plan.groups[0]);
+  EXPECT_EQ(p->unmerged_bytes(), 1200.0);
+  plan = p->plan(1000, 1000, true);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0], 1200.0);
+}
+
+}  // namespace
+}  // namespace lobster::lobsim

@@ -4,7 +4,12 @@
 // DES engine predicts makespan, efficiency, failure behaviour and the §5
 // diagnosis.
 //
-// Usage: lobster_sim <scenario.ini>
+// Usage: lobster_sim <scenario.ini> [--seeds N] [--jobs M]
+//
+// With --seeds N the scenario becomes a campaign: N runs seeded
+// base..base+N-1 execute across M worker threads (lobsim::Campaign), the
+// first run is reported in full, and a mean +/- stddev table summarises the
+// sweep.  Aggregates are submission-ordered, so --jobs does not change them.
 //
 // Example scenario file:
 //
@@ -27,6 +32,7 @@
 //   output_per_tasklet = 20MB
 //   access = stream            # or stage
 //   merge = interleaved        # or sequential / hadoop
+//   dispatch = fifo            # or tail-shrink / site-aware
 //
 //   [failures]
 //   outage_start = 3h          # optional WAN outage window
@@ -34,7 +40,7 @@
 #include <cstdio>
 #include <string>
 
-#include "lobsim/engine.hpp"
+#include "lobsim/campaign.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -42,8 +48,9 @@
 using namespace lobster;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <scenario.ini>\n", argv[0]);
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr, "usage: %s <scenario.ini> [--seeds N] [--jobs M]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -55,7 +62,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  lobsim::ClusterParams cluster;
+  lobsim::RunSpec spec;
+  spec.time_cap = 30.0 * 86400.0;
+  auto& cluster = spec.cluster;
   cluster.target_cores = static_cast<std::size_t>(
       cfg.get_int("cluster", "cores", 5000));
   cluster.cores_per_worker = static_cast<std::size_t>(
@@ -71,7 +80,7 @@ int main(int argc, char** argv) {
   cluster.chirp.max_connections =
       cfg.get_int("cluster", "chirp_connections", 24);
 
-  lobsim::WorkloadParams workload;
+  auto& workload = spec.workload;
   workload.num_tasklets = static_cast<std::uint64_t>(
       cfg.get_int("workflow", "tasklets", 30000));
   workload.tasklets_per_task = static_cast<std::uint32_t>(
@@ -101,21 +110,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown merge mode '%s'\n", merge.c_str());
     return 1;
   }
+  const std::string dispatch = cfg.get_string("workflow", "dispatch", "fifo");
+  if (dispatch == "tail-shrink")
+    workload.dispatch = lobsim::DispatchMode::TailShrink;
+  else if (dispatch == "site-aware")
+    workload.dispatch = lobsim::DispatchMode::SiteAware;
+  else if (dispatch != "fifo") {
+    std::fprintf(stderr, "error: unknown dispatch mode '%s'\n",
+                 dispatch.c_str());
+    return 1;
+  }
 
-  lobsim::Engine engine(cluster, workload,
-                        static_cast<std::uint64_t>(
-                            cfg.get_int("workflow", "seed", 2015)));
-  const double outage_start = cfg.get_duration("failures", "outage_start", 0.0);
-  const double outage_duration =
-      cfg.get_duration("failures", "outage_duration", 0.0);
-  if (outage_start > 0.0 && outage_duration > 0.0)
-    engine.schedule_outage(outage_start, outage_duration);
+  spec.outage_start = cfg.get_duration("failures", "outage_start", 0.0);
+  spec.outage_duration = cfg.get_duration("failures", "outage_duration", 0.0);
 
-  std::printf("simulating %zu cores, %llu tasklets (%s each)...\n",
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(cfg.get_int("workflow", "seed", 2015));
+  lobsim::CampaignOptions opts;
+  try {
+    opts = lobsim::parse_campaign_flags(argc, argv, base_seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("simulating %zu cores, %llu tasklets (%s each), %zu seed%s",
               cluster.target_cores,
               static_cast<unsigned long long>(workload.num_tasklets),
-              util::format_duration(workload.tasklet_cpu_mean).c_str());
-  const auto& m = engine.run(30.0 * 86400.0);
+              util::format_duration(workload.tasklet_cpu_mean).c_str(),
+              opts.seeds.size(), opts.seeds.size() == 1 ? "" : "s");
+  if (opts.seeds.size() > 1) std::printf(" x %zu jobs", opts.jobs);
+  std::puts("...");
+
+  lobsim::Campaign campaign(opts.jobs);
+  campaign.keep_metrics(true);  // the report wants the first run's monitor
+  campaign.add_seed_sweep(spec, opts.seeds);
+  campaign.run();
+
+  const auto& first = campaign.results().front();
+  if (!first.ok()) {
+    std::fprintf(stderr, "error: %s\n", first.error.c_str());
+    return 1;
+  }
+  const auto& m = *first.metrics;
   const auto b = m.monitor.breakdown();
   const double total = b.total();
 
@@ -140,6 +177,33 @@ int main(int argc, char** argv) {
                util::Table::num(100.0 * b.failed / total, 1) + " %"});
   }
   std::fputs(table.str().c_str(), stdout);
+
+  if (opts.seeds.size() > 1) {
+    std::printf("\nacross %zu seeds (seed %llu..%llu):\n", opts.seeds.size(),
+                static_cast<unsigned long long>(opts.seeds.front()),
+                static_cast<unsigned long long>(opts.seeds.back()));
+    const auto aggregates = campaign.aggregate();
+    const auto& agg = aggregates.front();
+    util::Table sweep({"metric", "mean", "stddev", "min", "max"});
+    auto stat_row = [&sweep](const char* name, const util::RunningStats& s,
+                             bool duration) {
+      auto fmt = [duration](double v) {
+        return duration ? util::format_duration(v) : util::Table::num(v, 1);
+      };
+      sweep.row({name, fmt(s.mean()), fmt(s.stddev()), fmt(s.min()),
+                 fmt(s.max())});
+    };
+    stat_row("makespan", agg.makespan, true);
+    stat_row("tasks evicted", agg.tasks_evicted, false);
+    stat_row("tasks failed", agg.tasks_failed, false);
+    stat_row("merged files", agg.merge_tasks, false);
+    stat_row("peak running", agg.peak_running, false);
+    std::fputs(sweep.str().c_str(), stdout);
+    if (agg.errors > 0)
+      std::printf("  (%llu run%s failed)\n",
+                  static_cast<unsigned long long>(agg.errors),
+                  agg.errors == 1 ? "" : "s");
+  }
 
   std::puts("\ndiagnosis:");
   const auto diags = m.monitor.diagnose();
