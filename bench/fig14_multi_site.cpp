@@ -21,7 +21,7 @@ lobsim::ClusterParams home_campus() {
   c.target_cores = 6000;
   c.cores_per_worker = 8;
   c.ramp_seconds = util::hours(1);
-  c.availability_scale_hours = 10.0;
+  c.availability.scale_hours = 10.0;
   c.federation.campus_uplink_rate = util::gbit_per_s(10);
   c.chirp.max_connections = 24;
   c.chirp.nic_rate = 8e8;
@@ -33,7 +33,7 @@ lobsim::SiteParams hpc_partition() {
   s.name = "HPC backfill";
   s.target_cores = 3000;
   s.ramp_seconds = util::hours(0.5);
-  s.availability_scale_hours = 5.0;  // backfill: frequent preemption
+  s.availability.scale_hours = 5.0;  // backfill: frequent preemption
   s.federation.campus_uplink_rate = util::gbit_per_s(4);
   return s;
 }

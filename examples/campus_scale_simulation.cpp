@@ -28,7 +28,7 @@ int main() {
   cluster.target_cores = 5000;
   cluster.cores_per_worker = 8;
   cluster.ramp_seconds = util::hours(1);
-  cluster.availability_scale_hours = 8.0;
+  cluster.availability.scale_hours = 8.0;
   // A deliberately modest campus: 2 Gbit/s uplink and a small Chirp box.
   cluster.federation.campus_uplink_rate = util::gbit_per_s(2);
   cluster.chirp.max_connections = 8;

@@ -62,6 +62,7 @@ RunStats Campaign::execute(const RunSpec& spec,
   s.tasks_evicted = m.tasks_evicted;
   s.merge_tasks_completed = m.merge_tasks_completed;
   s.tasklets_processed = m.tasklets_processed;
+  s.tasklets_retried = m.tasklets_retried;
   s.peak_running = m.peak_running;
   s.breakdown = m.monitor.breakdown();
   if (metrics_out) *metrics_out = std::make_shared<EngineMetrics>(m);
@@ -113,6 +114,7 @@ std::vector<CampaignAggregate> Campaign::aggregate() const {
     agg.merge_finish.add(r.stats.last_merge_finish);
     agg.tasks_failed.add(static_cast<double>(r.stats.tasks_failed));
     agg.tasks_evicted.add(static_cast<double>(r.stats.tasks_evicted));
+    agg.tasklets_retried.add(static_cast<double>(r.stats.tasklets_retried));
     agg.merge_tasks.add(static_cast<double>(r.stats.merge_tasks_completed));
     agg.bytes_streamed.add(r.stats.bytes_streamed);
     agg.bytes_staged_out.add(r.stats.bytes_staged_out);

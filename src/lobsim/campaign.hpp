@@ -56,6 +56,7 @@ struct RunStats {
   std::uint64_t tasks_evicted = 0;
   std::uint64_t merge_tasks_completed = 0;
   std::uint64_t tasklets_processed = 0;
+  std::uint64_t tasklets_retried = 0;
   std::size_t peak_running = 0;
   core::RuntimeBreakdown breakdown;
 };
@@ -82,6 +83,7 @@ struct CampaignAggregate {
   util::RunningStats merge_finish;
   util::RunningStats tasks_failed;
   util::RunningStats tasks_evicted;
+  util::RunningStats tasklets_retried;
   util::RunningStats merge_tasks;
   util::RunningStats bytes_streamed;
   util::RunningStats bytes_staged_out;

@@ -372,6 +372,7 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
       planner_->add_output(workload_.tasklet_output_bytes * task.n_tasklets);
     } else {
       dispatch_->add_tasklets(task.n_tasklets);  // retry
+      metrics_->tasklets_retried += task.n_tasklets;
     }
   }
 

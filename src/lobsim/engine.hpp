@@ -119,6 +119,10 @@ struct EngineMetrics {
   std::uint64_t tasks_evicted = 0;
   std::uint64_t merge_tasks_completed = 0;
   std::uint64_t tasklets_processed = 0;
+  /// Tasklets returned to the pending pool by evicted/failed tasks — the
+  /// "wasted dispatches" an availability climate costs (each is work that
+  /// had to be re-run).
+  std::uint64_t tasklets_retried = 0;
   double last_analysis_finish = 0.0;
   double last_merge_finish = 0.0;
   double bytes_streamed = 0.0;

@@ -17,8 +17,8 @@ DataProcessingScenario data_processing_scenario() {
   s.cluster.target_cores = 10000;
   s.cluster.cores_per_worker = 8;
   s.cluster.ramp_seconds = 2.0 * 3600.0;
-  s.cluster.availability_scale_hours = 12.0;
-  s.cluster.availability_shape = 0.8;
+  s.cluster.availability.scale_hours = 12.0;
+  s.cluster.availability.shape = 0.8;
   s.cluster.federation.campus_uplink_rate = util::gbit_per_s(10);
   s.cluster.federation.per_stream_rate = 30e6;
   s.cluster.squid.max_connections = 2000;
@@ -60,7 +60,7 @@ SimulationRunScenario simulation_run_scenario() {
   s.cluster.target_cores = 20000;
   s.cluster.cores_per_worker = 8;
   s.cluster.ramp_seconds = 0.5 * 3600.0;  // big burst grant
-  s.cluster.availability_scale_hours = 16.0;
+  s.cluster.availability.scale_hours = 16.0;
   s.cluster.federation.campus_uplink_rate = util::gbit_per_s(10);
   // One squid for 20k cores: undersized on purpose — the paper observed
   // "the squid deployed had trouble serving up the data required to create
@@ -239,7 +239,7 @@ RunSpec merge_mode_spec(core::MergeMode mode) {
   spec.cluster.target_cores = 1024;
   spec.cluster.cores_per_worker = 8;
   spec.cluster.ramp_seconds = 900.0;
-  spec.cluster.availability_scale_hours = 6.0;
+  spec.cluster.availability.scale_hours = 6.0;
   // Merge transfers contend on a modest Chirp front-end — the load the
   // paper's sequential mode suffers from.
   spec.cluster.chirp.max_connections = 8;

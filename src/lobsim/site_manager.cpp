@@ -17,8 +17,7 @@ SiteManager::SiteManager(des::Simulation& sim, const ClusterParams& cluster,
   home.name = "home";
   home.target_cores = cluster.target_cores;
   home.ramp_seconds = cluster.ramp_seconds;
-  home.availability_scale_hours = cluster.availability_scale_hours;
-  home.availability_shape = cluster.availability_shape;
+  home.availability = cluster.availability;
   home.evictions = cluster.evictions;
   home.num_squids = cluster.num_squids;
   home.squid = cluster.squid;
@@ -37,13 +36,13 @@ SiteManager::SiteManager(des::Simulation& sim, const ClusterParams& cluster,
     for (std::size_t q = 0; q < p.num_squids; ++q)
       site.squids.push_back(std::make_unique<cvmfs::SquidSim>(sim_, p.squid));
     if (p.evictions) {
-      auto log = core::synthesize_availability_log(
-          50000, rng_.stream("availability", i), p.availability_shape,
-          p.availability_scale_hours);
-      site.eviction = std::make_unique<core::EmpiricalEviction>(
-          util::EmpiricalDistribution(std::move(log)));
+      // The "availability" stream name and per-site index are load-bearing:
+      // they are what the engine used before the model became pluggable, so
+      // the weibull model reproduces the old runs bit-for-bit.
+      site.availability = make_availability_model(
+          p.availability, rng_.stream("availability", i));
     } else {
-      site.eviction = std::make_unique<core::NoEviction>();
+      site.availability = std::make_unique<AlwaysAvailable>();
     }
     sites_.push_back(std::move(site));
   }
@@ -74,6 +73,11 @@ des::Process SiteManager::site_batch_system(std::size_t site_index) {
     node->id = w;
     node->site = site_index;
     node->rng = rng_.stream("node." + std::to_string(site_index), w);
+    // Scatter trace-replay phases without consuming the node's RNG stream
+    // (which must keep matching the legacy draw sequence bit-for-bit).
+    std::uint64_t phase_state =
+        (static_cast<std::uint64_t>(site_index) << 32) ^ w;
+    node->avail_phase = util::splitmix64(phase_state);
     node->squid = w % site.squids.size();
     sim_.spawn(worker_life(node));
     // Stagger worker arrivals across the site's ramp window.
@@ -84,11 +88,15 @@ des::Process SiteManager::site_batch_system(std::size_t site_index) {
 }
 
 des::Process SiteManager::worker_life(std::shared_ptr<WorkerNode> node) {
+  std::uint64_t incarnation = 0;
   while (!done_() && sim_.now() < time_cap_) {
     // A new life: fresh survival draw, cold cache.
     node->alive = true;
     node->death =
-        sim_.now() + sites_[node->site].eviction->sample_survival(node->rng);
+        sim_.now() + sites_[node->site].availability->sample_survival_at(
+                         node->rng, sim_.now(),
+                         node->avail_phase + incarnation);
+    ++incarnation;
     node->cache_state = WorkerNode::CacheState::Cold;
     node->cache_round = sim_.make_event();
     node->slot_head_ready.assign(cores_per_worker_, false);

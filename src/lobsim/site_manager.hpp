@@ -2,10 +2,12 @@
 // extracted from the Engine.
 //
 // The opportunistic pool is what makes Lobster's environment hard: workers
-// are granted gradually by the batch system, live under a Weibull
-// availability climate (Figure 2), and return after an exponential backoff
-// when evicted.  The SiteManager owns that whole layer — per-site
-// infrastructure (federation WAN path, squid proxies, eviction model) plus
+// are granted gradually by the batch system, live under a pluggable
+// availability climate (availability.hpp: the Figure 2 Weibull log, a
+// replayed eviction trace, a diurnal cycle, or adversarial eviction
+// bursts), and return after an exponential backoff when evicted.  The
+// SiteManager owns that whole layer — per-site infrastructure (federation
+// WAN path, squid proxies, availability model) plus
 // the worker ramp/rebirth processes — so the Engine only supplies the slot
 // body that pulls and runs tasks.  Multi-site harvesting (paper §7) is a
 // list of sites; site 0 is always the home campus.
@@ -23,6 +25,7 @@
 #include "cvmfs/squid.hpp"
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
+#include "lobsim/availability.hpp"
 #include "util/rng.hpp"
 #include "xrootd/federation.hpp"
 
@@ -36,10 +39,11 @@ struct SiteParams {
   std::string name = "remote";
   std::size_t target_cores = 0;
   double ramp_seconds = 3600.0;
-  /// Per-site availability (a commercial cloud is effectively dedicated
-  /// while paid for; a borrowed HPC partition may be harsher than campus).
-  double availability_scale_hours = 4.0;
-  double availability_shape = 0.8;
+  /// Per-site availability climate (a commercial cloud is effectively
+  /// dedicated while paid for; a borrowed HPC partition may be harsher
+  /// than campus).  One config drives both the home and extra sites, so
+  /// the two can't silently disagree.
+  AvailabilityConfig availability;
   bool evictions = true;
   std::size_t num_squids = 1;
   cvmfs::SquidSim::Params squid;
@@ -52,9 +56,9 @@ struct ClusterParams {
   std::size_t cores_per_worker = 8;  ///< paper §3: 8-core workers
   /// Workers join gradually (batch system grants) over this window.
   double ramp_seconds = 3600.0;
-  /// Availability model: Weibull availability like the Figure 2 logs.
-  double availability_scale_hours = 4.0;
-  double availability_shape = 0.8;
+  /// Availability climate of the home site (availability.hpp: weibull /
+  /// trace / diurnal / adversarial-burst).
+  AvailabilityConfig availability;
   /// Evicted workers return after an exponential backoff with this mean.
   double rejoin_mean_seconds = 1800.0;
   /// When false, workers are dedicated (no eviction) — ablation switch.
@@ -84,6 +88,9 @@ struct WorkerNode {
   util::Rng rng{0};
   std::size_t site = 0;
   std::size_t squid = 0;
+  /// Per-worker replay phase (trace availability): a hash of (site, id)
+  /// offsets this worker into the interval log; incarnations advance it.
+  std::uint64_t avail_phase = 0;
   double death = std::numeric_limits<double>::infinity();
   bool alive = false;
   // Cache state for the current life.  Population is a retryable state
@@ -139,6 +146,18 @@ class SiteManager {
   bool site_evictable(std::size_t site) const {
     return sites_.at(site).params.evictions;
   }
+  /// The site's availability climate (AlwaysAvailable when evictions are
+  /// off) — queryable by dispatch policies and benches.
+  const AvailabilityModel& availability(std::size_t site) const {
+    return *sites_.at(site).availability;
+  }
+  /// Expected lifetime of a worker incarnation starting at `now` on
+  /// `site` — the quantity the ROADMAP's expected-lifetime DispatchPolicy
+  /// sizes tasks against (paper §4.1: "sized to the expected lifetime of
+  /// the worker").
+  double expected_remaining_lifetime(std::size_t site, double now) const {
+    return sites_.at(site).availability->expected_lifetime(now);
+  }
 
  private:
   /// Runtime state of one harvested site.
@@ -146,7 +165,7 @@ class SiteManager {
     SiteParams params;
     std::unique_ptr<xrootd::FederationSim> federation;
     std::vector<std::unique_ptr<cvmfs::SquidSim>> squids;
-    std::unique_ptr<core::EvictionModel> eviction;
+    std::unique_ptr<AvailabilityModel> availability;
   };
 
   des::Process site_batch_system(std::size_t site_index);

@@ -1,0 +1,355 @@
+// Tests for the pluggable availability models: spec parsing, trace CSV
+// loading, the bit-for-bit equivalence of the weibull model with the legacy
+// empirical-log draw, trace replay phase arithmetic, diurnal modulation and
+// burst correlation, and the expected_lifetime() query every model exposes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/task_size_model.hpp"
+#include "lobsim/availability.hpp"
+#include "util/rng.hpp"
+
+namespace lobster::lobsim {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+// ---- spec parsing ----------------------------------------------------------
+
+TEST(AvailabilitySpec, DefaultsPerKind) {
+  const auto w = parse_availability_spec("weibull");
+  EXPECT_EQ(w.kind, AvailabilityKind::Weibull);
+  EXPECT_DOUBLE_EQ(w.scale_hours, 4.0);
+  EXPECT_DOUBLE_EQ(w.shape, 0.8);
+
+  const auto d = parse_availability_spec("diurnal");
+  EXPECT_EQ(d.kind, AvailabilityKind::Diurnal);
+  EXPECT_DOUBLE_EQ(d.diurnal_amplitude, 0.6);
+  EXPECT_DOUBLE_EQ(d.diurnal_peak_hour, 14.0);
+
+  const auto b = parse_availability_spec("adversarial-burst");
+  EXPECT_EQ(b.kind, AvailabilityKind::AdversarialBurst);
+  EXPECT_DOUBLE_EQ(b.burst_period_hours, 6.0);
+  EXPECT_DOUBLE_EQ(b.burst_fraction, 0.5);
+  // "burst" is accepted as shorthand.
+  EXPECT_EQ(parse_availability_spec("burst").kind,
+            AvailabilityKind::AdversarialBurst);
+}
+
+TEST(AvailabilitySpec, KeyValueOverrides) {
+  const auto w = parse_availability_spec("weibull:scale=8,shape=1.2");
+  EXPECT_DOUBLE_EQ(w.scale_hours, 8.0);
+  EXPECT_DOUBLE_EQ(w.shape, 1.2);
+
+  const auto d =
+      parse_availability_spec("diurnal:amplitude=0.3,peak=9,scale=6");
+  EXPECT_DOUBLE_EQ(d.diurnal_amplitude, 0.3);
+  EXPECT_DOUBLE_EQ(d.diurnal_peak_hour, 9.0);
+  EXPECT_DOUBLE_EQ(d.scale_hours, 6.0);
+
+  const auto b = parse_availability_spec("burst:period=3,fraction=0.8");
+  EXPECT_DOUBLE_EQ(b.burst_period_hours, 3.0);
+  EXPECT_DOUBLE_EQ(b.burst_fraction, 0.8);
+}
+
+TEST(AvailabilitySpec, ScaleAcceptsDurationSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_availability_spec("weibull:scale=90m").scale_hours,
+                   1.5);
+  EXPECT_DOUBLE_EQ(parse_availability_spec("weibull:scale=1.5h").scale_hours,
+                   1.5);
+  EXPECT_DOUBLE_EQ(
+      parse_availability_spec("burst:period=30m").burst_period_hours, 0.5);
+}
+
+TEST(AvailabilitySpec, TracePathShorthand) {
+  const auto bare = parse_availability_spec("trace:/data/evictions.csv");
+  EXPECT_EQ(bare.kind, AvailabilityKind::Trace);
+  EXPECT_EQ(bare.trace_path, "/data/evictions.csv");
+  const auto keyed = parse_availability_spec("trace:path=/data/evictions.csv");
+  EXPECT_EQ(keyed.trace_path, "/data/evictions.csv");
+}
+
+TEST(AvailabilitySpec, RejectsUnknownKindsAndKeys) {
+  EXPECT_THROW(parse_availability_spec("uniform"), std::invalid_argument);
+  EXPECT_THROW(parse_availability_spec("weibull:period=3"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_availability_spec("diurnal:path=/x"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_availability_spec("weibull:scale"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_availability_spec("weibull:scale=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_availability_spec("diurnal:amplitude=0.3x"),
+               std::invalid_argument);
+}
+
+TEST(AvailabilitySpec, ToStringRoundTrip) {
+  for (const char* name :
+       {"weibull", "trace", "diurnal", "adversarial-burst"}) {
+    auto cfg = parse_availability_spec(name);
+    EXPECT_STREQ(to_string(cfg.kind), name);
+  }
+}
+
+// ---- trace CSV loading -----------------------------------------------------
+
+TEST(TraceCsv, ParsesCommentsBlanksAndColumns) {
+  const auto path = write_temp("trace_ok.csv",
+                               "# eviction intervals, seconds\n"
+                               "3600\n"
+                               "\n"
+                               "1800, 7200,  900\n"
+                               "120.5  # trailing comment\n");
+  const auto intervals = load_trace_csv(path);
+  ASSERT_EQ(intervals.size(), 5u);
+  EXPECT_DOUBLE_EQ(intervals[0], 3600.0);
+  EXPECT_DOUBLE_EQ(intervals[1], 1800.0);
+  EXPECT_DOUBLE_EQ(intervals[2], 7200.0);
+  EXPECT_DOUBLE_EQ(intervals[3], 900.0);
+  EXPECT_DOUBLE_EQ(intervals[4], 120.5);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, RejectsBadInput) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"),
+               std::invalid_argument);
+  const auto empty = write_temp("trace_empty.csv", "# only comments\n\n");
+  EXPECT_THROW(load_trace_csv(empty), std::invalid_argument);
+  std::remove(empty.c_str());
+  const auto soup = write_temp("trace_soup.csv", "3600\nbanana\n");
+  EXPECT_THROW(load_trace_csv(soup), std::invalid_argument);
+  std::remove(soup.c_str());
+  const auto negative = write_temp("trace_neg.csv", "3600\n-5\n");
+  EXPECT_THROW(load_trace_csv(negative), std::invalid_argument);
+  std::remove(negative.c_str());
+}
+
+// ---- weibull: bit-for-bit with the legacy draw -----------------------------
+
+TEST(WeibullAvailabilityTest, MatchesLegacyEmpiricalDrawBitForBit) {
+  // The pre-refactor SiteManager synthesized a 50k-lifetime log from the
+  // site's "availability" stream and drew via inverse CDF from the worker's
+  // stream.  The weibull model must reproduce that draw sequence exactly.
+  util::Rng root(2015);
+  const core::EmpiricalEviction legacy(util::EmpiricalDistribution(
+      core::synthesize_availability_log(50000, root.stream("availability", 0),
+                                        0.8, 4.0)));
+  const WeibullAvailability model(root.stream("availability", 0), 0.8, 4.0);
+
+  util::Rng worker_a = root.stream("node.campus", 3);
+  util::Rng worker_b = root.stream("node.campus", 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(model.sample_survival(worker_a),
+              legacy.sample_survival(worker_b));
+  }
+  // The clocked entry point ignores now/phase: same stream, same draws.
+  util::Rng worker_c = root.stream("node.campus", 3);
+  util::Rng worker_d = root.stream("node.campus", 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample_survival_at(worker_c, 1e6 * i, 17u),
+              model.sample_survival_at(worker_d, 0.0, 0u));
+  }
+  EXPECT_GT(model.expected_lifetime(0.0), 0.0);
+  EXPECT_EQ(model.expected_lifetime(0.0), model.distribution().mean());
+}
+
+TEST(WeibullAvailabilityTest, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(WeibullAvailability(rng, 0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(WeibullAvailability(rng, 0.8, -1.0), std::invalid_argument);
+}
+
+// ---- trace replay ----------------------------------------------------------
+
+TEST(TraceAvailabilityTest, CyclesWithPhaseOffsets) {
+  const auto intervals = std::make_shared<const std::vector<double>>(
+      std::vector<double>{100.0, 200.0, 300.0});
+  const TraceAvailability model(intervals);
+  util::Rng rng(7);
+  // Incarnation k of the worker at phase p reads entry (p + k) mod n.
+  EXPECT_DOUBLE_EQ(model.sample_survival_at(rng, 0.0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(model.sample_survival_at(rng, 0.0, 1), 200.0);
+  EXPECT_DOUBLE_EQ(model.sample_survival_at(rng, 0.0, 2), 300.0);
+  EXPECT_DOUBLE_EQ(model.sample_survival_at(rng, 0.0, 3), 100.0);
+  EXPECT_DOUBLE_EQ(model.sample_survival_at(rng, 5e5, 1000001), 300.0);
+  // The replay consumes no RNG state: the stream is untouched.
+  util::Rng fresh(7);
+  EXPECT_EQ(rng.uniform(), fresh.uniform());
+  // Expected lifetime is the log mean, clock-independent.
+  EXPECT_DOUBLE_EQ(model.expected_lifetime(0.0), 200.0);
+  EXPECT_DOUBLE_EQ(model.expected_lifetime(12345.0), 200.0);
+}
+
+TEST(TraceAvailabilityTest, ClockFreeDrawSamplesTheLog) {
+  const auto intervals = std::make_shared<const std::vector<double>>(
+      std::vector<double>{100.0, 200.0, 300.0});
+  const TraceAvailability model(intervals);
+  util::Rng rng(99);
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) {
+    const double v = model.sample_survival(rng);
+    EXPECT_TRUE(v == 100.0 || v == 200.0 || v == 300.0);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u) << "uniform draw should cover the log";
+}
+
+TEST(TraceAvailabilityTest, RejectsEmptyOrNonPositive) {
+  EXPECT_THROW(
+      TraceAvailability(std::make_shared<const std::vector<double>>()),
+      std::invalid_argument);
+  EXPECT_THROW(TraceAvailability(std::make_shared<const std::vector<double>>(
+                   std::vector<double>{60.0, 0.0})),
+               std::invalid_argument);
+  EXPECT_THROW(TraceAvailability(nullptr), std::invalid_argument);
+}
+
+// ---- diurnal modulation ----------------------------------------------------
+
+TEST(DiurnalAvailabilityTest, ScaleBottomsOutAtPeakHour) {
+  const DiurnalAvailability model(0.8, 4.0, 0.6, 14.0);
+  const double base = 4.0 * 3600.0;
+  const double at_peak = model.scale_at(14.0 * 3600.0);
+  const double at_trough = model.scale_at(2.0 * 3600.0);  // 12 h later
+  EXPECT_NEAR(at_peak, base * 0.4, 1e-6);
+  EXPECT_NEAR(at_trough, base * 1.6, 1e-6);
+  // 24 h periodicity.
+  EXPECT_NEAR(model.scale_at(14.0 * 3600.0 + 86400.0 * 3.0), at_peak, 1e-6);
+  // Expected lifetime tracks the scale: harshest at the peak hour.
+  EXPECT_LT(model.expected_lifetime(14.0 * 3600.0),
+            model.expected_lifetime(2.0 * 3600.0));
+  // Weibull mean = scale * Gamma(1 + 1/shape).
+  EXPECT_NEAR(model.expected_lifetime(14.0 * 3600.0),
+              at_peak * std::tgamma(1.0 + 1.0 / 0.8), 1e-6);
+}
+
+TEST(DiurnalAvailabilityTest, ZeroAmplitudeIsTimeInvariant) {
+  const DiurnalAvailability model(0.8, 4.0, 0.0, 14.0);
+  for (double t : {0.0, 3600.0, 50400.0, 200000.0})
+    EXPECT_DOUBLE_EQ(model.scale_at(t), 4.0 * 3600.0);
+  // Same stream, same instant: identical draw (determinism).
+  util::Rng a(5), b(5);
+  EXPECT_EQ(model.sample_survival_at(a, 7200.0, 0),
+            model.sample_survival_at(b, 7200.0, 9));
+}
+
+TEST(DiurnalAvailabilityTest, RejectsBadParameters) {
+  EXPECT_THROW(DiurnalAvailability(0.8, 4.0, 1.0, 14.0),
+               std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.8, 4.0, -0.1, 14.0),
+               std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.8, 4.0, 0.6, 24.0),
+               std::invalid_argument);
+  EXPECT_THROW(DiurnalAvailability(0.0, 4.0, 0.6, 14.0),
+               std::invalid_argument);
+}
+
+// ---- adversarial bursts ----------------------------------------------------
+
+TEST(AdversarialBurstTest, VictimsDieExactlyAtTheNextBurst) {
+  // fraction = 1: every incarnation is a victim, so every survival ends at
+  // the next burst instant — total correlation.
+  const AdversarialBurstAvailability model(0.8, 4.0, 2.0, 1.0);
+  const double period = 2.0 * 3600.0;
+  util::Rng rng(11);
+  for (double now : {0.0, 100.0, 7100.0, 7200.0, 100000.0}) {
+    const double survival = model.sample_survival_at(rng, now, 0);
+    const double expected = (std::floor(now / period) + 1.0) * period - now;
+    EXPECT_DOUBLE_EQ(survival, expected) << "now = " << now;
+    EXPECT_DOUBLE_EQ(model.next_burst(now) - now, expected);
+  }
+  // Two workers starting together die together: the correlation that makes
+  // this climate the worst case for merge-group loss.
+  util::Rng a(1), b(2);
+  EXPECT_EQ(model.sample_survival_at(a, 555.0, 0),
+            model.sample_survival_at(b, 555.0, 7));
+}
+
+TEST(AdversarialBurstTest, ZeroFractionIsPlainWeibull) {
+  const AdversarialBurstAvailability model(0.8, 4.0, 2.0, 0.0);
+  util::Rng a(42), b(42);
+  // chance(0.0) must still consume the stream identically for determinism,
+  // so compare against a model draw, not a raw weibull draw.
+  const double s1 = model.sample_survival_at(a, 0.0, 0);
+  const double s2 = model.sample_survival_at(b, 0.0, 0);
+  EXPECT_EQ(s1, s2);
+  EXPECT_GT(s1, 0.0);
+  // Expected lifetime reduces to the Weibull mean.
+  EXPECT_NEAR(model.expected_lifetime(0.0),
+              4.0 * 3600.0 * std::tgamma(1.0 + 1.0 / 0.8), 1e-6);
+}
+
+TEST(AdversarialBurstTest, ExpectedLifetimeBlendsBurstAndBase) {
+  const AdversarialBurstAvailability model(0.8, 4.0, 2.0, 0.5);
+  const double weibull_mean = 4.0 * 3600.0 * std::tgamma(1.0 + 1.0 / 0.8);
+  // Just after a burst the next one is a full period away; just before it,
+  // victims have almost no time left, so the expectation dips.
+  const double after = model.expected_lifetime(0.0);
+  const double before = model.expected_lifetime(2.0 * 3600.0 - 1.0);
+  EXPECT_NEAR(after, 0.5 * 2.0 * 3600.0 + 0.5 * weibull_mean, 1e-6);
+  EXPECT_LT(before, after);
+  EXPECT_THROW(AdversarialBurstAvailability(0.8, 4.0, 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(AdversarialBurstAvailability(0.8, 4.0, 2.0, 1.5),
+               std::invalid_argument);
+}
+
+// ---- factory ---------------------------------------------------------------
+
+TEST(AvailabilityFactory, BuildsEveryKind) {
+  util::Rng root(2015);
+  AvailabilityConfig cfg;
+  for (auto kind : {AvailabilityKind::Weibull, AvailabilityKind::Diurnal,
+                    AvailabilityKind::AdversarialBurst}) {
+    cfg.kind = kind;
+    const auto model = make_availability_model(cfg, root.stream("a", 0));
+    ASSERT_NE(model, nullptr);
+    EXPECT_STREQ(model->name(), to_string(kind));
+    EXPECT_GT(model->expected_lifetime(0.0), 0.0);
+  }
+  cfg.kind = AvailabilityKind::Trace;
+  cfg.trace = std::make_shared<const std::vector<double>>(
+      std::vector<double>{60.0, 120.0});
+  const auto trace = make_availability_model(cfg, root.stream("a", 0));
+  EXPECT_STREQ(trace->name(), "trace");
+  EXPECT_DOUBLE_EQ(trace->expected_lifetime(0.0), 90.0);
+}
+
+TEST(AvailabilityFactory, TraceLoadsCsvWhenNotPreloaded) {
+  const auto path = write_temp("factory_trace.csv", "600\n1200\n");
+  AvailabilityConfig cfg;
+  cfg.kind = AvailabilityKind::Trace;
+  cfg.trace_path = path;
+  const auto model = make_availability_model(cfg, util::Rng(1));
+  EXPECT_DOUBLE_EQ(model->expected_lifetime(0.0), 900.0);
+  std::remove(path.c_str());
+
+  AvailabilityConfig missing;
+  missing.kind = AvailabilityKind::Trace;
+  EXPECT_THROW(make_availability_model(missing, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(AvailabilityFactory, AlwaysAvailableIsInfinite) {
+  const AlwaysAvailable model;
+  util::Rng rng(3);
+  EXPECT_TRUE(std::isinf(model.sample_survival_at(rng, 0.0, 0)));
+  EXPECT_TRUE(std::isinf(model.expected_lifetime(1e9)));
+}
+
+}  // namespace
+}  // namespace lobster::lobsim

@@ -44,6 +44,7 @@ void expect_stats_identical(const RunStats& a, const RunStats& b) {
   EXPECT_EQ(a.tasks_evicted, b.tasks_evicted);
   EXPECT_EQ(a.merge_tasks_completed, b.merge_tasks_completed);
   EXPECT_EQ(a.tasklets_processed, b.tasklets_processed);
+  EXPECT_EQ(a.tasklets_retried, b.tasklets_retried);
   EXPECT_EQ(a.peak_running, b.peak_running);
   EXPECT_EQ(a.breakdown.cpu, b.breakdown.cpu);
   EXPECT_EQ(a.breakdown.io, b.breakdown.io);
@@ -110,6 +111,53 @@ TEST(CampaignTest, ParallelAggregatesIdenticalToSerial) {
   EXPECT_EQ(as[0].tasks_evicted.mean(), ap[0].tasks_evicted.mean());
   EXPECT_EQ(as[0].merge_tasks.stddev(), ap[0].merge_tasks.stddev());
   EXPECT_EQ(as[0].bytes_streamed.mean(), ap[0].bytes_streamed.mean());
+}
+
+// Every availability climate must stay bitwise deterministic under thread
+// parallelism: the same sweep with --jobs 1 and --jobs 4 yields identical
+// per-run stats.  Trace replay shares one preloaded log across all runs,
+// the way a campaign over a real HTCondor CSV would.
+TEST(CampaignTest, AvailabilityModelsDeterministicAcrossJobs) {
+  const auto trace_log = std::make_shared<const std::vector<double>>(
+      core::synthesize_availability_log(
+          5000, util::Rng(2015).stream("campaign-trace"), 0.8, 4.0));
+
+  std::vector<RunSpec> specs;
+  for (auto kind :
+       {AvailabilityKind::Weibull, AvailabilityKind::Trace,
+        AvailabilityKind::Diurnal, AvailabilityKind::AdversarialBurst}) {
+    RunSpec spec = small_spec();
+    spec.label = to_string(kind);
+    spec.cluster.availability.kind = kind;
+    spec.cluster.availability.burst_period_hours = 2.0;
+    if (kind == AvailabilityKind::Trace)
+      spec.cluster.availability.trace = trace_log;
+    specs.push_back(spec);
+  }
+
+  Campaign serial(1);
+  Campaign parallel(4);
+  for (const auto& spec : specs) {
+    serial.add_seed_sweep(spec, {2015, 2016});
+    parallel.add_seed_sweep(spec, {2015, 2016});
+  }
+  serial.run();
+  parallel.run();
+
+  ASSERT_EQ(serial.results().size(), 8u);
+  ASSERT_EQ(parallel.results().size(), 8u);
+  for (std::size_t i = 0; i < serial.results().size(); ++i) {
+    const auto& rs = serial.results()[i];
+    const auto& rp = parallel.results()[i];
+    SCOPED_TRACE(rs.label + "/" + std::to_string(rs.seed));
+    ASSERT_TRUE(rs.ok()) << rs.error;
+    ASSERT_TRUE(rp.ok()) << rp.error;
+    expect_stats_identical(rs.stats, rp.stats);
+  }
+  // The climates genuinely differ from one another under the same seed.
+  const auto& weibull = serial.results()[0].stats;
+  const auto& burst = serial.results()[6].stats;
+  EXPECT_NE(weibull.makespan, burst.makespan);
 }
 
 TEST(CampaignTest, SeedSweepKeepsLabelAndOrder) {

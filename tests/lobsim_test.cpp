@@ -50,7 +50,7 @@ TEST(Engine, CompletesWorkloadWithoutEvictions) {
 TEST(Engine, CompletesDespiteEvictions) {
   auto cluster = small_cluster();
   cluster.evictions = true;
-  cluster.availability_scale_hours = 2.0;  // hostile pool
+  cluster.availability.scale_hours = 2.0;  // hostile pool
   lobsim::Engine engine(cluster, small_workload(), 7);
   const auto& m = engine.run(30.0 * 86400.0);
   EXPECT_EQ(m.tasklets_processed, 300u)
@@ -223,7 +223,7 @@ TEST(Engine, MultiSiteHarvestingUsesEverySite) {
   hpc.name = "hpc-partition";
   hpc.target_cores = 32;
   hpc.ramp_seconds = 300.0;
-  hpc.availability_scale_hours = 2.0;  // harsher than campus
+  hpc.availability.scale_hours = 2.0;  // harsher than campus
   lobsim::SiteParams cloud;
   cloud.name = "cloud-burst";
   cloud.target_cores = 32;

@@ -10,11 +10,13 @@
 #include "core/task_size_model.hpp"
 #include "des/bandwidth.hpp"
 #include "des/simulation.hpp"
+#include "lobsim/engine.hpp"
 #include "util/config.hpp"
 #include "util/rng.hpp"
 
 namespace core = lobster::core;
 namespace des = lobster::des;
+namespace lobsim = lobster::lobsim;
 namespace lu = lobster::util;
 
 // Property: the task-size model's accounting identity holds across seeds,
@@ -142,6 +144,88 @@ TEST(Properties, ConfigParserFuzz) {
   }
   SUCCEED();
 }
+
+// Property: whatever the availability climate does to the workers, the
+// engine conserves the workload — every tasklet is processed, nothing is
+// lost or duplicated, and every unmerged output ends up merged exactly once
+// (the dispatch pool and the merge planner both drain).
+class AvailabilityConservationSweep
+    : public ::testing::TestWithParam<
+          std::tuple<lobsim::AvailabilityKind, int>> {};
+
+TEST_P(AvailabilityConservationSweep, WorkloadConservedUnderEvictions) {
+  const auto [kind, seed] = GetParam();
+
+  lobsim::ClusterParams cluster;
+  cluster.target_cores = 64;
+  cluster.cores_per_worker = 8;
+  cluster.ramp_seconds = 60.0;
+  cluster.evictions = true;
+  cluster.availability.kind = kind;
+  // Harsh settings so the climates actually bite at this small scale.
+  cluster.availability.scale_hours = 2.0;
+  cluster.availability.burst_period_hours = 1.0;
+  cluster.availability.diurnal_amplitude = 0.8;
+  if (kind == lobsim::AvailabilityKind::Trace) {
+    cluster.availability.trace =
+        std::make_shared<const std::vector<double>>(
+            core::synthesize_availability_log(
+                5000, lu::Rng(7).stream("prop-trace"), 0.8, 2.0));
+  }
+
+  lobsim::WorkloadParams workload;
+  workload.num_tasklets = 300;
+  workload.tasklets_per_task = 6;
+  workload.tasklet_cpu_mean = 600.0;
+  workload.tasklet_cpu_sigma = 120.0;
+  workload.merge_mode = core::MergeMode::Interleaved;
+
+  lobsim::Engine engine(cluster, workload,
+                        static_cast<std::uint64_t>(seed));
+  const auto& m = engine.run(10.0 * 86400.0);
+
+  // No tasklet lost or duplicated.
+  EXPECT_EQ(m.tasklets_processed, workload.num_tasklets);
+  EXPECT_EQ(engine.dispatch_policy().tasklets_pending(), 0u);
+  std::uint64_t per_site_total = 0;
+  for (auto n : engine.per_site_tasklets()) per_site_total += n;
+  EXPECT_EQ(per_site_total, workload.num_tasklets);
+
+  // Every unmerged output was merged exactly once: the planner holds no
+  // unplanned outputs and the dispatch queue holds no unrun merge tasks.
+  EXPECT_TRUE(engine.merge_planner().drained());
+  EXPECT_EQ(engine.dispatch_policy().merge_backlog(), 0u);
+  EXPECT_GT(m.merge_tasks_completed, 0u);
+
+  // Retry accounting is consistent with the failure counters: wasted
+  // dispatches happen iff some task was evicted or failed.
+  if (m.tasks_evicted + m.tasks_failed == 0) {
+    EXPECT_EQ(m.tasklets_retried, 0u);
+  }
+  if (m.tasklets_retried > 0) {
+    EXPECT_GT(m.tasks_evicted + m.tasks_failed, 0u);
+  }
+  EXPECT_GT(m.makespan, 0.0);
+}
+
+std::string climate_param_name(
+    const ::testing::TestParamInfo<std::tuple<lobsim::AvailabilityKind, int>>&
+        info) {
+  std::string name = lobsim::to_string(std::get<0>(info.param));
+  for (auto& c : name)
+    if (c == '-') c = '_';
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClimates, AvailabilityConservationSweep,
+    ::testing::Combine(
+        ::testing::Values(lobsim::AvailabilityKind::Weibull,
+                          lobsim::AvailabilityKind::Trace,
+                          lobsim::AvailabilityKind::Diurnal,
+                          lobsim::AvailabilityKind::AdversarialBurst),
+        ::testing::Values(2015, 99)),
+    climate_param_name);
 
 // Property: DB tasklet ledger is conserved through arbitrary interleavings
 // of create/finish(success|evict)/merge operations.

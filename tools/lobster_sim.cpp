@@ -5,11 +5,14 @@
 // diagnosis.
 //
 // Usage: lobster_sim <scenario.ini> [--seeds N] [--jobs M]
+//                    [--availability SPEC]
 //
 // With --seeds N the scenario becomes a campaign: N runs seeded
 // base..base+N-1 execute across M worker threads (lobsim::Campaign), the
 // first run is reported in full, and a mean +/- stddev table summarises the
 // sweep.  Aggregates are submission-ordered, so --jobs does not change them.
+// --availability overrides the scenario's availability model (what-if: the
+// same workflow under a harsher climate).
 //
 // Example scenario file:
 //
@@ -17,7 +20,11 @@
 //   cores = 5000
 //   cores_per_worker = 8
 //   ramp = 1h
-//   availability_hours = 8
+//   availability = weibull           # or weibull:scale=8,shape=0.8 /
+//                                    # trace:/path/intervals.csv /
+//                                    # diurnal:amplitude=0.6,peak=14 /
+//                                    # adversarial-burst:period=6h,fraction=0.5
+//   availability_hours = 8           # legacy shorthand for the scale
 //   evictions = true
 //   uplink = 10          # Gbit/s
 //   squids = 1
@@ -49,7 +56,9 @@ using namespace lobster;
 
 int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
-    std::fprintf(stderr, "usage: %s <scenario.ini> [--seeds N] [--jobs M]\n",
+    std::fprintf(stderr,
+                 "usage: %s <scenario.ini> [--seeds N] [--jobs M] "
+                 "[--availability SPEC]\n",
                  argv[0]);
     return 2;
   }
@@ -70,8 +79,30 @@ int main(int argc, char** argv) {
   cluster.cores_per_worker = static_cast<std::size_t>(
       cfg.get_int("cluster", "cores_per_worker", 8));
   cluster.ramp_seconds = cfg.get_duration("cluster", "ramp", 3600.0);
-  cluster.availability_scale_hours =
-      cfg.get_double("cluster", "availability_hours", 8.0);
+  // Availability model: the `availability = kind[:key=value,...]` spec,
+  // with the legacy `availability_hours` shorthand still honoured (it sets
+  // the scale of whichever model is selected).  A --availability flag
+  // overrides both.
+  try {
+    if (const auto spec = cfg.get("cluster", "availability"))
+      cluster.availability = lobsim::parse_availability_spec(*spec);
+    else
+      cluster.availability.scale_hours = 8.0;
+    cluster.availability.scale_hours = cfg.get_double(
+        "cluster", "availability_hours", cluster.availability.scale_hours);
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--availability") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --availability needs a value\n");
+          return 2;
+        }
+        cluster.availability = lobsim::parse_availability_spec(argv[i + 1]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   cluster.evictions = cfg.get_bool("cluster", "evictions", true);
   cluster.federation.campus_uplink_rate =
       util::gbit_per_s(cfg.get_double("cluster", "uplink", 10.0));
@@ -134,8 +165,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("simulating %zu cores, %llu tasklets (%s each), %zu seed%s",
+  std::printf("simulating %zu cores (%s availability), %llu tasklets "
+              "(%s each), %zu seed%s",
               cluster.target_cores,
+              cluster.evictions ? lobsim::to_string(cluster.availability.kind)
+                                : "none",
               static_cast<unsigned long long>(workload.num_tasklets),
               util::format_duration(workload.tasklet_cpu_mean).c_str(),
               opts.seeds.size(), opts.seeds.size() == 1 ? "" : "s");
