@@ -42,6 +42,11 @@ void Campaign::add_seed_sweep(const RunSpec& base,
   }
 }
 
+void Campaign::add_grid(const std::vector<RunSpec>& specs,
+                        const std::vector<std::uint64_t>& seeds) {
+  for (const auto& spec : specs) add_seed_sweep(spec, seeds);
+}
+
 RunStats Campaign::execute(const RunSpec& spec,
                            std::shared_ptr<const EngineMetrics>* metrics_out) {
   Engine engine(spec.cluster, spec.workload, spec.seed,
@@ -64,6 +69,7 @@ RunStats Campaign::execute(const RunSpec& spec,
   s.tasklets_processed = m.tasklets_processed;
   s.tasklets_retried = m.tasklets_retried;
   s.peak_running = m.peak_running;
+  s.completed = m.completed;
   s.breakdown = m.monitor.breakdown();
   if (metrics_out) *metrics_out = std::make_shared<EngineMetrics>(m);
   return s;
@@ -109,6 +115,7 @@ std::vector<CampaignAggregate> Campaign::aggregate() const {
       continue;
     }
     ++agg.runs;
+    if (!r.stats.completed) ++agg.incomplete;
     agg.makespan.add(r.stats.makespan);
     agg.analysis_finish.add(r.stats.last_analysis_finish);
     agg.merge_finish.add(r.stats.last_merge_finish);
@@ -123,9 +130,9 @@ std::vector<CampaignAggregate> Campaign::aggregate() const {
   return out;
 }
 
-CampaignOptions parse_campaign_flags(int argc, char** argv,
-                                     std::uint64_t base_seed,
-                                     std::size_t default_seeds) {
+CampaignOptions parse_campaign_flags(
+    int argc, char** argv, std::uint64_t base_seed, std::size_t default_seeds,
+    const std::vector<std::string>& passthrough_value_flags) {
   std::size_t n_seeds = default_seeds;
   CampaignOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -133,7 +140,19 @@ CampaignOptions parse_campaign_flags(int argc, char** argv,
     auto numeric_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc)
         throw std::invalid_argument(std::string(flag) + " needs a value");
-      const long long v = std::atoll(argv[++i]);
+      const std::string value = argv[++i];
+      // std::atoll would turn "abc" into 0 and "8x" into 8 without
+      // complaint; require the whole token to parse.
+      std::size_t used = 0;
+      long long v = 0;
+      try {
+        v = std::stoll(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used == 0 || used != value.size())
+        throw std::invalid_argument(std::string(flag) + ": non-numeric value '" +
+                                    value + "'");
       if (v < 0)
         throw std::invalid_argument(std::string(flag) + " must be >= 0");
       return v;
@@ -143,7 +162,21 @@ CampaignOptions parse_campaign_flags(int argc, char** argv,
       if (n_seeds == 0) throw std::invalid_argument("--seeds must be >= 1");
     } else if (arg == "--jobs") {
       opts.jobs = static_cast<std::size_t>(numeric_value("--jobs"));
+    } else if (std::find(passthrough_value_flags.begin(),
+                         passthrough_value_flags.end(),
+                         arg) != passthrough_value_flags.end()) {
+      // A tool-specific flag the caller parses itself; skip its value too,
+      // so a value that happens to start with "--" is not re-read as a flag.
+      if (i + 1 >= argc)
+        throw std::invalid_argument(arg + " needs a value");
+      ++i;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument(
+          "unknown flag '" + arg +
+          "' (expected --seeds N or --jobs M; see the usage comment)");
     }
+    // Anything else is a positional argument (e.g. a scenario file) owned
+    // by the caller.
   }
   opts.seeds.reserve(n_seeds);
   for (std::size_t i = 0; i < n_seeds; ++i)

@@ -58,6 +58,9 @@ struct RunStats {
   std::uint64_t tasklets_processed = 0;
   std::uint64_t tasklets_retried = 0;
   std::size_t peak_running = 0;
+  /// False when the run hit its time cap (or stalled) before the workflow
+  /// finished — `makespan` is then a lower bound, not a completion time.
+  bool completed = false;
   core::RuntimeBreakdown breakdown;
 };
 
@@ -76,8 +79,12 @@ struct RunResult {
 /// Mean/stddev aggregate over every successful run sharing one label.
 struct CampaignAggregate {
   std::string label;
-  std::uint64_t runs = 0;    ///< successful runs folded in
-  std::uint64_t errors = 0;  ///< runs that threw
+  std::uint64_t runs = 0;       ///< successful runs folded in
+  std::uint64_t errors = 0;     ///< runs that threw
+  /// Runs that finished the simulation but not the workflow (time-cap
+  /// truncation); they are folded into the stats, so when this is non-zero
+  /// the makespan column is a lower bound.
+  std::uint64_t incomplete = 0;
   util::RunningStats makespan;
   util::RunningStats analysis_finish;
   util::RunningStats merge_finish;
@@ -105,6 +112,13 @@ class Campaign {
   /// The base spec replicated across `seeds` (label kept for aggregation).
   void add_seed_sweep(const RunSpec& base,
                       const std::vector<std::uint64_t>& seeds);
+  /// The cross product specs x seeds: every cell of a parameter grid (e.g.
+  /// dispatch policy x availability climate), each swept over every seed.
+  /// Cells aggregate by their spec's label, so give every spec a distinct
+  /// one ("fifo/weibull", ...); results stay in submission order (specs
+  /// outer, seeds inner).
+  void add_grid(const std::vector<RunSpec>& specs,
+                const std::vector<std::uint64_t>& seeds);
   std::size_t size() const { return specs_.size(); }
 
   /// Execute every queued run across the pool.  Safe to call once; returns
@@ -143,8 +157,15 @@ struct CampaignOptions {
   std::vector<std::uint64_t> seeds;
   std::size_t jobs = 1;
 };
-CampaignOptions parse_campaign_flags(int argc, char** argv,
-                                     std::uint64_t base_seed,
-                                     std::size_t default_seeds = 1);
+/// Strict parsing: a non-numeric or negative value and any unrecognised
+/// `--flag` throw std::invalid_argument (a typo like `--seed 5` must not be
+/// silently ignored).  Positional arguments (no leading '-') are the
+/// caller's business and are skipped.  `passthrough_value_flags` lists
+/// tool-specific flags that take one value (e.g. lobster_sim's
+/// `--availability`); both the flag and its value are skipped here.
+CampaignOptions parse_campaign_flags(
+    int argc, char** argv, std::uint64_t base_seed,
+    std::size_t default_seeds = 1,
+    const std::vector<std::string>& passthrough_value_flags = {});
 
 }  // namespace lobster::lobsim

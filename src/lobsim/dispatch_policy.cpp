@@ -9,8 +9,19 @@ const char* to_string(DispatchMode m) {
     case DispatchMode::Fifo: return "fifo";
     case DispatchMode::TailShrink: return "tail-shrink";
     case DispatchMode::SiteAware: return "site-aware";
+    case DispatchMode::Lifetime: return "lifetime";
   }
   return "?";
+}
+
+LifetimeAwareDispatch::LifetimeAwareDispatch(std::uint32_t tasklets_per_task,
+                                             double safety_factor,
+                                             std::uint32_t max_tasklets)
+    : DispatchPolicy(tasklets_per_task),
+      safety_factor_(safety_factor),
+      max_tasklets_(max_tasklets ? max_tasklets : 4 * tasklets_per_task_) {
+  if (!(safety_factor_ > 0.0))
+    throw std::invalid_argument("dispatch: lifetime safety factor must be > 0");
 }
 
 std::optional<TaskUnit> DispatchPolicy::next(const DispatchContext& ctx) {
@@ -33,7 +44,8 @@ std::optional<TaskUnit> DispatchPolicy::next(const DispatchContext& ctx) {
 }
 
 std::unique_ptr<DispatchPolicy> make_dispatch_policy(
-    DispatchMode mode, std::uint32_t tasklets_per_task) {
+    DispatchMode mode, std::uint32_t tasklets_per_task, double lifetime_safety,
+    std::uint32_t lifetime_max_tasklets) {
   switch (mode) {
     case DispatchMode::Fifo:
       return std::make_unique<FifoDispatch>(tasklets_per_task);
@@ -41,6 +53,9 @@ std::unique_ptr<DispatchPolicy> make_dispatch_policy(
       return std::make_unique<TailShrinkDispatch>(tasklets_per_task);
     case DispatchMode::SiteAware:
       return std::make_unique<SiteAwareDispatch>(tasklets_per_task);
+    case DispatchMode::Lifetime:
+      return std::make_unique<LifetimeAwareDispatch>(
+          tasklets_per_task, lifetime_safety, lifetime_max_tasklets);
   }
   throw std::invalid_argument("dispatch: unknown mode");
 }

@@ -15,7 +15,12 @@
 //                 task-size adaptivity; see fig12/fig14);
 //  * SiteAware  — size per requesting site: dedicated (non-evicting) sites
 //                 take full tasks, sites under an eviction climate take
-//                 half-size ones to bound the work lost per eviction.
+//                 half-size ones to bound the work lost per eviction;
+//  * Lifetime   — size against the requesting site's availability
+//                 distribution: expected remaining worker lifetime divided
+//                 by the mean tasklet CPU, scaled by a safety factor — the
+//                 literal §4.1 sizing rule, now that every
+//                 AvailabilityModel answers expected_lifetime(now).
 //
 // The policy owns the dispatchable pools (pending tasklets, planned merge
 // groups) and is pure logic over them — no DES types — so it unit-tests
@@ -25,6 +30,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -44,9 +50,18 @@ struct DispatchContext {
   /// Requesting worker's site and whether that site evicts workers.
   std::size_t site = 0;
   bool site_evictable = true;
+  /// Simulated time of this pull.
+  double now = 0.0;
+  /// Expected remaining lifetime of a worker on the requesting site at
+  /// `now` (SiteManager::expected_remaining_lifetime; infinity on a
+  /// dedicated site).
+  double expected_remaining_lifetime = std::numeric_limits<double>::infinity();
+  /// Mean CPU seconds of one tasklet (WorkloadParams::tasklet_cpu_mean).
+  double tasklet_cpu_mean = 0.0;
 };
 
-enum class DispatchMode : std::uint8_t { Fifo, TailShrink, SiteAware };
+enum class DispatchMode : std::uint8_t { Fifo, TailShrink, SiteAware,
+                                         Lifetime };
 const char* to_string(DispatchMode m);
 
 class DispatchPolicy {
@@ -133,7 +148,42 @@ class SiteAwareDispatch final : public DispatchPolicy {
   }
 };
 
+/// Expected-lifetime sizing (paper §4.1: "jobs are created on demand ...
+/// sized to the expected lifetime of the worker"): the task gets
+/// clamp(safety_factor * E[remaining lifetime] / tasklet_cpu_mean,
+///       1, max_tasklets) tasklets, so a worker pulled just before a
+/// preemption wave (or during the harsh afternoon of a diurnal climate)
+/// receives little work to lose, while a calm or dedicated slot fills up to
+/// the cap.  Shrinks to single tasklets at the drain phase like TailShrink.
+class LifetimeAwareDispatch final : public DispatchPolicy {
+ public:
+  LifetimeAwareDispatch(std::uint32_t tasklets_per_task, double safety_factor,
+                        std::uint32_t max_tasklets);
+  const char* name() const override { return "lifetime"; }
+  double safety_factor() const { return safety_factor_; }
+  std::uint32_t max_tasklets() const { return max_tasklets_; }
+
+ protected:
+  std::uint32_t task_size(const DispatchContext& ctx) const override {
+    if (tasklets_pending_ <= ctx.total_slots) return 1;
+    // Without a CPU estimate the lifetime is not convertible into a tasklet
+    // count; fall back to the static size.
+    if (!(ctx.tasklet_cpu_mean > 0.0)) return tasklets_per_task_;
+    const double budget =
+        safety_factor_ * ctx.expected_remaining_lifetime / ctx.tasklet_cpu_mean;
+    if (budget >= static_cast<double>(max_tasklets_)) return max_tasklets_;
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(budget));
+  }
+
+ private:
+  double safety_factor_;
+  std::uint32_t max_tasklets_;
+};
+
+/// `lifetime_safety` and `lifetime_max_tasklets` only matter for
+/// DispatchMode::Lifetime; max_tasklets 0 defaults to 4x the static size.
 std::unique_ptr<DispatchPolicy> make_dispatch_policy(
-    DispatchMode mode, std::uint32_t tasklets_per_task);
+    DispatchMode mode, std::uint32_t tasklets_per_task,
+    double lifetime_safety = 0.25, std::uint32_t lifetime_max_tasklets = 0);
 
 }  // namespace lobster::lobsim

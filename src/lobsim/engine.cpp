@@ -35,7 +35,9 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
   DispatchMode mode = workload_.dispatch;
   if (workload_.tail_shrink && mode == DispatchMode::Fifo)
     mode = DispatchMode::TailShrink;
-  dispatch_ = make_dispatch_policy(mode, workload_.tasklets_per_task);
+  dispatch_ = make_dispatch_policy(mode, workload_.tasklets_per_task,
+                                   workload_.lifetime_safety,
+                                   workload_.lifetime_max_tasklets);
   dispatch_->add_tasklets(workload_.num_tasklets);
   planner_ = MergePlanner::make(workload_.merge_mode, workload_.merge_policy);
 
@@ -76,6 +78,10 @@ const EngineMetrics& Engine::run(double time_cap) {
   }
   metrics_->makespan =
       std::max(metrics_->last_analysis_finish, metrics_->last_merge_finish);
+  // A truncated run (time cap hit, or every worker dead with work pending)
+  // still reports the finish times above, but they are lower bounds, not a
+  // makespan — `completed` is the signal consumers must check.
+  metrics_->completed = done_;
   metrics_->bytes_streamed = 0.0;
   metrics_->bytes_staged = 0.0;
   for (std::size_t s = 0; s < sites_->num_sites(); ++s) {
@@ -328,6 +334,10 @@ std::optional<TaskUnit> Engine::next_task(const WorkerNode& node) {
   ctx.total_slots = sites_->total_slots();
   ctx.site = node.site;
   ctx.site_evictable = sites_->site_evictable(node.site);
+  ctx.now = sim_.now();
+  ctx.expected_remaining_lifetime =
+      sites_->expected_remaining_lifetime(node.site, ctx.now);
+  ctx.tasklet_cpu_mean = workload_.tasklet_cpu_mean;
   auto task = dispatch_->next(ctx);
   if (task && task->is_merge) ++running_merges_;
   return task;

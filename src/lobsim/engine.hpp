@@ -81,6 +81,11 @@ struct WorkloadParams {
   /// production system the paper measured; tail_shrink below is a legacy
   /// alias that upgrades Fifo to TailShrink.
   DispatchMode dispatch = DispatchMode::Fifo;
+  /// Lifetime dispatch only: fraction of the expected remaining worker
+  /// lifetime a task may fill, and the per-task tasklet cap (0 = 4x
+  /// tasklets_per_task).
+  double lifetime_safety = 0.25;
+  std::uint32_t lifetime_max_tasklets = 0;
   /// Shrink tasks to single tasklets once the pending pool is smaller than
   /// the slot count (the §8 task-size adaptivity).  Kept for compatibility;
   /// equivalent to dispatch = DispatchMode::TailShrink.
@@ -131,6 +136,10 @@ struct EngineMetrics {
   double makespan = 0.0;
   /// Peak of the running-tasks gauge.
   std::size_t peak_running = 0;
+  /// True only when the workflow genuinely finished (analysis + merging);
+  /// false means the run was truncated by the time cap (or stalled), so
+  /// `makespan` is a lower bound, not a completion time.
+  bool completed = false;
 };
 
 class Engine {

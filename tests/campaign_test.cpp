@@ -46,6 +46,7 @@ void expect_stats_identical(const RunStats& a, const RunStats& b) {
   EXPECT_EQ(a.tasklets_processed, b.tasklets_processed);
   EXPECT_EQ(a.tasklets_retried, b.tasklets_retried);
   EXPECT_EQ(a.peak_running, b.peak_running);
+  EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.breakdown.cpu, b.breakdown.cpu);
   EXPECT_EQ(a.breakdown.io, b.breakdown.io);
   EXPECT_EQ(a.breakdown.failed, b.breakdown.failed);
@@ -160,6 +161,101 @@ TEST(CampaignTest, AvailabilityModelsDeterministicAcrossJobs) {
   EXPECT_NE(weibull.makespan, burst.makespan);
 }
 
+// The lifetime dispatch policy queries the site's availability model on
+// every pull; that must stay bitwise deterministic under thread
+// parallelism, including under the burst climate it is designed for.
+TEST(CampaignTest, LifetimeDispatchDeterministicAcrossJobs) {
+  std::vector<RunSpec> specs;
+  for (auto kind :
+       {AvailabilityKind::Weibull, AvailabilityKind::AdversarialBurst}) {
+    RunSpec spec = small_spec();
+    spec.label = std::string("lifetime/") + to_string(kind);
+    spec.cluster.availability.kind = kind;
+    spec.cluster.availability.burst_period_hours = 2.0;
+    spec.workload.dispatch = DispatchMode::Lifetime;
+    specs.push_back(spec);
+  }
+
+  Campaign serial(1);
+  Campaign parallel(4);
+  serial.add_grid(specs, {2015, 2016});
+  parallel.add_grid(specs, {2015, 2016});
+  serial.run();
+  parallel.run();
+
+  ASSERT_EQ(serial.results().size(), 4u);
+  ASSERT_EQ(parallel.results().size(), 4u);
+  for (std::size_t i = 0; i < serial.results().size(); ++i) {
+    const auto& rs = serial.results()[i];
+    const auto& rp = parallel.results()[i];
+    SCOPED_TRACE(rs.label + "/" + std::to_string(rs.seed));
+    ASSERT_TRUE(rs.ok()) << rs.error;
+    ASSERT_TRUE(rp.ok()) << rp.error;
+    EXPECT_TRUE(rs.stats.completed);
+    expect_stats_identical(rs.stats, rp.stats);
+  }
+  // The policy genuinely differs from fifo under the same seed/climate.
+  RunSpec fifo = small_spec();
+  fifo.cluster.availability.kind = AvailabilityKind::AdversarialBurst;
+  fifo.cluster.availability.burst_period_hours = 2.0;
+  const RunStats f = Campaign::execute(fifo);
+  EXPECT_NE(f.makespan, serial.results()[2].stats.makespan);
+}
+
+TEST(CampaignTest, AddGridCrossesSpecsAndSeeds) {
+  RunSpec a = small_spec();
+  a.label = "a";
+  RunSpec b = small_spec();
+  b.label = "b";
+  b.workload.dispatch = DispatchMode::Lifetime;
+
+  Campaign campaign(2);
+  campaign.add_grid({a, b}, {2015, 2016, 2017});
+  ASSERT_EQ(campaign.size(), 6u);
+  campaign.run();
+  const auto& r = campaign.results();
+  // Specs outer, seeds inner, submission order preserved.
+  EXPECT_EQ(r[0].label, "a");
+  EXPECT_EQ(r[0].seed, 2015u);
+  EXPECT_EQ(r[2].seed, 2017u);
+  EXPECT_EQ(r[3].label, "b");
+  EXPECT_EQ(r[3].seed, 2015u);
+  const auto agg = campaign.aggregate();
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].label, "a");
+  EXPECT_EQ(agg[0].runs, 3u);
+  EXPECT_EQ(agg[1].label, "b");
+  EXPECT_EQ(agg[1].runs, 3u);
+}
+
+// A run truncated by its time cap must say so: completed == false in the
+// stats, counted by the aggregate — the makespan it reports is only a lower
+// bound.
+TEST(CampaignTest, TruncatedRunReportsIncomplete) {
+  RunSpec truncated = small_spec();
+  truncated.time_cap = 900.0;  // the 300-tasklet workflow needs hours
+
+  Campaign campaign(1);
+  campaign.add(truncated);
+  campaign.add(small_spec(2016));  // full-length sibling under one label
+  campaign.run();
+
+  const auto& r = campaign.results();
+  ASSERT_TRUE(r[0].ok()) << r[0].error;
+  ASSERT_TRUE(r[1].ok()) << r[1].error;
+  EXPECT_FALSE(r[0].stats.completed);
+  EXPECT_LT(r[0].stats.tasklets_processed,
+            truncated.workload.num_tasklets);
+  EXPECT_TRUE(r[1].stats.completed);
+  EXPECT_EQ(r[1].stats.tasklets_processed, small_spec().workload.num_tasklets);
+
+  const auto agg = campaign.aggregate();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].runs, 2u);
+  EXPECT_EQ(agg[0].incomplete, 1u);
+  EXPECT_EQ(agg[0].errors, 0u);
+}
+
 TEST(CampaignTest, SeedSweepKeepsLabelAndOrder) {
   Campaign campaign(2);
   campaign.add_seed_sweep(small_spec(), {7, 9, 11});
@@ -234,7 +330,7 @@ TEST(CampaignFlagsTest, ParsesSeedsAndJobs) {
   EXPECT_EQ(opts.jobs, 2u);
 }
 
-TEST(CampaignFlagsTest, DefaultsAndForeignArgsIgnored) {
+TEST(CampaignFlagsTest, DefaultsAndPositionalArgsIgnored) {
   const char* argv_c[] = {"tool", "scenario.ini"};
   auto opts = parse_campaign_flags(2, const_cast<char**>(argv_c), 7);
   ASSERT_EQ(opts.seeds.size(), 1u);
@@ -248,6 +344,55 @@ TEST(CampaignFlagsTest, RejectsBadValues) {
                std::invalid_argument);
   const char* argv_m[] = {"bench", "--seeds"};
   EXPECT_THROW(parse_campaign_flags(2, const_cast<char**>(argv_m), 1),
+               std::invalid_argument);
+}
+
+// std::atoll would have turned these into 0 (then silently into hardware
+// concurrency for --jobs); strict parsing must reject them loudly.
+TEST(CampaignFlagsTest, RejectsNonNumericValues) {
+  const char* argv_c[] = {"bench", "--jobs", "abc"};
+  EXPECT_THROW(parse_campaign_flags(3, const_cast<char**>(argv_c), 1),
+               std::invalid_argument);
+  // Trailing garbage after a valid prefix is just as wrong.
+  const char* argv_t[] = {"bench", "--seeds", "4x"};
+  EXPECT_THROW(parse_campaign_flags(3, const_cast<char**>(argv_t), 1),
+               std::invalid_argument);
+  const char* argv_n[] = {"bench", "--jobs", "-2"};
+  EXPECT_THROW(parse_campaign_flags(3, const_cast<char**>(argv_n), 1),
+               std::invalid_argument);
+}
+
+// A typo like `--seed 5` used to be silently ignored — the run proceeded
+// with the default seed while the user believed they had swept five.
+TEST(CampaignFlagsTest, RejectsUnknownFlags) {
+  const char* argv_c[] = {"bench", "--seed", "5"};
+  try {
+    parse_campaign_flags(3, const_cast<char**>(argv_c), 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+  }
+  const char* argv_f[] = {"bench", "--frobnicate"};
+  EXPECT_THROW(parse_campaign_flags(2, const_cast<char**>(argv_f), 1),
+               std::invalid_argument);
+}
+
+TEST(CampaignFlagsTest, PassthroughFlagsSkipTheirValue) {
+  // --availability belongs to the tool; its value must be skipped even when
+  // it starts with "--" (it must not be re-parsed as a flag).
+  const char* argv_c[] = {"tool",   "scenario.ini", "--availability",
+                          "--odd",  "--seeds",      "3"};
+  auto opts = parse_campaign_flags(6, const_cast<char**>(argv_c), 10, 1,
+                                   {"--availability"});
+  ASSERT_EQ(opts.seeds.size(), 3u);
+  EXPECT_EQ(opts.seeds.front(), 10u);
+  // Without the passthrough list the same argv is rejected.
+  EXPECT_THROW(parse_campaign_flags(6, const_cast<char**>(argv_c), 10),
+               std::invalid_argument);
+  // A passthrough flag still needs its value.
+  const char* argv_m[] = {"tool", "--availability"};
+  EXPECT_THROW(parse_campaign_flags(2, const_cast<char**>(argv_m), 1, 1,
+                                    {"--availability"}),
                std::invalid_argument);
 }
 

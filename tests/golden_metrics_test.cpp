@@ -57,6 +57,13 @@ std::vector<std::string> snapshot_lines() {
   Campaign campaign(2);
   for (auto kind : {AvailabilityKind::Weibull, AvailabilityKind::Diurnal})
     campaign.add_seed_sweep(golden_spec(kind), {2015, 2016, 2017, 2018});
+  // The lifetime-aware sizer queries the availability model at every pull,
+  // so pin it too: drift in expected_lifetime() or in the sizing math shows
+  // up here even if the fixed-size policies are untouched.
+  RunSpec lifetime = golden_spec(AvailabilityKind::Weibull);
+  lifetime.label = "weibull-lifetime";
+  lifetime.workload.dispatch = DispatchMode::Lifetime;
+  campaign.add_seed_sweep(lifetime, {2015, 2016, 2017, 2018});
   campaign.run();
 
   std::vector<std::string> lines;
@@ -81,6 +88,7 @@ std::vector<std::string> snapshot_lines() {
     field("tasklets_processed", std::to_string(s.tasklets_processed));
     field("tasklets_retried", std::to_string(s.tasklets_retried));
     field("peak_running", std::to_string(s.peak_running));
+    field("completed", s.completed ? "true" : "false");
     field("breakdown.cpu", num(s.breakdown.cpu));
     field("breakdown.io", num(s.breakdown.io));
     field("breakdown.failed", num(s.breakdown.failed));
@@ -118,7 +126,8 @@ TEST(GoldenMetrics, AvailabilityCampaignMatchesSnapshot) {
     std::FILE* f = std::fopen(kGoldenPath, "w");
     ASSERT_NE(f, nullptr) << "cannot write " << kGoldenPath;
     std::fputs(
-        "# Golden metrics: weibull + diurnal climates, seeds 2015-2018.\n"
+        "# Golden metrics: weibull + diurnal climates (fifo dispatch) and a\n"
+        "# weibull lifetime-dispatch sweep, seeds 2015-2018.\n"
         "# Regenerate with LOBSTER_UPDATE_GOLDEN=1 (see "
         "golden_metrics_test.cpp).\n",
         f);

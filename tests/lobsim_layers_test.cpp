@@ -4,7 +4,9 @@
 // points and group sizing directly.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/merge.hpp"
 #include "lobsim/dispatch_policy.hpp"
@@ -19,6 +21,14 @@ DispatchContext ctx(std::uint64_t slots, bool evictable = true,
   c.total_slots = slots;
   c.site = site;
   c.site_evictable = evictable;
+  return c;
+}
+
+DispatchContext lifetime_ctx(std::uint64_t slots, double expected_lifetime,
+                             double cpu_mean = 600.0) {
+  DispatchContext c = ctx(slots);
+  c.expected_remaining_lifetime = expected_lifetime;
+  c.tasklet_cpu_mean = cpu_mean;
   return c;
 }
 
@@ -83,6 +93,50 @@ TEST(DispatchPolicyTest, SiteAwareSizing) {
   const auto d = q->next(ctx(64, /*evictable=*/false));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->n_tasklets, 1u);
+}
+
+TEST(DispatchPolicyTest, LifetimeSizesAgainstExpectedLifetime) {
+  // safety 0.5, cap 24: the task fills half the expected remaining worker
+  // lifetime, measured in mean tasklets.
+  auto p = make_dispatch_policy(DispatchMode::Lifetime, 6, 0.5, 24);
+  EXPECT_STREQ(p->name(), "lifetime");
+  p->add_tasklets(100000);
+  // 0.5 * 14400 s / 600 s = 12 tasklets.
+  auto t = p->next(lifetime_ctx(64, 14400.0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 12u);
+  // A short expected lifetime clamps to a single tasklet (0.5*600/600 < 1).
+  t = p->next(lifetime_ctx(64, 600.0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 1u);
+  // A dedicated site (infinite expected lifetime) takes the cap.
+  t = p->next(lifetime_ctx(
+      64, std::numeric_limits<double>::infinity()));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 24u);
+}
+
+TEST(DispatchPolicyTest, LifetimeDefaultsAndFallbacks) {
+  // Default cap is 4x the static size; defaults come from the factory.
+  auto p = make_dispatch_policy(DispatchMode::Lifetime, 6);
+  p->add_tasklets(100000);
+  auto t = p->next(lifetime_ctx(64, std::numeric_limits<double>::infinity()));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 24u);
+  // Without a tasklet CPU estimate the lifetime cannot be converted, so the
+  // policy falls back to the static size.
+  t = p->next(lifetime_ctx(64, 14400.0, /*cpu_mean=*/0.0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 6u);
+  // Drain phase: pending fits in the slots, single tasklets like TailShrink.
+  auto q = make_dispatch_policy(DispatchMode::Lifetime, 6);
+  q->add_tasklets(64);
+  const auto d = q->next(lifetime_ctx(64, 14400.0));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->n_tasklets, 1u);
+  // A non-positive safety factor is a configuration error.
+  EXPECT_THROW(make_dispatch_policy(DispatchMode::Lifetime, 6, 0.0),
+               std::invalid_argument);
 }
 
 TEST(DispatchPolicyTest, MergeGroupsDispatchFirst) {

@@ -39,11 +39,19 @@
 //   output_per_tasklet = 20MB
 //   access = stream            # or stage
 //   merge = interleaved        # or sequential / hadoop
-//   dispatch = fifo            # or tail-shrink / site-aware
+//   dispatch = fifo            # or tail-shrink / site-aware / lifetime
+//   lifetime_safety = 0.25     # lifetime dispatch: fraction of the expected
+//                              # remaining worker lifetime a task may fill
+//   lifetime_max_tasklets = 24 # lifetime dispatch: per-task cap (0 = 4x
+//                              # tasklets_per_task)
 //
 //   [failures]
 //   outage_start = 3h          # optional WAN outage window
 //   outage_duration = 30m
+//
+//   [run]
+//   time_cap = 30d             # simulated-time budget; unfinished runs are
+//                              # reported as INCOMPLETE, not as finished
 #include <cstdio>
 #include <string>
 
@@ -96,7 +104,10 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "error: --availability needs a value\n");
           return 2;
         }
-        cluster.availability = lobsim::parse_availability_spec(argv[i + 1]);
+        // Consume the value here so a spec that itself starts with "--"
+        // (or a later scan such as parse_campaign_flags) never re-reads it
+        // as a flag.
+        cluster.availability = lobsim::parse_availability_spec(argv[++i]);
       }
     }
   } catch (const std::exception& e) {
@@ -146,20 +157,30 @@ int main(int argc, char** argv) {
     workload.dispatch = lobsim::DispatchMode::TailShrink;
   else if (dispatch == "site-aware")
     workload.dispatch = lobsim::DispatchMode::SiteAware;
+  else if (dispatch == "lifetime")
+    workload.dispatch = lobsim::DispatchMode::Lifetime;
   else if (dispatch != "fifo") {
     std::fprintf(stderr, "error: unknown dispatch mode '%s'\n",
                  dispatch.c_str());
     return 1;
   }
+  workload.lifetime_safety =
+      cfg.get_double("workflow", "lifetime_safety", workload.lifetime_safety);
+  workload.lifetime_max_tasklets = static_cast<std::uint32_t>(cfg.get_int(
+      "workflow", "lifetime_max_tasklets", workload.lifetime_max_tasklets));
 
   spec.outage_start = cfg.get_duration("failures", "outage_start", 0.0);
   spec.outage_duration = cfg.get_duration("failures", "outage_duration", 0.0);
+  // Simulated-time budget; runs still unfinished at the cap are reported
+  // as INCOMPLETE rather than pretending the cap was the makespan.
+  spec.time_cap = cfg.get_duration("run", "time_cap", spec.time_cap);
 
   const std::uint64_t base_seed =
       static_cast<std::uint64_t>(cfg.get_int("workflow", "seed", 2015));
   lobsim::CampaignOptions opts;
   try {
-    opts = lobsim::parse_campaign_flags(argc, argv, base_seed);
+    opts = lobsim::parse_campaign_flags(argc, argv, base_seed, 1,
+                                        {"--availability"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -190,8 +211,19 @@ int main(int argc, char** argv) {
   const auto b = m.monitor.breakdown();
   const double total = b.total();
 
+  if (!m.completed)
+    std::printf("WARNING: INCOMPLETE at time cap (%s) — %llu tasklet%s still "
+                "unprocessed; times below are lower bounds\n",
+                util::format_duration(spec.time_cap).c_str(),
+                static_cast<unsigned long long>(workload.num_tasklets -
+                                                m.tasklets_processed),
+                workload.num_tasklets - m.tasklets_processed == 1 ? "" : "s");
+
   util::Table table({"result", "value"});
-  table.row({"makespan", util::format_duration(m.makespan)});
+  table.row({"makespan", m.completed
+                             ? util::format_duration(m.makespan)
+                             : "INCOMPLETE (>" +
+                                   util::format_duration(spec.time_cap) + ")"});
   table.row({"peak concurrent tasks",
              util::Table::integer(static_cast<long long>(m.peak_running))});
   table.row({"tasklets processed",
@@ -233,6 +265,12 @@ int main(int argc, char** argv) {
     stat_row("merged files", agg.merge_tasks, false);
     stat_row("peak running", agg.peak_running, false);
     std::fputs(sweep.str().c_str(), stdout);
+    if (agg.incomplete > 0)
+      std::printf("  (%llu of %llu runs INCOMPLETE at the %s time cap; "
+                  "makespan rows are lower bounds)\n",
+                  static_cast<unsigned long long>(agg.incomplete),
+                  static_cast<unsigned long long>(agg.runs),
+                  util::format_duration(spec.time_cap).c_str());
     if (agg.errors > 0)
       std::printf("  (%llu run%s failed)\n",
                   static_cast<unsigned long long>(agg.errors),
