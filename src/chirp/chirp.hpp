@@ -28,6 +28,7 @@
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
 #include "des/task.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lobster::chirp {
 
@@ -133,10 +134,10 @@ class ChirpServer {
   /// connection limit; throws ChirpError on an unknown ticket.
   Session connect(const std::string& ticket);
 
-  std::uint64_t total_requests() const;
-  double bytes_in() const;
-  double bytes_out() const;
-  std::size_t num_files() const;
+  [[nodiscard]] std::uint64_t total_requests() const;
+  [[nodiscard]] double bytes_in() const;
+  [[nodiscard]] double bytes_out() const;
+  [[nodiscard]] std::size_t num_files() const;
 
  private:
   friend class Session;
@@ -144,16 +145,17 @@ class ChirpServer {
 
   mutable std::mutex mutex_;
   std::counting_semaphore<1 << 20> connections_;
-  std::unique_ptr<StorageBackend> backend_;
+  // The server serialises all backend calls (see StorageBackend).
+  std::unique_ptr<StorageBackend> backend_ LOBSTER_PT_GUARDED_BY(mutex_);
   struct Ticket {
     std::string scope;
     Rights rights;
   };
-  std::map<std::string, Ticket> tickets_;
-  std::uint64_t next_ticket_ = 1;
-  std::uint64_t requests_ = 0;
-  double bytes_in_ = 0.0;
-  double bytes_out_ = 0.0;
+  std::map<std::string, Ticket> tickets_ LOBSTER_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ LOBSTER_GUARDED_BY(mutex_) = 1;
+  std::uint64_t requests_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  double bytes_in_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
+  double bytes_out_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// DES model of the Chirp server in front of Hadoop.
@@ -175,8 +177,8 @@ class ChirpSim {
   des::Task<double> get(double bytes);
 
   des::Resource& connections() { return connections_; }
-  double bytes_in() const { return bytes_in_; }
-  double bytes_out() const { return bytes_out_; }
+  [[nodiscard]] double bytes_in() const { return bytes_in_; }
+  [[nodiscard]] double bytes_out() const { return bytes_out_; }
   /// Mean over completed requests of (wall time / unloaded time) — a
   /// direct overload indicator used by the monitoring advisor.
   double mean_slowdown() const;

@@ -90,7 +90,7 @@ class Db {
 
   /// Register the complete tasklet list (start of workflow).
   void register_tasklets(const std::vector<Tasklet>& tasklets);
-  std::size_t num_tasklets() const { return tasklets_.size(); }
+  [[nodiscard]] std::size_t num_tasklets() const { return tasklets_.size(); }
   const Tasklet& tasklet(std::uint64_t id) const;
   TaskletStatus tasklet_status(std::uint64_t id) const;
   /// Permanently fail a pending tasklet (attempts exhausted).
@@ -111,7 +111,7 @@ class Db {
   /// or eviction returns them to Pending (attempts incremented).
   void finish_task(std::uint64_t task_id, const TaskRecord& result);
   const TaskRecord& task(std::uint64_t task_id) const;
-  std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
   std::map<TaskStatus, std::size_t> task_status_counts() const;
 
   // ---- outputs --------------------------------------------------------------
@@ -122,7 +122,7 @@ class Db {
   /// Unmerged outputs (id order).
   std::vector<OutputRecord> unmerged_outputs() const;
   const OutputRecord& output(std::uint64_t id) const;
-  std::size_t num_outputs() const { return outputs_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const { return outputs_.size(); }
 
   // ---- monitoring queries ----------------------------------------------------
 
@@ -131,8 +131,8 @@ class Db {
                                     double max_seconds) const;
   /// Aggregate time per segment over all finished tasks (the Figure 8 rows).
   std::vector<double> segment_totals() const;
-  double total_cpu_time() const;
-  double total_lost_time() const;
+  [[nodiscard]] double total_cpu_time() const;
+  [[nodiscard]] double total_lost_time() const;
 
   // ---- persistence ------------------------------------------------------------
 

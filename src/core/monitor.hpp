@@ -36,7 +36,7 @@ struct RuntimeBreakdown {
   double stage_in = 0.0;   ///< "WQ Stage In" (sandbox + input staging)
   double stage_out = 0.0;  ///< "WQ Stage Out"
   double other = 0.0;      ///< env setup, dispatch, cleanup
-  double total() const {
+  [[nodiscard]] double total() const {
     return cpu + io + failed + stage_in + stage_out + other;
   }
 };
@@ -70,7 +70,7 @@ class Monitor {
 
   // ---- queries ---------------------------------------------------------------
 
-  RuntimeBreakdown breakdown() const { return breakdown_; }
+  [[nodiscard]] RuntimeBreakdown breakdown() const { return breakdown_; }
   std::uint64_t tasks_seen() const { return seen_; }
   std::uint64_t tasks_failed() const { return failures_; }
   std::uint64_t tasks_evicted() const { return evictions_; }

@@ -79,7 +79,7 @@ class Scheduler {
   const Db& db() const { return db_; }
   const Monitor& monitor() const { return monitor_; }
   /// Current (possibly adapted) task size.
-  std::uint32_t tasklets_per_task() const { return tasklets_per_task_; }
+  [[nodiscard]] std::uint32_t tasklets_per_task() const { return tasklets_per_task_; }
 
  private:
   RunReport drive(wq::Master& master);

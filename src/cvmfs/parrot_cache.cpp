@@ -1,9 +1,29 @@
 #include "cvmfs/parrot_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lobster::cvmfs {
+
+namespace {
+/// Fold object sizes in sorted-path order: summing in hash order would make
+/// the reported total depend on the unordered_map's bucket layout, and FP
+/// addition is not associative.
+template <typename Store>
+double sum_bytes_ordered(const Store& store) {
+  std::vector<std::pair<std::string_view, double>> items;
+  items.reserve(store.size());
+  for (const auto& [path, e] : store) items.emplace_back(path, e.bytes);
+  std::sort(items.begin(), items.end());
+  double total = 0.0;
+  for (const auto& [path, bytes] : items) total += bytes;
+  return total;
+}
+}  // namespace
 
 const char* to_string(CacheMode mode) {
   switch (mode) {
@@ -49,13 +69,12 @@ double CacheGroup::stored_bytes() const {
     std::lock_guard lock(self->instances_mutex_);
     for (const auto& store : self->instance_stores_) {
       std::lock_guard slock(store->first);
-      for (const auto& [_, e] : store->second) total += e.bytes;
+      total += sum_bytes_ordered(store->second);
     }
     return total;
   }
   std::shared_lock lock(self->cache_lock_);
-  for (const auto& [_, e] : shared_store_) total += e.bytes;
-  return total;
+  return sum_bytes_ordered(shared_store_);
 }
 
 AccessResult CacheGroup::Instance::access(const FileObject& obj) {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cvmfs/repository.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lobster::cvmfs {
 
@@ -76,12 +77,12 @@ class CacheGroup {
   CacheGroup(CacheMode mode, Fetcher fetcher);
 
   CacheMode mode() const { return mode_; }
-  const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
   /// Number of distinct objects stored across all cache directories.
-  std::size_t stored_objects() const;
+  [[nodiscard]] std::size_t stored_objects() const;
   /// Total bytes stored (PerInstance counts duplicates once per instance,
   /// mirroring real disk usage).
-  double stored_bytes() const;
+  [[nodiscard]] double stored_bytes() const;
 
   /// A Parrot instance bound to one task slot.
   class Instance {
@@ -112,29 +113,31 @@ class CacheGroup {
   AccessResult access_per_instance(const FileObject& obj, std::size_t id);
   AccessResult access_alien(const FileObject& obj);
 
-  CacheMode mode_;
-  Fetcher fetcher_;
-  CacheStats stats_;
+  CacheMode mode_ LOBSTER_NOT_GUARDED(immutable after construction);
+  Fetcher fetcher_ LOBSTER_NOT_GUARDED(immutable after construction);
+  CacheStats stats_ LOBSTER_NOT_GUARDED(internally atomic);
 
   // Exclusive + Alien: one shared store.  Exclusive guards it (and the
   // whole fetch) with a single shared_mutex; Alien uses the map mutex only
   // for bookkeeping plus a per-object state for in-flight fetches.
   std::shared_mutex cache_lock_;
-  Store shared_store_;
+  Store shared_store_ LOBSTER_GUARDED_BY(cache_lock_);
 
   // Alien: per-object fetch coordination.
   struct ObjectState {
     std::mutex m;
     std::condition_variable cv;
-    bool fetching = false;
-    bool present = false;
+    bool fetching LOBSTER_GUARDED_BY(m) = false;
+    bool present LOBSTER_GUARDED_BY(m) = false;
   };
   std::mutex objects_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<ObjectState>> objects_;
+  std::unordered_map<std::string, std::shared_ptr<ObjectState>> objects_
+      LOBSTER_GUARDED_BY(objects_mutex_);
 
   // PerInstance: one store per instance.
   std::mutex instances_mutex_;
-  std::vector<std::unique_ptr<std::pair<std::mutex, Store>>> instance_stores_;
+  std::vector<std::unique_ptr<std::pair<std::mutex, Store>>> instance_stores_
+      LOBSTER_GUARDED_BY(instances_mutex_);
 };
 
 }  // namespace lobster::cvmfs

@@ -52,8 +52,8 @@ class Repository {
 
   std::optional<FileObject> lookup(const std::string& path) const;
   bool has(const std::string& path) const { return catalog_.count(path) > 0; }
-  std::size_t num_files() const { return catalog_.size(); }
-  double total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::size_t num_files() const { return catalog_.size(); }
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
   std::vector<FileObject> files() const;
 
  private:

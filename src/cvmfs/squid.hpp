@@ -27,6 +27,7 @@
 #include "des/resource.hpp"
 #include "des/simulation.hpp"
 #include "des/task.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lobster::cvmfs {
 
@@ -44,12 +45,12 @@ class SquidProxy {
   /// Adapter so a SquidProxy can be plugged in wherever a Fetcher is needed.
   Fetcher as_fetcher();
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  double bytes_served() const;    ///< total volume delivered to clients
-  double bytes_upstream() const;  ///< volume pulled from upstream (misses)
-  double resident_bytes() const;
-  std::size_t resident_objects() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] double bytes_served() const;    ///< total volume delivered to clients
+  [[nodiscard]] double bytes_upstream() const;  ///< volume pulled from upstream (misses)
+  [[nodiscard]] double resident_bytes() const;
+  [[nodiscard]] std::size_t resident_objects() const;
 
  private:
   void touch_locked(const std::string& path);
@@ -62,15 +63,16 @@ class SquidProxy {
   };
 
   mutable std::mutex mutex_;
-  double capacity_bytes_;
-  Fetcher upstream_;
-  std::unordered_map<std::string, Entry> cache_;
-  std::list<std::string> lru_;  // front = most recent
-  double resident_bytes_ = 0.0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  double bytes_served_ = 0.0;
-  double bytes_upstream_ = 0.0;
+  double capacity_bytes_ LOBSTER_NOT_GUARDED(immutable after construction);
+  Fetcher upstream_ LOBSTER_NOT_GUARDED(immutable after construction);
+  std::unordered_map<std::string, Entry> cache_ LOBSTER_GUARDED_BY(mutex_);
+  // front = most recent
+  std::list<std::string> lru_ LOBSTER_GUARDED_BY(mutex_);
+  double resident_bytes_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t hits_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  double bytes_served_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
+  double bytes_upstream_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// DES model of a squid proxy.
@@ -109,8 +111,8 @@ class SquidSim {
   des::Resource& connections() { return connections_; }
   des::BandwidthLink& service_link() { return service_link_; }
   des::BandwidthLink& upstream_link() { return upstream_link_; }
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
 
  private:
   des::Simulation& sim_;

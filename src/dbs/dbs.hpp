@@ -47,9 +47,9 @@ struct Dataset {
   std::string name;
   std::vector<DataFile> files;
 
-  double total_bytes() const;
-  std::uint64_t total_events() const;
-  std::size_t total_lumis() const;
+  [[nodiscard]] double total_bytes() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::size_t total_lumis() const;
 };
 
 /// The bookkeeping service: a queryable catalog of datasets.

@@ -39,7 +39,7 @@ class BandwidthLink {
   std::size_t active_flows() const { return flows_.size(); }
   /// Total bytes moved across the link so far (completed + partial flows);
   /// used by the conservation property tests.
-  double bytes_moved() const;
+  [[nodiscard]] double bytes_moved() const;
   /// Instantaneous allocated rate summed over flows (<= capacity).
   double allocated_rate() const;
 

@@ -1,8 +1,10 @@
 #include "des/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace lobster::des {
 
@@ -36,8 +38,17 @@ void Event::trigger() {
 Simulation::~Simulation() {
   // Destroy frames of processes that never finished.  Their pending queue
   // callbacks may capture the (now dangling) handles, but the queue is
-  // discarded without executing them.
-  for (void* frame : live_)
+  // discarded without executing them.  Frames go down in reverse spawn
+  // order (LIFO, like stack unwinding) so teardown side effects never
+  // depend on hash order.
+  std::vector<std::pair<std::uint64_t, void*>> frames;
+  frames.reserve(live_.size());
+  // lobster-lint: ordered-ok(collection only; destroyed after sorting)
+  for (const auto& [frame, spawn_seq] : live_)
+    frames.emplace_back(spawn_seq, frame);
+  std::sort(frames.begin(), frames.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [spawn_seq, frame] : frames)
     std::coroutine_handle<>::from_address(frame).destroy();
 }
 
@@ -52,7 +63,7 @@ ProcessRef Simulation::spawn(Process p) {
   auto& pr = h.promise();
   pr.sim = this;
   pr.done = std::make_shared<Event>(*this);
-  live_.insert(h.address());
+  live_.emplace(h.address(), spawned_++);
   schedule(0.0, [h] { h.resume(); });
   return ProcessRef(pr.done);
 }

@@ -19,7 +19,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace lobster::des {
@@ -151,9 +151,9 @@ class Simulation {
   /// Run callbacks with timestamp <= t, then set now() = t.
   void run_until(double t);
 
-  std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return queue_.size(); }
-  std::size_t live_processes() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
 
  private:
   friend struct Process::promise_type;
@@ -176,8 +176,11 @@ class Simulation {
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t spawned_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<void*> live_;
+  /// Live coroutine frames, keyed to their spawn sequence so teardown can
+  /// run in a deterministic (reverse-spawn) order.
+  std::unordered_map<void*, std::uint64_t> live_;
   std::exception_ptr error_;
 };
 

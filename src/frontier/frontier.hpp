@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace lobster::frontier {
 
 struct FrontierError : std::runtime_error {
@@ -92,10 +94,10 @@ class FrontierProxy final : public FrontierEndpoint {
 
   std::string query(const std::string& tag, std::uint32_t run) override;
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t refreshes() const;  ///< stale entries re-fetched
-  std::size_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t refreshes() const;  ///< stale entries re-fetched
+  [[nodiscard]] std::size_t entries() const;
 
  private:
   struct Key {
@@ -110,13 +112,14 @@ class FrontierProxy final : public FrontierEndpoint {
     std::uint64_t serial = 0;
   };
 
-  FrontierEndpoint* upstream_;
-  const ConditionsDatabase* origin_;
+  FrontierEndpoint* upstream_ LOBSTER_NOT_GUARDED(immutable after construction);
+  const ConditionsDatabase* origin_
+      LOBSTER_NOT_GUARDED(immutable after construction);
   mutable std::mutex mutex_;
-  std::map<Key, Entry> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t refreshes_ = 0;
+  std::map<Key, Entry> cache_ LOBSTER_GUARDED_BY(mutex_);
+  std::uint64_t hits_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t refreshes_ LOBSTER_GUARDED_BY(mutex_) = 0;
 };
 
 /// Build a realistic synthetic conditions set: `tags` tags, each covering

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace lobster::hdfs {
 
 struct HdfsError : std::runtime_error {
@@ -57,13 +59,13 @@ class Cluster {
   /// Copy under-replicated blocks onto other live datanodes (what the real
   /// namenode does in the background).
   void rereplicate();
-  std::size_t num_datanodes() const;
+  [[nodiscard]] std::size_t num_datanodes() const;
   std::size_t live_datanodes() const;
   std::size_t replication() const { return replication_; }
   std::size_t block_size() const { return block_size_; }
   /// Count of blocks with fewer live replicas than the replication factor.
   std::size_t under_replicated_blocks() const;
-  double total_bytes() const;
+  [[nodiscard]] double total_bytes() const;
 
  private:
   struct Block {
@@ -80,11 +82,12 @@ class Cluster {
   void remove_locked(const std::string& path);
 
   mutable std::mutex mutex_;
-  std::size_t replication_;
-  std::size_t block_size_;
-  std::uint64_t next_block_ = 1;
-  std::map<std::string, std::vector<Block>> namespace_;
-  std::vector<DataNode> datanodes_;
+  std::size_t replication_ LOBSTER_NOT_GUARDED(immutable after construction);
+  std::size_t block_size_ LOBSTER_NOT_GUARDED(immutable after construction);
+  std::uint64_t next_block_ LOBSTER_GUARDED_BY(mutex_) = 1;
+  std::map<std::string, std::vector<Block>> namespace_
+      LOBSTER_GUARDED_BY(mutex_);
+  std::vector<DataNode> datanodes_ LOBSTER_GUARDED_BY(mutex_);
 };
 
 // ---- Map-Reduce-lite -------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/config.hpp"
+#include "util/parse.hpp"
 
 namespace lobster::lobsim {
 
@@ -193,8 +194,11 @@ namespace {
 double parse_hours(const std::string& key, const std::string& value) {
   try {
     // Accept plain hours ("6") or duration suffixes ("90m", "1.5h").
-    if (value.find_first_not_of("0123456789.+-eE") == std::string::npos)
-      return std::stod(value);
+    if (value.find_first_not_of("0123456789.+-eE") == std::string::npos) {
+      const auto v = util::parse_double_strict(value);
+      if (!v) bad_spec("bad value for '" + key + "': " + value);
+      return *v;
+    }
     return util::Config::parse_duration(value) / 3600.0;
   } catch (const std::exception&) {
     bad_spec("bad value for '" + key + "': " + value);
@@ -202,14 +206,9 @@ double parse_hours(const std::string& key, const std::string& value) {
 }
 
 double parse_number(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    bad_spec("bad value for '" + key + "': " + value);
-  }
+  const auto v = util::parse_double_strict(value);
+  if (!v) bad_spec("bad value for '" + key + "': " + value);
+  return *v;
 }
 }  // namespace
 
@@ -301,16 +300,11 @@ std::vector<double> load_trace_csv(const std::string& path) {
       if (begin == std::string::npos) continue;  // blank field / line
       const std::size_t end = field.find_last_not_of(" \t\r");
       const std::string token = field.substr(begin, end - begin + 1);
-      std::size_t used = 0;
-      double v = 0.0;
-      try {
-        v = std::stod(token, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      if (used != token.size())
+      const auto parsed = util::parse_double_strict(token);
+      if (!parsed)
         bad_spec("trace '" + path + "' line " + std::to_string(line_no) +
                  ": non-numeric field '" + token + "'");
+      const double v = *parsed;
       if (!(v > 0.0))
         bad_spec("trace '" + path + "' line " + std::to_string(line_no) +
                  ": intervals must be > 0");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lobster::lobsim {
@@ -140,19 +141,7 @@ CampaignOptions parse_campaign_flags(
     auto numeric_value = [&](const char* flag) -> long long {
       if (i + 1 >= argc)
         throw std::invalid_argument(std::string(flag) + " needs a value");
-      const std::string value = argv[++i];
-      // std::atoll would turn "abc" into 0 and "8x" into 8 without
-      // complaint; require the whole token to parse.
-      std::size_t used = 0;
-      long long v = 0;
-      try {
-        v = std::stoll(value, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      if (used == 0 || used != value.size())
-        throw std::invalid_argument(std::string(flag) + ": non-numeric value '" +
-                                    value + "'");
+      const long long v = util::require_int(argv[++i], flag);
       if (v < 0)
         throw std::invalid_argument(std::string(flag) + " must be >= 0");
       return v;

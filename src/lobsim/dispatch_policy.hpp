@@ -73,7 +73,7 @@ class DispatchPolicy {
 
   /// Tasklets enter the pool at workflow start and on failed-task retry.
   void add_tasklets(std::uint64_t n) { tasklets_pending_ += n; }
-  std::uint64_t tasklets_pending() const { return tasklets_pending_; }
+  [[nodiscard]] std::uint64_t tasklets_pending() const { return tasklets_pending_; }
 
   /// A planned merge task of `total_bytes` input volume.
   void push_merge_group(double total_bytes) {

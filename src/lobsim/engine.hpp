@@ -152,7 +152,7 @@ class Engine {
   /// Returns the collected metrics.
   const EngineMetrics& run(double time_cap = 10.0 * 86400.0);
 
-  const EngineMetrics& metrics() const { return *metrics_; }
+  [[nodiscard]] const EngineMetrics& metrics() const { return *metrics_; }
   des::Simulation& sim() { return sim_; }
   /// Home-site federation (site 0).
   xrootd::FederationSim& federation() { return sites_->federation(0); }
@@ -166,7 +166,7 @@ class Engine {
   cvmfs::SquidSim& squid(std::size_t site, std::size_t i) {
     return sites_->squid(site, i);
   }
-  std::size_t num_sites() const { return sites_->num_sites(); }
+  [[nodiscard]] std::size_t num_sites() const { return sites_->num_sites(); }
   /// Tasklets processed by each site's workers (index as in params).
   const std::vector<std::uint64_t>& per_site_tasklets() const {
     return per_site_tasklets_;

@@ -41,7 +41,7 @@ struct PoolOutcome {
   std::string name;
   double submit_time = 0.0;
   double finish_time = 0.0;
-  double turnaround() const { return finish_time - submit_time; }
+  [[nodiscard]] double turnaround() const { return finish_time - submit_time; }
 };
 
 /// Simulate the central pool; returns one outcome per user (input order).

@@ -131,9 +131,9 @@ class SiteManager {
   /// federation breaks together.
   void schedule_outage(double start, double duration);
 
-  std::size_t num_sites() const { return sites_.size(); }
+  [[nodiscard]] std::size_t num_sites() const { return sites_.size(); }
   /// Cluster-wide core count (every site's target_cores summed).
-  std::uint64_t total_slots() const { return total_slots_; }
+  [[nodiscard]] std::uint64_t total_slots() const { return total_slots_; }
   xrootd::FederationSim& federation(std::size_t site) {
     return *sites_.at(site).federation;
   }

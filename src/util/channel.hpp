@@ -11,6 +11,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/thread_annotations.hpp"
+
 namespace lobster::util {
 
 template <typename T>
@@ -111,9 +113,9 @@ class Channel {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> queue_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  std::deque<T> queue_ LOBSTER_GUARDED_BY(mutex_);
+  std::size_t capacity_ LOBSTER_NOT_GUARDED(immutable after construction);
+  bool closed_ LOBSTER_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lobster::util

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace lobster::util {
 
 namespace {
@@ -122,14 +124,24 @@ std::int64_t Config::get_int(const std::string& section, const std::string& key,
                              std::int64_t fallback) const {
   const auto v = get(section, key);
   if (!v) return fallback;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  // strtoll would turn "abc" into 0 and "8x" into 8 without complaint —
+  // a scenario typo must fail the run, not silently reshape it.
+  const auto parsed = parse_int_strict(*v);
+  if (!parsed)
+    throw std::runtime_error("config: non-numeric value for " + section + "." +
+                             key + ": '" + *v + "'");
+  return *parsed;
 }
 
 double Config::get_double(const std::string& section, const std::string& key,
                           double fallback) const {
   const auto v = get(section, key);
   if (!v) return fallback;
-  return std::strtod(v->c_str(), nullptr);
+  const auto parsed = parse_double_strict(*v);
+  if (!parsed)
+    throw std::runtime_error("config: non-numeric value for " + section + "." +
+                             key + ": '" + *v + "'");
+  return *parsed;
 }
 
 bool Config::get_bool(const std::string& section, const std::string& key,

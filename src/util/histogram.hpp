@@ -30,11 +30,11 @@ class Histogram {
   double count(std::size_t i) const { return counts_[i]; }
   double underflow() const { return underflow_; }
   double overflow() const { return overflow_; }
-  double total() const;  ///< in-range weight only
-  std::size_t entries() const { return entries_; }
+  [[nodiscard]] double total() const;  ///< in-range weight only
+  [[nodiscard]] std::size_t entries() const { return entries_; }
 
   /// Weighted mean of bin centres (ignores under/overflow).
-  double mean() const;
+  [[nodiscard]] double mean() const;
 
   /// Normalised copy: bin contents divided by total in-range weight.
   std::vector<double> density() const;
@@ -81,7 +81,7 @@ class TimeSeries {
   /// Mean of `sample`d levels in bin i (0 when no samples).
   double mean_level(std::size_t i) const;
   double max_sum() const;
-  double total() const;
+  [[nodiscard]] double total() const;
 
  private:
   void ensure(std::size_t i);

@@ -95,9 +95,9 @@ class EmpiricalDistribution {
 
   bool empty() const { return sorted_.empty(); }
   std::size_t size() const { return sorted_.size(); }
-  double min() const;
-  double max() const;
-  double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
   /// Empirical quantile, q in [0, 1].
   double quantile(double q) const;
   /// Draw a value using the supplied generator.

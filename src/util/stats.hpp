@@ -17,15 +17,15 @@ class RunningStats {
   void add(double x);
   void merge(const RunningStats& other);
 
-  std::uint64_t count() const { return n_; }
-  double sum() const { return mean_ * static_cast<double>(n_); }
-  double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  ///< population variance
-  double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
-  std::string summary() const;  ///< "n=... mean=... sd=... [min, max]"
+  [[nodiscard]] std::string summary() const;  ///< "n=... mean=... sd=... [min, max]"
 
  private:
   std::uint64_t n_ = 0;
@@ -42,7 +42,7 @@ class Reservoir {
   explicit Reservoir(std::size_t capacity, Rng rng = Rng(42));
 
   void add(double x);
-  std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
   std::size_t size() const { return data_.size(); }
   /// Approximate q-quantile (q in [0,1]) of the values seen so far.
   double quantile(double q) const;

@@ -1,0 +1,38 @@
+// thread_annotations.hpp — GUARDED_BY-style annotations for mutex-protected
+// members.
+//
+// Every class that owns a std::mutex / std::shared_mutex must say, member by
+// member, which lock guards what (or why nothing does): the concurrency bugs
+// that make 10k-core campaigns undiagnosable are exactly the ones where a
+// member quietly migrated out from under its lock.  `lobster_lint` enforces
+// the discipline (rule `guarded`): in a mutex-holding class, every data
+// member that is not itself a synchronisation primitive or an atomic must
+// carry one of these annotations.
+//
+//   std::uint64_t hits_ LOBSTER_GUARDED_BY(mutex_) = 0;
+//   Fetcher upstream_ LOBSTER_NOT_GUARDED(immutable after construction);
+//
+// Under clang with -Wthread-safety (and LOBSTER_THREAD_SAFETY defined) the
+// GUARDED_BY forms expand to the real thread-safety-analysis attributes; the
+// default build treats them as documentation checked by the linter only, so
+// gcc builds are unaffected.
+#pragma once
+
+#if defined(LOBSTER_THREAD_SAFETY) && defined(__clang__)
+#define LOBSTER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LOBSTER_THREAD_ANNOTATION_(x)
+#endif
+
+/// Member may only be read/written with `mutex` held.
+#define LOBSTER_GUARDED_BY(mutex) LOBSTER_THREAD_ANNOTATION_(guarded_by(mutex))
+
+/// Pointer member: the pointee (not the pointer) is guarded by `mutex`.
+#define LOBSTER_PT_GUARDED_BY(mutex) \
+  LOBSTER_THREAD_ANNOTATION_(pt_guarded_by(mutex))
+
+/// Audited opt-out: the member needs no lock, and the argument says why
+/// (immutable after construction, internally synchronized, confined to one
+/// thread, ...).  Expands to nothing; the reason is for the reader and the
+/// linter.
+#define LOBSTER_NOT_GUARDED(...)

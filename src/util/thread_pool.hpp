@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/channel.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lobster::util {
 
@@ -36,8 +37,10 @@ class ThreadPool {
  private:
   void run();
 
-  Channel<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
+  Channel<std::function<void()>> queue_
+      LOBSTER_NOT_GUARDED(internally synchronized);
+  std::vector<std::thread> threads_
+      LOBSTER_NOT_GUARDED(written only in ctor and shutdown);
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::atomic<std::size_t> in_flight_{0};

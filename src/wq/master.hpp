@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "util/channel.hpp"
+#include "util/thread_annotations.hpp"
 #include "wq/task.hpp"
 
 namespace lobster::wq {
@@ -41,12 +42,12 @@ class Master : public TaskSource {
 
   // ---- stats ----------------------------------------------------------------
 
-  std::uint64_t submitted() const { return submitted_.load(); }
-  std::uint64_t dispatched() const { return dispatched_.load(); }
-  std::uint64_t completed() const { return completed_.load(); }
-  std::uint64_t failed() const { return failed_.load(); }
-  std::uint64_t evicted() const { return evicted_.load(); }
-  std::size_t queue_depth() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_.load(); }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_.load(); }
+  [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
+  [[nodiscard]] std::uint64_t failed() const { return failed_.load(); }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_.load(); }
+  [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
 
  private:
   struct Stamped {
@@ -54,8 +55,9 @@ class Master : public TaskSource {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  util::Channel<Stamped> pending_;
-  util::Channel<TaskResult> results_;
+  util::Channel<Stamped> pending_ LOBSTER_NOT_GUARDED(internally synchronized);
+  util::Channel<TaskResult> results_
+      LOBSTER_NOT_GUARDED(internally synchronized);
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> completed_{0};

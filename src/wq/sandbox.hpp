@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace lobster::wq {
 
 /// Content hash used as the worker-cache key.
@@ -72,22 +74,23 @@ class WorkerFileCache {
   /// transfer (bytes counted, cacheables inserted).  Returns the content.
   std::shared_ptr<const std::string> stage_through(const InputFile& file);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
   /// Bytes that actually crossed the wire (misses only).
-  double bytes_transferred() const;
+  [[nodiscard]] double bytes_transferred() const;
   /// Bytes avoided thanks to the cache (hits).
-  double bytes_saved() const;
+  [[nodiscard]] double bytes_saved() const;
   std::size_t size() const;
 
  private:
   friend class Worker;
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const std::string>> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  double bytes_transferred_ = 0.0;
-  double bytes_saved_ = 0.0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const std::string>> cache_
+      LOBSTER_GUARDED_BY(mutex_);
+  std::uint64_t hits_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  double bytes_transferred_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
+  double bytes_saved_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace lobster::wq

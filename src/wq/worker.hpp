@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "wq/task.hpp"
 
 namespace lobster::wq {
@@ -41,16 +42,16 @@ class Worker {
   /// Block until every slot thread has exited (source drained or evicted).
   void join();
 
-  std::uint64_t tasks_run() const { return tasks_run_.load(); }
-  bool evicted() const { return evicting_.load(); }
+  [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_.load(); }
+  [[nodiscard]] bool evicted() const { return evicting_.load(); }
   /// The worker-wide input-file cache shared by all slots.
   const WorkerFileCache& file_cache() const { return file_cache_; }
 
  private:
   void slot_loop(std::size_t slot);
 
-  std::string name_;
-  TaskSource& source_;
+  std::string name_ LOBSTER_NOT_GUARDED(immutable after construction);
+  TaskSource& source_ LOBSTER_NOT_GUARDED(immutable after construction);
   std::atomic<bool> evicting_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> tasks_run_{0};
@@ -58,9 +59,10 @@ class Worker {
   // that must not poison later tasks on the slot); evict() cancels whatever
   // tokens are current.
   std::mutex tokens_mutex_;
-  std::vector<CancelToken> slot_tokens_;
-  WorkerFileCache file_cache_;
-  std::vector<std::thread> threads_;
+  std::vector<CancelToken> slot_tokens_ LOBSTER_GUARDED_BY(tokens_mutex_);
+  WorkerFileCache file_cache_ LOBSTER_NOT_GUARDED(internally synchronized);
+  std::vector<std::thread> threads_
+      LOBSTER_NOT_GUARDED(written only in ctor and join/shutdown);
 };
 
 }  // namespace lobster::wq

@@ -39,7 +39,7 @@ class RedirectorTable {
   std::vector<std::string> locate(const std::string& lfn) const;
   /// Pick one replica (round-robin across calls); nullopt when unknown.
   std::optional<std::string> pick(const std::string& lfn);
-  std::size_t num_files() const { return replicas_.size(); }
+  [[nodiscard]] std::size_t num_files() const { return replicas_.size(); }
 
  private:
   std::map<std::string, std::vector<std::string>> replicas_;
@@ -87,8 +87,8 @@ class FederationSim {
   des::Task<double> stage(double bytes);
 
   des::BandwidthLink& uplink() { return uplink_; }
-  double bytes_streamed() const { return bytes_streamed_; }
-  double bytes_staged() const { return bytes_staged_; }
+  [[nodiscard]] double bytes_streamed() const { return bytes_streamed_; }
+  [[nodiscard]] double bytes_staged() const { return bytes_staged_; }
   std::uint64_t failed_opens() const { return failed_opens_; }
 
  private:

@@ -1,0 +1,9 @@
+// Fixture: iterates the unordered member declared in bad_cross_file.hpp —
+// only the include graph makes the container type visible here.
+#include "bad_cross_file.hpp"
+
+double Ledger::balance() const {
+  double total = 0.0;
+  for (const auto& [name, amount] : accounts_) total += amount;
+  return total;
+}

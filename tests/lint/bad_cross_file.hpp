@@ -1,0 +1,14 @@
+// Fixture (with bad_cross_file.cpp): the unordered member lives here; the
+// hazardous iteration lives in the .cpp.  The include graph connects them.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+class Ledger {
+ public:
+  double balance() const;
+
+ private:
+  std::unordered_map<std::string, double> accounts_;
+};

@@ -1,0 +1,11 @@
+// Fixture: a summary-statistics accessor without [[nodiscard]].
+#pragma once
+
+class Welford {
+ public:
+  double mean() const { return sum_ / count_; }
+
+ private:
+  double sum_ = 0.0;
+  double count_ = 1.0;
+};

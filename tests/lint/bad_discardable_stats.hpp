@@ -1,0 +1,15 @@
+// Fixture: metrics accessors without [[nodiscard]] — a discarded metrics
+// read is always a bug.
+#pragma once
+
+#include <cstdint>
+
+class CacheStatsView {
+ public:
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};

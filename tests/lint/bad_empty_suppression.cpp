@@ -1,0 +1,11 @@
+// Fixture: a suppression without a reason is itself a finding — the audit
+// trail is the point.
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& sizes_) {
+  double t = 0.0;
+  // lobster-lint: ordered-ok()
+  for (const auto& [k, v] : sizes_) t += v;
+  return t;
+}

@@ -1,0 +1,9 @@
+// Fixture: folds doubles in hash order — the sum depends on bucket layout.
+#include <string>
+#include <unordered_map>
+
+double total_bytes(const std::unordered_map<std::string, double>& sizes_) {
+  double total = 0.0;
+  for (const auto& [path, bytes] : sizes_) total += bytes;
+  return total;
+}

@@ -1,0 +1,17 @@
+// Fixture: partially annotated — the one bare member is still a finding.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+class Queue {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_ LOBSTER_GUARDED_BY(mutex_);
+  std::size_t capacity_;
+};

@@ -1,0 +1,8 @@
+// Fixture: seeds an engine from std::random_device — nondeterministic runs.
+#include <random>
+
+unsigned roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}

@@ -1,0 +1,18 @@
+// Fixture: draws from the run RNG while iterating an unordered container —
+// the draw sequence (and everything downstream) depends on hash order.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+struct Rng {
+  double uniform();
+};
+
+std::vector<double> jitter_all(const std::unordered_set<std::string>& names_,
+                               Rng& rng) {
+  std::vector<double> out;
+  for (const auto& name : names_) {
+    out.push_back(rng.uniform());
+  }
+  return out;
+}

@@ -1,0 +1,17 @@
+// Fixture: a mutex-holding class with bare members — every one needs a
+// LOBSTER_GUARDED_BY / LOBSTER_NOT_GUARDED annotation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  std::string label_;
+};

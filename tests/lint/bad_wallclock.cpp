@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads — simulated time must come from the DES kernel.
+#include <chrono>
+#include <ctime>
+
+double elapsed_since_epoch() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long stamp() { return static_cast<long>(time(nullptr)); }

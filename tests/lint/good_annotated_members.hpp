@@ -1,0 +1,36 @@
+// Fixture: fully annotated mutex-holding class; atomics, condition
+// variables and the mutex itself need no annotation, and mutex-free
+// classes are out of scope entirely.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+class Annotated {
+ public:
+  void bump();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> stopping_{false};
+  std::uint64_t count_ LOBSTER_GUARDED_BY(mutex_) = 0;
+  std::string label_ LOBSTER_NOT_GUARDED(immutable after construction);
+  std::vector<int> items_ LOBSTER_GUARDED_BY(mutex_);
+};
+
+// No mutex: plain members are fine without annotations.
+class MutexFree {
+ public:
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+  std::vector<int> history_;
+};

@@ -1,0 +1,23 @@
+// Fixture: properly annotated metrics accessors; void functions, setters
+// and call sites are out of scope.
+#pragma once
+
+#include <cstdint>
+
+class CacheStatsView {
+ public:
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]]
+  std::uint64_t misses() const { return misses_; }
+
+  void reset();                       // void: not an accessor
+  void set_hits(std::uint64_t v) { hits_ = v; }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+inline std::uint64_t use(const CacheStatsView& v) {
+  return v.hits() + v.misses();  // call sites never flag
+}

@@ -1,0 +1,16 @@
+// Fixture: deterministic randomness — a seeded engine, no entropy source.
+#include <cstdint>
+#include <random>
+
+std::uint64_t roll(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+// steady_clock is allowed: it only measures host durations, never feeds
+// simulated time.
+#include <chrono>
+double host_elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}

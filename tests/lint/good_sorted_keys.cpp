@@ -1,0 +1,32 @@
+// Fixture: order-sensitive fold done right — keys sorted before summing.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double total_bytes(const std::unordered_map<std::string, double>& sizes_) {
+  std::vector<std::string> keys;
+  keys.reserve(sizes_.size());
+  for (const auto& [path, bytes] : sizes_) keys.push_back(path);  // lobster-lint: ordered-ok(collection only; folded after sorting)
+  std::sort(keys.begin(), keys.end());
+  double total = 0.0;
+  for (const auto& key : keys) total += sizes_.at(key);
+  return total;
+}
+
+// An ordered map may be folded directly.
+double total_ordered(const std::map<std::string, double>& sizes) {
+  double total = 0.0;
+  for (const auto& [path, bytes] : sizes) total += bytes;
+  return total;
+}
+
+// Unordered iteration with order-insensitive work is fine too.
+std::size_t count_large(const std::unordered_map<std::string, double>& sizes_) {
+  std::size_t n = 0;
+  for (const auto& [path, bytes] : sizes_) {
+    if (bytes > 1e6) ++n;
+  }
+  return n;
+}

@@ -1,0 +1,192 @@
+// lint_test.cpp — the lobster_lint rule engine against its fixture corpus.
+//
+// Every bad_* fixture must produce the finding its name promises; every
+// good_* fixture must be clean.  The tree itself is linted by the separate
+// `lint_tree` ctest entry, which runs the CLI over src/, tools/ and bench/.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace lint = lobster::lint;
+
+namespace {
+
+lint::Corpus fixture_corpus() {
+  return lint::load_corpus({LOBSTER_LINT_FIXTURE_DIR});
+}
+
+std::vector<lint::Finding> findings_for(const lint::Corpus& corpus,
+                                        const std::string& file_suffix,
+                                        const lint::Options& opts = {}) {
+  std::vector<lint::Finding> out;
+  for (const auto& f : lint::run(corpus, opts)) {
+    if (f.file.size() >= file_suffix.size() &&
+        f.file.compare(f.file.size() - file_suffix.size(), file_suffix.size(),
+                       file_suffix) == 0)
+      out.push_back(f);
+  }
+  return out;
+}
+
+bool has_rule(const std::vector<lint::Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+// ---- corpus-level expectations ---------------------------------------------
+
+TEST(LintFixtures, EveryBadFixtureFlagsItsRule) {
+  const lint::Corpus corpus = fixture_corpus();
+  const struct {
+    const char* file;
+    const char* rule;
+  } expected[] = {
+      {"bad_random_device.cpp", "entropy"},
+      {"bad_wallclock.cpp", "entropy"},
+      {"bad_fp_sum.cpp", "ordered"},
+      {"bad_rng_draw.cpp", "ordered"},
+      {"bad_cross_file.cpp", "ordered"},
+      {"bad_unguarded_members.hpp", "guarded"},
+      {"bad_partial_annotations.hpp", "guarded"},
+      {"bad_discardable_stats.hpp", "nodiscard"},
+      {"bad_discardable_mean.hpp", "nodiscard"},
+      {"bad_empty_suppression.cpp", "suppression"},
+  };
+  for (const auto& e : expected) {
+    const auto fs = findings_for(corpus, e.file);
+    EXPECT_TRUE(has_rule(fs, e.rule))
+        << e.file << " should produce a [" << e.rule << "] finding";
+  }
+}
+
+TEST(LintFixtures, GoodFixturesAreClean) {
+  const lint::Corpus corpus = fixture_corpus();
+  for (const char* file :
+       {"good_seeded_rng.cpp", "good_sorted_keys.cpp",
+        "good_annotated_members.hpp", "good_nodiscard_stats.hpp"}) {
+    const auto fs = findings_for(corpus, file);
+    EXPECT_TRUE(fs.empty()) << file << " should be clean; got ["
+                            << (fs.empty() ? "" : fs.front().rule) << "] "
+                            << (fs.empty() ? "" : fs.front().message);
+  }
+}
+
+TEST(LintFixtures, WallclockFixtureFlagsBothSources) {
+  const lint::Corpus corpus = fixture_corpus();
+  const auto fs = findings_for(corpus, "bad_wallclock.cpp");
+  // system_clock::now and time(nullptr) are two separate findings.
+  EXPECT_GE(fs.size(), 2u);
+}
+
+TEST(LintFixtures, EntropyAllowlistSilencesHarnessFiles) {
+  const lint::Corpus corpus = fixture_corpus();
+  lint::Options opts;
+  opts.entropy_allowlist.push_back("bad_wallclock.cpp");
+  EXPECT_TRUE(findings_for(corpus, "bad_wallclock.cpp", opts).empty());
+  // Other files keep their findings.
+  EXPECT_FALSE(findings_for(corpus, "bad_random_device.cpp", opts).empty());
+}
+
+TEST(LintFixtures, CrossFileFindingIsInTheCpp) {
+  const lint::Corpus corpus = fixture_corpus();
+  // The container is declared in the header; the hazard is in the .cpp.
+  EXPECT_TRUE(has_rule(findings_for(corpus, "bad_cross_file.cpp"), "ordered"));
+  EXPECT_TRUE(findings_for(corpus, "bad_cross_file.hpp").empty());
+}
+
+TEST(LintFixtures, PartialAnnotationFlagsOnlyTheBareMember) {
+  const lint::Corpus corpus = fixture_corpus();
+  const auto fs = findings_for(corpus, "bad_partial_annotations.hpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.front().rule, "guarded");
+  EXPECT_NE(fs.front().message.find("capacity_"), std::string::npos);
+}
+
+// ---- suppression round-trip ------------------------------------------------
+
+TEST(LintSuppressions, ValidSuppressionSilencesAndRemovalRestores) {
+  const std::string bad_text =
+      "#include <string>\n"
+      "#include <unordered_map>\n"
+      "double total(const std::unordered_map<std::string, double>& m_) {\n"
+      "  double t = 0.0;\n"
+      "  for (const auto& [k, v] : m_) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  const std::string suppressed_text =
+      "#include <string>\n"
+      "#include <unordered_map>\n"
+      "double total(const std::unordered_map<std::string, double>& m_) {\n"
+      "  double t = 0.0;\n"
+      "  // lobster-lint: ordered-ok(sum is checked against a sorted fold)\n"
+      "  for (const auto& [k, v] : m_) t += v;\n"
+      "  return t;\n"
+      "}\n";
+
+  lint::Corpus bad;
+  bad.files.push_back(lint::make_source("roundtrip.cpp", bad_text));
+  const auto before = lint::run(bad, {});
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before.front().rule, "ordered");
+  EXPECT_EQ(before.front().line, 5u);
+
+  lint::Corpus good;
+  good.files.push_back(lint::make_source("roundtrip.cpp", suppressed_text));
+  EXPECT_TRUE(lint::run(good, {}).empty());
+}
+
+TEST(LintSuppressions, EmptyReasonIsItsOwnFinding) {
+  const lint::Corpus corpus = fixture_corpus();
+  const auto fs = findings_for(corpus, "bad_empty_suppression.cpp");
+  EXPECT_TRUE(has_rule(fs, "suppression"));
+  // The empty suppression does NOT silence the ordered finding.
+  EXPECT_TRUE(has_rule(fs, "ordered"));
+}
+
+TEST(LintSuppressions, MarkerInStringLiteralIsIgnored) {
+  // The linter's own sources mention the marker inside string literals;
+  // only a marker in a real // comment counts.
+  const std::string text =
+      "#include <string>\n"
+      "const std::string kMsg = \"add // lobster-lint: ordered-ok()\";\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("strings.cpp", text));
+  EXPECT_TRUE(lint::run(corpus, {}).empty());
+}
+
+// ---- engine unit checks ----------------------------------------------------
+
+TEST(LintEngine, TokensInCommentsAndStringsNeverFlag) {
+  const std::string text =
+      "// std::random_device would be bad here\n"
+      "/* system_clock::now() in a block comment */\n"
+      "const char* kDoc = \"rand() time(nullptr) random_device\";\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("comments.cpp", text));
+  EXPECT_TRUE(lint::run(corpus, {}).empty());
+}
+
+TEST(LintEngine, NodiscardOnPrecedingLineIsAccepted) {
+  const std::string text =
+      "#pragma once\n"
+      "struct S {\n"
+      "  [[nodiscard]]\n"
+      "  double mean() const;\n"
+      "};\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("wrapped.hpp", text));
+  EXPECT_TRUE(lint::run(corpus, {}).empty());
+}
+
+TEST(LintEngine, HasTokenRespectsIdentifierBoundaries) {
+  EXPECT_TRUE(lint::has_token("int rand();", "rand"));
+  EXPECT_FALSE(lint::has_token("int randomize();", "rand"));
+  EXPECT_FALSE(lint::has_token("int operand;", "rand"));
+  EXPECT_TRUE(lint::has_token("x = rand", "rand"));
+}

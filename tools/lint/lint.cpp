@@ -1,0 +1,339 @@
+// lint.cpp — corpus loading, comment/string stripping, include resolution,
+// unordered-container symbol tables, suppression parsing.
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lobster::lint {
+
+namespace fs = std::filesystem;
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool has_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_identifier_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_identifier_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+namespace {
+
+/// Blank comments and string/char literals to spaces, preserving line
+/// structure so findings keep their line numbers and tokens never merge.
+/// `comment_out` records where each line's `//` comment starts (npos when
+/// none) — a `//` inside a string literal is not a comment.
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw,
+                                        std::vector<std::size_t>& comment_out) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  comment_out.assign(raw.size(), std::string::npos);
+  bool in_block = false;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        comment_out[li] = i;
+        break;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        s[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;  // skip the escaped char (also blanked)
+          } else if (line[i] == quote) {
+            s[i] = quote;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      s[i] = c;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Include targets are read from the raw lines: stripping blanks string
+/// literal contents, and the target of `#include "..."` is one.
+std::vector<std::string> scan_includes_raw(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  for (const std::string& line : raw) {
+    const std::string t = trimmed(line);
+    if (t.rfind("#include", 0) != 0) continue;
+    const std::size_t open = t.find('"');
+    if (open == std::string::npos) continue;
+    const std::size_t close = t.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back(t.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Variable names declared with an unordered container type in this file
+/// (including through `using X = std::unordered_map<...>` aliases declared
+/// in the same file).
+std::set<std::string> local_unordered_names(const SourceFile& f) {
+  std::set<std::string> aliases;
+  // Pass 1: type aliases.
+  for (const std::string& line : f.code) {
+    const std::string t = trimmed(line);
+    if (t.rfind("using ", 0) != 0) continue;
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string rhs = trimmed(t.substr(eq + 1));
+    if (rhs.rfind("std::unordered_map<", 0) == 0 ||
+        rhs.rfind("std::unordered_set<", 0) == 0 ||
+        rhs.rfind("std::unordered_multimap<", 0) == 0 ||
+        rhs.rfind("std::unordered_multiset<", 0) == 0)
+      aliases.insert(trimmed(t.substr(6, eq - 6)));
+  }
+  // Pass 2: declarations — members, locals and function parameters alike.
+  // Any `std::unordered_*<...>` followed by a declarator identifier names
+  // an unordered container; template arguments spanning lines are missed
+  // (acceptable for a line-based scan).
+  std::set<std::string> names;
+  static const char* kUnorderedTypes[] = {
+      "std::unordered_map<", "std::unordered_set<",
+      "std::unordered_multimap<", "std::unordered_multiset<"};
+  for (const std::string& line : f.code) {
+    for (const char* type : kUnorderedTypes) {
+      const std::string prefix(type);
+      std::size_t pos = 0;
+      while ((pos = line.find(prefix, pos)) != std::string::npos) {
+        // Skip the template argument list to find the declarator.
+        std::size_t i = pos + prefix.size() - 1;  // at '<'
+        int depth = 0;
+        for (; i < line.size(); ++i) {
+          if (line[i] == '<') ++depth;
+          if (line[i] == '>') {
+            if (--depth == 0) {
+              ++i;
+              break;
+            }
+          }
+        }
+        // Declarator: first identifier after the type (skip *, & and
+        // spaces).  `>::iterator` and bare type mentions yield nothing.
+        while (i < line.size() &&
+               (std::isspace(static_cast<unsigned char>(line[i])) ||
+                line[i] == '*' || line[i] == '&'))
+          ++i;
+        std::size_t e = i;
+        while (e < line.size() && is_identifier_char(line[e])) ++e;
+        if (e > i) names.insert(line.substr(i, e - i));
+        pos += prefix.size();
+      }
+    }
+    // Alias use: `Store shared_store_;`
+    std::string t = trimmed(line);
+    if (t.empty() || t.back() != ';') continue;
+    for (bool again = true; again;) {
+      again = false;
+      for (const char* q : {"mutable ", "static ", "inline ", "constexpr ",
+                            "const "}) {
+        if (t.rfind(q, 0) == 0) {
+          t = trimmed(t.substr(std::string(q).size()));
+          again = true;
+        }
+      }
+    }
+    const std::size_t space = t.find(' ');
+    if (space == std::string::npos) continue;
+    if (!aliases.count(t.substr(0, space))) continue;
+    std::size_t b = space;
+    while (b < t.size() &&
+           (std::isspace(static_cast<unsigned char>(t[b])) || t[b] == '*' ||
+            t[b] == '&'))
+      ++b;
+    std::size_t e = b;
+    while (e < t.size() && is_identifier_char(t[e])) ++e;
+    if (e > b) names.insert(t.substr(b, e - b));
+  }
+  return names;
+}
+
+}  // namespace
+
+SourceFile make_source(std::string path, const std::string& text) {
+  SourceFile f;
+  f.path = std::move(path);
+  const std::string ext = fs::path(f.path).extension().string();
+  f.header = ext == ".hpp" || ext == ".h";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+  }
+  f.code = strip_comments(f.raw, f.comment);
+  f.includes = scan_includes_raw(f.raw);
+  return f;
+}
+
+Corpus load_corpus(const std::vector<std::string>& roots) {
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      paths.push_back(p.string());
+      continue;
+    }
+    if (!fs::is_directory(p))
+      throw std::runtime_error("lobster_lint: no such file or directory: " +
+                               root);
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (!entry.is_regular_file()) continue;
+      if (!lintable_extension(entry.path())) continue;
+      const std::string s = entry.path().string();
+      if (s.find("/build/") != std::string::npos) continue;
+      if (s.find("/.git/") != std::string::npos) continue;
+      paths.push_back(s);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  Corpus corpus;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("lobster_lint: cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.files.push_back(make_source(path, buf.str()));
+  }
+  return corpus;
+}
+
+const SourceFile* Corpus::resolve(const std::string& include) const {
+  for (const SourceFile& f : files) {
+    if (f.path == include) return &f;
+    if (f.path.size() > include.size() &&
+        f.path.compare(f.path.size() - include.size(), include.size(),
+                       include) == 0 &&
+        f.path[f.path.size() - include.size() - 1] == '/')
+      return &f;
+  }
+  return nullptr;
+}
+
+std::set<std::string> Corpus::unordered_names(const SourceFile& f) const {
+  std::set<std::string> names;
+  std::set<const SourceFile*> visited;
+  std::vector<const SourceFile*> work{&f};
+  while (!work.empty()) {
+    const SourceFile* cur = work.back();
+    work.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const auto local = local_unordered_names(*cur);
+    names.insert(local.begin(), local.end());
+    for (const std::string& inc : cur->includes)
+      if (const SourceFile* target = resolve(inc)) work.push_back(target);
+  }
+  return names;
+}
+
+Suppression find_suppression(const SourceFile& f, std::size_t line_idx,
+                             const std::string& tag) {
+  const std::string marker = "lobster-lint: " + tag + "-ok(";
+  for (std::size_t back = 0; back < 2; ++back) {
+    if (back > line_idx) break;
+    const std::string& line = f.raw[line_idx - back];
+    const std::size_t comment = f.comment[line_idx - back];
+    if (comment == std::string::npos) continue;
+    const std::size_t pos = line.find(marker, comment);
+    if (pos == std::string::npos) continue;
+    Suppression s;
+    s.present = true;
+    const std::size_t open = pos + marker.size() - 1;
+    const std::size_t close = line.find(')', open + 1);
+    if (close != std::string::npos)
+      s.reason = trimmed(line.substr(open + 1, close - open - 1));
+    s.valid = !s.reason.empty();
+    return s;
+  }
+  return {};
+}
+
+std::vector<Finding> run(const Corpus& corpus, const Options& opts) {
+  std::vector<Finding> findings;
+  const auto rules = make_rules(opts);
+  for (const SourceFile& f : corpus.files) {
+    for (const auto& rule : rules) rule->check(f, corpus, findings);
+    // Audited suppressions: a marker with an empty reason is a finding in
+    // its own right — the audit trail is the point.  Only comment text is
+    // considered (string literals may legitimately mention the marker).
+    for (std::size_t i = 0; i < f.raw.size(); ++i) {
+      const std::size_t comment = f.comment[i];
+      if (comment == std::string::npos) continue;
+      const std::size_t pos = f.raw[i].find("lobster-lint: ", comment);
+      if (pos == std::string::npos) continue;
+      const std::size_t open = f.raw[i].find('(', pos);
+      if (open == std::string::npos) {
+        findings.push_back({f.path, i + 1, "suppression",
+                            "malformed suppression: expected "
+                            "`lobster-lint: <rule>-ok(<reason>)`"});
+        continue;
+      }
+      const std::size_t close = f.raw[i].find(')', open);
+      const std::string reason =
+          close == std::string::npos
+              ? ""
+              : trimmed(f.raw[i].substr(open + 1, close - open - 1));
+      if (reason.empty())
+        findings.push_back({f.path, i + 1, "suppression",
+                            "suppression without a reason: state why the "
+                            "flagged pattern is safe"});
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+}  // namespace lobster::lint

@@ -1,0 +1,126 @@
+// lint.hpp — the lobster_lint rule engine.
+//
+// A from-scratch, lexer-light static-analysis pass (line/token based, no
+// libclang) that enforces the simulation-hygiene rules the Campaign/Engine
+// determinism contract depends on.  The golden-metrics harness pins
+// bitwise-identical serial-vs-parallel output; a single unordered_map
+// iteration feeding an RNG draw or a floating-point fold, or one stray
+// wall-clock read, silently corrupts every golden file.  This tool makes
+// those mistakes loud at lint time instead of mysterious at figure time.
+//
+// Rules (each has a tag used in suppression comments):
+//
+//   entropy    — no wall-clock / entropy sources (std::random_device,
+//                rand()/srand(), time(nullptr), system_clock,
+//                high_resolution_clock, gettimeofday) outside allowlisted
+//                harness files.  Simulated time comes from des::Simulation;
+//                randomness from util::Rng seeded by the RunSpec.
+//   ordered    — no range-for over an unordered_map/unordered_set in code
+//                that draws from an RNG, appends to metrics/output, or
+//                accumulates floating-point sums: iteration order is
+//                implementation-defined, so the result is too.
+//   guarded    — every data member of a mutex-holding class carries a
+//                LOBSTER_GUARDED_BY / LOBSTER_NOT_GUARDED annotation
+//                (util/thread_annotations.hpp).
+//   nodiscard  — metrics/stats accessors ([[nodiscard]] name set below)
+//                declared in headers must be [[nodiscard]]: a discarded
+//                metrics read is always a bug.
+//
+// Suppressions are audited: `// lobster-lint: <tag>-ok(<reason>)` on the
+// flagged line or the line above silences that rule there; an empty reason
+// is itself a finding.
+//
+// Include-graph awareness: `#include "a/b.hpp"` edges between scanned files
+// are resolved by path suffix, so a .cpp iterating a container declared in
+// its header is still caught.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lobster::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;
+  bool header = false;
+  /// Original text, line by line (suppression comments live here).
+  std::vector<std::string> raw;
+  /// Same lines with comments and string/char literals blanked to spaces,
+  /// so token scans never fire inside a string or a comment.
+  std::vector<std::string> code;
+  /// Start column of the `//` comment on each line (npos when none); a
+  /// `//` inside a string literal is not a comment.
+  std::vector<std::size_t> comment;
+  /// Targets of `#include "..."` directives, as written.
+  std::vector<std::string> includes;
+};
+
+/// Build a SourceFile from in-memory text (fixture tests use this).
+SourceFile make_source(std::string path, const std::string& text);
+
+struct Corpus {
+  std::vector<SourceFile> files;
+
+  /// Resolve an include target ("util/rng.hpp") to a corpus file by path
+  /// suffix; nullptr when the target is outside the scanned set.
+  const SourceFile* resolve(const std::string& include) const;
+
+  /// Names of variables declared with an unordered container type in `f`
+  /// or any transitively included corpus file.
+  std::set<std::string> unordered_names(const SourceFile& f) const;
+};
+
+/// Recursively collect .hpp/.cpp/.h/.cc files under `roots` (files may also
+/// be named directly).  Deterministic order; throws on an unreadable root.
+Corpus load_corpus(const std::vector<std::string>& roots);
+
+struct Suppression {
+  bool present = false;  ///< a `lobster-lint: <tag>-ok(...)` marker exists
+  bool valid = false;    ///< ...and carries a non-empty reason
+  std::string reason;
+};
+
+/// Look for a suppression of `tag` on raw line `line_idx` (0-based) or the
+/// line above.
+Suppression find_suppression(const SourceFile& f, std::size_t line_idx,
+                             const std::string& tag);
+
+struct Options {
+  /// Path suffixes allowed to read wall clocks / entropy (timing harnesses).
+  std::vector<std::string> entropy_allowlist;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  /// Suppression tag (`<tag>-ok`).
+  virtual const char* tag() const = 0;
+  virtual void check(const SourceFile& f, const Corpus& corpus,
+                     std::vector<Finding>& out) const = 0;
+};
+
+std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts);
+
+/// Run every rule over every file; also flags suppression markers with an
+/// empty reason.  Findings are ordered by file, then line.
+std::vector<Finding> run(const Corpus& corpus, const Options& opts);
+
+// ---- shared token helpers (exposed for the rule implementations/tests) ----
+
+bool is_identifier_char(char c);
+/// True when `token` occurs in `line` delimited by non-identifier chars.
+bool has_token(const std::string& line, const std::string& token);
+
+}  // namespace lobster::lint

@@ -1,0 +1,72 @@
+// lobster_lint — determinism & concurrency hygiene linter for the lobster
+// tree.  See lint.hpp for the rule catalogue.
+//
+// Usage: lobster_lint [--allow-entropy SUFFIX]... <path>...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lobster_lint [--allow-entropy SUFFIX]... <path>...\n"
+               "\n"
+               "Scans .hpp/.cpp/.h/.cc files under each path for determinism\n"
+               "and concurrency hygiene violations (entropy sources, unordered\n"
+               "iteration feeding order-sensitive work, unannotated members of\n"
+               "mutex-holding classes, non-[[nodiscard]] metrics accessors).\n"
+               "\n"
+               "  --allow-entropy SUFFIX   path suffix permitted to read wall\n"
+               "                           clocks / entropy (repeatable)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  lobster::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow-entropy") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      opts.entropy_allowlist.push_back(argv[++i]);
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lobster_lint: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const lobster::lint::Corpus corpus = lobster::lint::load_corpus(roots);
+    const std::vector<lobster::lint::Finding> findings =
+        lobster::lint::run(corpus, opts);
+    for (const auto& f : findings)
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    std::fprintf(stderr, "lobster_lint: %zu file(s), %zu finding(s)\n",
+                 corpus.files.size(), findings.size());
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lobster_lint: %s\n", e.what());
+    return 2;
+  }
+}

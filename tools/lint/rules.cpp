@@ -1,0 +1,602 @@
+// rules.cpp — the four lobster_lint hygiene rules.
+//
+// Everything here is deliberately lexer-light: token scans over
+// comment/string-stripped lines, brace counting for class bodies, and the
+// corpus include graph for cross-file container types.  The fixture corpus
+// under tests/lint/ pins what each rule must and must not flag.
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "lint/lint.hpp"
+
+namespace lobster::lint {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// First occurrence of `token` (identifier-delimited) in `line`, or npos.
+std::size_t token_pos(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_identifier_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_identifier_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+/// Next non-space character at or after `pos`; '\0' when none.
+char next_nonspace(const std::string& line, std::size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])))
+    ++pos;
+  return pos < line.size() ? line[pos] : '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Rule: entropy — no wall-clock or entropy sources.
+// ---------------------------------------------------------------------------
+
+class EntropyRule final : public Rule {
+ public:
+  explicit EntropyRule(std::vector<std::string> allowlist)
+      : allowlist_(std::move(allowlist)) {}
+
+  const char* name() const override { return "entropy"; }
+  const char* tag() const override { return "entropy"; }
+
+  void check(const SourceFile& f, const Corpus&,
+             std::vector<Finding>& out) const override {
+    for (const std::string& suffix : allowlist_) {
+      if (f.path.size() >= suffix.size() &&
+          f.path.compare(f.path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+        return;
+    }
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      std::string hit;
+      // Straight token hits: any appearance is a nondeterminism source.
+      for (const char* token :
+           {"random_device", "system_clock", "high_resolution_clock",
+            "gettimeofday", "srand"}) {
+        if (has_token(line, token)) {
+          hit = token;
+          break;
+        }
+      }
+      // rand( — the call, not identifiers that merely contain "rand".
+      if (hit.empty()) {
+        const std::size_t pos = token_pos(line, "rand");
+        if (pos != std::string::npos &&
+            next_nonspace(line, pos + 4) == '(')
+          hit = "rand()";
+      }
+      // time(nullptr) / time(NULL) / time(0).
+      if (hit.empty()) {
+        const std::size_t pos = token_pos(line, "time");
+        if (pos != std::string::npos) {
+          std::size_t j = pos + 4;
+          while (j < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[j])))
+            ++j;
+          if (j < line.size() && line[j] == '(') {
+            const std::size_t close = line.find(')', j);
+            if (close != std::string::npos) {
+              const std::string arg = trimmed(line.substr(j + 1, close - j - 1));
+              if (arg == "nullptr" || arg == "NULL" || arg == "0")
+                hit = "time(" + arg + ")";
+            }
+          }
+        }
+      }
+      if (hit.empty()) continue;
+      const Suppression s = find_suppression(f, i, tag());
+      if (s.present && s.valid) continue;
+      out.push_back(
+          {f.path, i + 1, name(),
+           "wall-clock/entropy source `" + hit +
+               "`: simulated time comes from des::Simulation and randomness "
+               "from a seeded util::Rng; allowlist the harness file or add "
+               "`// lobster-lint: entropy-ok(<reason>)`"});
+    }
+  }
+
+ private:
+  std::vector<std::string> allowlist_;
+};
+
+// ---------------------------------------------------------------------------
+// Rule: ordered — no order-sensitive work inside unordered iteration.
+// ---------------------------------------------------------------------------
+
+class OrderedIterationRule final : public Rule {
+ public:
+  const char* name() const override { return "ordered"; }
+  const char* tag() const override { return "ordered"; }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    const std::set<std::string> unordered = corpus.unordered_names(f);
+    if (unordered.empty()) return;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string range = range_for_target(f.code[i]);
+      if (range.empty()) continue;
+      const std::string var = trailing_identifier(range);
+      if (var.empty() || !unordered.count(var)) continue;
+      const std::string hazard = body_hazard(f, i);
+      if (hazard.empty()) continue;
+      const Suppression s = find_suppression(f, i, tag());
+      if (s.present && s.valid) continue;
+      out.push_back(
+          {f.path, i + 1, name(),
+           "iteration over unordered container `" + var + "` feeds " + hazard +
+               " — the result depends on hash order; use an ordered "
+               "container, sort the keys first, or add `// lobster-lint: "
+               "ordered-ok(<reason>)`"});
+    }
+  }
+
+ private:
+  /// The range expression of a single-line range-for, or "".
+  static std::string range_for_target(const std::string& line) {
+    const std::size_t pos = token_pos(line, "for");
+    if (pos == std::string::npos) return "";
+    std::size_t open = pos + 3;
+    while (open < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[open])))
+      ++open;
+    if (open >= line.size() || line[open] != '(') return "";
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t j = open; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        const bool scope_left = j > 0 && line[j - 1] == ':';
+        const bool scope_right = j + 1 < line.size() && line[j + 1] == ':';
+        if (!scope_left && !scope_right) colon = j;
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) return "";
+    return trimmed(line.substr(colon + 1, close - colon - 1));
+  }
+
+  /// "cache_" from "cache_", "self->objects_" or "group.seen_"; "" for
+  /// calls and anything else a token scan cannot resolve.
+  static std::string trailing_identifier(const std::string& expr) {
+    std::string e = trimmed(expr);
+    if (e.empty() || e.back() == ')') return "";  // function call
+    std::size_t b = e.size();
+    while (b > 0 && is_identifier_char(e[b - 1])) --b;
+    const std::string id = e.substr(b);
+    if (id.empty()) return "";
+    // Whatever qualifies it (obj., ptr->, ns::) does not change the
+    // container's identity for our purposes.
+    return id;
+  }
+
+  /// Scan the loop body (braced block or single statement) for
+  /// order-sensitive operations; returns a description or "".
+  static std::string body_hazard(const SourceFile& f, std::size_t for_line) {
+    std::string body;
+    int depth = 0;
+    bool saw_brace = false;
+    bool past_header = false;
+    int header_depth = 0;
+    const std::size_t limit = std::min(f.code.size(), for_line + 200);
+    for (std::size_t i = for_line; i < limit; ++i) {
+      for (const char c : f.code[i]) {
+        if (!past_header) {
+          if (c == '(') ++header_depth;
+          if (c == ')' && --header_depth == 0) past_header = true;
+          continue;
+        }
+        if (c == '{') {
+          ++depth;
+          saw_brace = true;
+        }
+        if (c == '}') {
+          if (--depth == 0) return scan_hazards(body);
+        }
+        body.push_back(c);
+        if (!saw_brace && c == ';') return scan_hazards(body);
+      }
+      body.push_back('\n');
+    }
+    return scan_hazards(body);
+  }
+
+  static std::string scan_hazards(const std::string& body) {
+    if (body.find("+=") != std::string::npos)
+      return "an accumulation (`+=`)";
+    for (const char* t : {"push_back", "emplace_back", "append"})
+      if (has_token(body, t)) return std::string("output appends (`") + t + "`)";
+    if (body.find(".add(") != std::string::npos ||
+        body.find("->add(") != std::string::npos)
+      return "metrics accumulation (`.add(...)`)";
+    if (body.find("<<") != std::string::npos) return "stream output (`<<`)";
+    // Identifiers that smell like RNG use: `rng`, `rng_`, `engine_rng`, ...
+    std::string ident;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+      const char c = i < body.size() ? body[i] : ' ';
+      if (is_identifier_char(c)) {
+        ident.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        continue;
+      }
+      if (ident.find("rng") != std::string::npos || ident == "random")
+        return "an RNG draw (`" + ident + "`)";
+      ident.clear();
+    }
+    return "";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: guarded — mutex-holding classes annotate every member.
+// ---------------------------------------------------------------------------
+
+class GuardedByRule final : public Rule {
+ public:
+  const char* name() const override { return "guarded"; }
+  const char* tag() const override { return "guarded"; }
+
+  void check(const SourceFile& f, const Corpus&,
+             std::vector<Finding>& out) const override {
+    struct Scope {
+      bool is_class = false;
+      bool has_mutex = false;
+      struct Member {
+        std::size_t line;
+        std::string name;
+        bool annotated;
+      };
+      std::vector<Member> members;
+    };
+    std::vector<Scope> stack;
+    std::string stmt;       // statement accumulator for the innermost scope
+    bool discard_stmt = false;  // a nested block interrupted the statement
+
+    auto flush = [&](std::size_t line_idx) {
+      if (stack.empty() || !stack.back().is_class) {
+        stmt.clear();
+        return;
+      }
+      const std::string text = trimmed(stmt);
+      stmt.clear();
+      if (text.empty()) return;
+      analyze_member(text, line_idx, stack.back());
+    };
+
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      for (const char c : f.code[i]) {
+        if (c == '{') {
+          const bool is_class = opens_class_body(stmt);
+          if (is_class) {
+            stack.push_back(Scope{});
+            stack.back().is_class = true;
+            stmt.clear();
+            discard_stmt = false;
+          } else {
+            stack.push_back(Scope{});
+            // A '{' inside a member statement is either a brace initializer
+            // or a function body; either way the nested text is not member
+            // text.  Keep the prefix (the declaration) for when we pop.
+            discard_stmt = false;
+          }
+          continue;
+        }
+        if (c == '}') {
+          if (!stack.empty()) {
+            if (stack.back().is_class) finish_class(f, stack.back(), out);
+            stack.pop_back();
+          }
+          // After a nested block closes, only `;` may extend the statement
+          // (brace initializers); anything else starts fresh.
+          discard_stmt = true;
+          continue;
+        }
+        if (stack.size() >= 1 && stack.back().is_class) {
+          if (c == ';') {
+            flush(i);
+            discard_stmt = false;
+            continue;
+          }
+          // `public:` / `private:` / `protected:` end a "statement" without
+          // a ';' — without this, the access label glues onto the next
+          // member declaration and hides it behind the skip-prefix check.
+          if (c == ':') {
+            const std::string t = trimmed(stmt);
+            if (t == "public" || t == "private" || t == "protected") {
+              stmt.clear();
+              continue;
+            }
+          }
+          if (discard_stmt &&
+              !std::isspace(static_cast<unsigned char>(c))) {
+            // Statement resumed after a nested block without a ';' —
+            // whatever was buffered belonged to a function definition.
+            stmt.clear();
+            discard_stmt = false;
+          }
+          if (!discard_stmt) stmt.push_back(c);
+        } else {
+          // Outside class bodies we only track statement text far enough
+          // to recognise `class X {` headers.
+          if (c == ';') {
+            stmt.clear();
+            discard_stmt = false;
+          } else if (discard_stmt &&
+                     !std::isspace(static_cast<unsigned char>(c))) {
+            stmt.clear();
+            discard_stmt = false;
+            stmt.push_back(c);
+          } else if (!discard_stmt) {
+            stmt.push_back(c);
+          }
+        }
+      }
+      stmt.push_back(' ');
+    }
+  }
+
+ private:
+  /// Does the buffered statement text introduce a class/struct body?
+  static bool opens_class_body(const std::string& stmt) {
+    const std::string t = trimmed(stmt);
+    if (t.empty()) return false;
+    if (has_token(t, "enum")) return false;  // enum class bodies: enumerators
+    if (!has_token(t, "class") && !has_token(t, "struct")) return false;
+    // `struct Entry* p = ...` or a function returning a struct would carry
+    // '=' or '(' before the brace.
+    if (t.find('=') != std::string::npos) return false;
+    if (t.find('(') != std::string::npos) return false;
+    return true;
+  }
+
+  struct ScopeRef;  // (documentation aid only)
+
+  static void analyze_member(const std::string& text, std::size_t line_idx,
+                             auto& scope) {
+    static const char* kSkipPrefixes[] = {
+        "public", "private", "protected", "using", "friend",  "typedef",
+        "template", "static", "constexpr", "enum", "class",   "struct",
+        "explicit", "virtual", "operator", "~",    "return",  "#",
+    };
+    for (const char* p : kSkipPrefixes) {
+      const std::string prefix(p);
+      if (text.rfind(prefix, 0) == 0 &&
+          (text.size() == prefix.size() ||
+           !is_identifier_char(text[prefix.size()]) ||
+           !is_identifier_char(prefix.back())))
+        return;
+    }
+    // Strip annotation macros (they contain parens, which would otherwise
+    // look like a function declaration below).
+    std::string t = text;
+    bool annotated = false;
+    for (const char* macro :
+         {"LOBSTER_GUARDED_BY", "LOBSTER_PT_GUARDED_BY",
+          "LOBSTER_NOT_GUARDED"}) {
+      const std::size_t pos = t.find(macro);
+      if (pos == std::string::npos) continue;
+      const std::size_t open = t.find('(', pos);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < t.size(); ++close) {
+        if (t[close] == '(') ++depth;
+        if (t[close] == ')' && --depth == 0) break;
+      }
+      if (close >= t.size()) continue;
+      annotated = true;
+      t = t.substr(0, pos) + t.substr(close + 1);
+    }
+    t = trimmed(t);
+    if (t.empty()) return;
+    // Function declarations, constructors, `= delete` lines.
+    if (t.find('(') != std::string::npos) return;
+    // Leading qualifiers.
+    for (bool again = true; again;) {
+      again = false;
+      for (const char* q : {"mutable ", "inline ", "const ", "volatile "}) {
+        if (t.rfind(q, 0) == 0) {
+          t = trimmed(t.substr(std::string(q).size()));
+          again = true;
+        }
+      }
+    }
+    // The declared type, template arguments included, decides the category.
+    if (starts_with_any(t, {"std::mutex", "std::shared_mutex",
+                            "std::recursive_mutex", "std::timed_mutex"})) {
+      scope.has_mutex = true;
+      return;
+    }
+    if (starts_with_any(t, {"std::condition_variable", "std::atomic",
+                            "std::counting_semaphore", "std::binary_semaphore",
+                            "std::once_flag", "std::stop_token"}))
+      return;
+    // Default-member-initializers: cut at '=' before naming the declarator.
+    const std::size_t eq = t.find('=');
+    if (eq != std::string::npos) t = trimmed(t.substr(0, eq));
+    if (t.empty()) return;
+    std::size_t b = t.size();
+    while (b > 0 && is_identifier_char(t[b - 1])) --b;
+    const std::string member = t.substr(b);
+    if (member.empty() || b == 0) return;  // no type before the name
+    typename std::remove_reference_t<decltype(scope)>::Member m{
+        line_idx, member, annotated};
+    scope.members.push_back(m);
+  }
+
+  static bool starts_with_any(const std::string& t,
+                              std::initializer_list<const char*> prefixes) {
+    for (const char* p : prefixes) {
+      const std::string prefix(p);
+      if (t.rfind(prefix, 0) == 0 &&
+          (t.size() == prefix.size() ||
+           !is_identifier_char(t[prefix.size()])))
+        return true;
+    }
+    return false;
+  }
+
+  template <typename ScopeT>
+  void finish_class(const SourceFile& f, const ScopeT& scope,
+                    std::vector<Finding>& out) const {
+    if (!scope.has_mutex) return;
+    for (const auto& m : scope.members) {
+      if (m.annotated) continue;
+      const Suppression s = find_suppression(f, m.line, tag());
+      if (s.present && s.valid) continue;
+      out.push_back(
+          {f.path, m.line + 1, name(),
+           "member `" + m.name +
+               "` of a mutex-holding class lacks a lock annotation: add "
+               "LOBSTER_GUARDED_BY(<mutex>) or LOBSTER_NOT_GUARDED(<why>) "
+               "(util/thread_annotations.hpp)"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard — metrics/stats accessors must be [[nodiscard]].
+// ---------------------------------------------------------------------------
+
+class NodiscardRule final : public Rule {
+ public:
+  const char* name() const override { return "nodiscard"; }
+  const char* tag() const override { return "nodiscard"; }
+
+  void check(const SourceFile& f, const Corpus&,
+             std::vector<Finding>& out) const override {
+    if (!f.header) return;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      const std::string fn = accessor_declaration(line);
+      if (fn.empty()) continue;
+      if (f.raw[i].find("[[nodiscard]]") != std::string::npos) continue;
+      if (i > 0 && f.raw[i - 1].find("[[nodiscard]]") != std::string::npos)
+        continue;
+      const Suppression s = find_suppression(f, i, tag());
+      if (s.present && s.valid) continue;
+      out.push_back({f.path, i + 1, name(),
+                     "metrics accessor `" + fn +
+                         "()` must be [[nodiscard]]: a discarded metrics "
+                         "read is always a bug"});
+    }
+  }
+
+ private:
+  /// Returns the function name when `line` declares a no-argument const
+  /// member function whose name is in the metrics-accessor set and whose
+  /// return type is not void; "" otherwise.
+  static std::string accessor_declaration(const std::string& line) {
+    // Find `name ( ) const` with the name in the accessor set.
+    for (std::size_t i = 0; i < line.size();) {
+      if (!is_identifier_char(line[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i;
+      while (e < line.size() && is_identifier_char(line[e])) ++e;
+      const std::string word = line.substr(i, e - i);
+      std::size_t j = e;
+      const bool named = metrics_name(word);
+      if (named) {
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])))
+          ++j;
+        if (j < line.size() && line[j] == '(') {
+          std::size_t k = j + 1;
+          while (k < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[k])))
+            ++k;
+          if (k < line.size() && line[k] == ')') {
+            std::size_t m = k + 1;
+            while (m < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[m])))
+              ++m;
+            if (line.compare(m, 5, "const") == 0 &&
+                (m + 5 >= line.size() || !is_identifier_char(line[m + 5]))) {
+              // Must be a declaration: a return type precedes the name and
+              // it is not `void`; a call site (`x.hits()`) has '.'/'->'
+              // or nothing but punctuation before the name.
+              if (has_return_type(line, i)) return word;
+            }
+          }
+        }
+      }
+      i = e;
+    }
+    return "";
+  }
+
+  static bool has_return_type(const std::string& line, std::size_t name_pos) {
+    // Walk back over whitespace; the previous character must end a type
+    // token (identifier, '>', '&', '*', or ':').
+    std::size_t p = name_pos;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(line[p - 1]))) --p;
+    if (p == 0) return false;  // name first on the line: type unknown, skip
+    const char prev = line[p - 1];
+    if (!(is_identifier_char(prev) || prev == '>' || prev == '&' ||
+          prev == '*'))
+      return false;  // `.hits()`, `->hits()`, `(hits()` — a call site
+    // Reject `void name() const`.
+    std::size_t tb = p;
+    while (tb > 0 && (is_identifier_char(line[tb - 1]) || line[tb - 1] == ':'))
+      --tb;
+    return line.compare(tb, p - tb, "void") != 0;
+  }
+
+  static bool metrics_name(const std::string& w) {
+    static const std::set<std::string> kExact = {
+        "hits",        "misses",       "refreshes",  "requests",
+        "timeouts",    "errors",       "entries",    "count",
+        "total",       "sum",          "mean",       "variance",
+        "stddev",      "min",          "max",        "summary",
+        "breakdown",   "diagnose",     "stats",      "metrics",
+        "makespan",    "turnaround",   "seen",       "queue_depth",
+        "submitted",   "dispatched",   "completed",  "failed",
+        "evicted",     "tasks_run",    "hit_rate",   "efficiency",
+        "events_executed", "pending_events", "live_processes",
+    };
+    static const char* kPrefixes[] = {"bytes_",    "total_", "num_",
+                                      "resident_", "stored_", "peak_",
+                                      "lost_",     "tasklets_"};
+    if (kExact.count(w)) return true;
+    for (const char* p : kPrefixes)
+      if (w.rfind(p, 0) == 0) return true;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts) {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<EntropyRule>(opts.entropy_allowlist));
+  rules.push_back(std::make_unique<OrderedIterationRule>());
+  rules.push_back(std::make_unique<GuardedByRule>());
+  rules.push_back(std::make_unique<NodiscardRule>());
+  return rules;
+}
+
+}  // namespace lobster::lint
