@@ -96,13 +96,21 @@ void ChirpServer::check_scope(const std::string& scope,
     throw ChirpError("chirp: path " + path + " outside ticket scope " + scope);
 }
 
+void ChirpServer::bind_counters(util::CounterRegistry& registry) {
+  ctr_requests_ = &registry.counter("chirp.server.requests");
+  ctr_bytes_in_ = &registry.gauge("chirp.server.bytes_in");
+  ctr_bytes_out_ = &registry.gauge("chirp.server.bytes_out");
+}
+
 void ChirpServer::Session::put(const std::string& path, std::string content) {
   if (!has_right(rights_, Rights::Write))
     throw ChirpError("chirp: ticket lacks write right");
   server_->check_scope(scope_, path);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   server_->bytes_in_ += static_cast<double>(content.size());
+  util::bump(server_->ctr_bytes_in_, static_cast<double>(content.size()));
   server_->backend_->put(path, std::move(content));
 }
 
@@ -113,7 +121,9 @@ void ChirpServer::Session::append(const std::string& path,
   server_->check_scope(scope_, path);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   server_->bytes_in_ += static_cast<double>(content.size());
+  util::bump(server_->ctr_bytes_in_, static_cast<double>(content.size()));
   std::string merged =
       server_->backend_->exists(path) ? server_->backend_->get(path) : "";
   merged += content;
@@ -126,8 +136,10 @@ std::string ChirpServer::Session::get(const std::string& path) const {
   server_->check_scope(scope_, path);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   std::string content = server_->backend_->get(path);
   server_->bytes_out_ += static_cast<double>(content.size());
+  util::bump(server_->ctr_bytes_out_, static_cast<double>(content.size()));
   return content;
 }
 
@@ -137,6 +149,7 @@ FileInfo ChirpServer::Session::stat(const std::string& path) const {
   server_->check_scope(scope_, path);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   if (!server_->backend_->exists(path))
     throw ChirpError("chirp: no such file " + path);
   return FileInfo{path, server_->backend_->get(path).size()};
@@ -149,6 +162,7 @@ std::vector<FileInfo> ChirpServer::Session::list(
   server_->check_scope(scope_, prefix);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   return server_->backend_->list(prefix);
 }
 
@@ -158,6 +172,7 @@ void ChirpServer::Session::remove(const std::string& path) {
   server_->check_scope(scope_, path);
   std::lock_guard lock(server_->mutex_);
   ++server_->requests_;
+  util::bump(server_->ctr_requests_);
   server_->backend_->remove(path);
 }
 
@@ -185,14 +200,20 @@ ChirpSim::ChirpSim(des::Simulation& sim, const Params& params)
     : sim_(sim),
       params_(params),
       connections_(sim, params.max_connections),
-      nic_(sim, params.nic_rate) {}
+      nic_(sim, params.nic_rate),
+      ctr_puts_(&sim.counters().counter("chirp.puts")),
+      ctr_gets_(&sim.counters().counter("chirp.gets")),
+      ctr_bytes_in_(&sim.counters().gauge("chirp.bytes_in")),
+      ctr_bytes_out_(&sim.counters().gauge("chirp.bytes_out")) {}
 
-des::Task<double> ChirpSim::transfer(double bytes, double& accounting) {
+des::Task<double> ChirpSim::transfer(double bytes, double& accounting,
+                                     util::Gauge* volume) {
   const double t0 = sim_.now();
   auto slot = co_await connections_.acquire();
   co_await sim_.delay(params_.request_latency);
   co_await nic_.transfer(bytes);
   accounting += bytes;
+  volume->add(bytes);
   const double wall = sim_.now() - t0;
   const double unloaded = params_.request_latency + bytes / params_.nic_rate;
   slowdown_sum_ += wall / unloaded;
@@ -201,11 +222,13 @@ des::Task<double> ChirpSim::transfer(double bytes, double& accounting) {
 }
 
 des::Task<double> ChirpSim::put(double bytes) {
-  return transfer(bytes, bytes_in_);
+  ctr_puts_->add();
+  return transfer(bytes, bytes_in_, ctr_bytes_in_);
 }
 
 des::Task<double> ChirpSim::get(double bytes) {
-  return transfer(bytes, bytes_out_);
+  ctr_gets_->add();
+  return transfer(bytes, bytes_out_, ctr_bytes_out_);
 }
 
 double ChirpSim::mean_slowdown() const {

@@ -29,6 +29,7 @@
 #include "des/simulation.hpp"
 #include "des/task.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/trace.hpp"
 
 namespace lobster::chirp {
 
@@ -139,6 +140,10 @@ class ChirpServer {
   [[nodiscard]] double bytes_out() const;
   [[nodiscard]] std::size_t num_files() const;
 
+  /// Attach the unified counter plane (chirp.server.*).  Optional; the
+  /// server runs fine without one.
+  void bind_counters(util::CounterRegistry& registry);
+
  private:
   friend class Session;
   void check_scope(const std::string& scope, const std::string& path) const;
@@ -156,6 +161,9 @@ class ChirpServer {
   std::uint64_t requests_ LOBSTER_GUARDED_BY(mutex_) = 0;
   double bytes_in_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
   double bytes_out_ LOBSTER_GUARDED_BY(mutex_) = 0.0;
+  util::Counter* ctr_requests_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Gauge* ctr_bytes_in_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Gauge* ctr_bytes_out_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
 };
 
 /// DES model of the Chirp server in front of Hadoop.
@@ -184,7 +192,8 @@ class ChirpSim {
   double mean_slowdown() const;
 
  private:
-  des::Task<double> transfer(double bytes, double& accounting);
+  des::Task<double> transfer(double bytes, double& accounting,
+                             util::Gauge* volume);
 
   des::Simulation& sim_;
   Params params_;
@@ -194,6 +203,11 @@ class ChirpSim {
   double bytes_out_ = 0.0;
   double slowdown_sum_ = 0.0;
   std::uint64_t completed_ = 0;
+  // Unified counter plane (chirp.*).
+  util::Counter* ctr_puts_;
+  util::Counter* ctr_gets_;
+  util::Gauge* ctr_bytes_in_;
+  util::Gauge* ctr_bytes_out_;
 };
 
 }  // namespace lobster::chirp

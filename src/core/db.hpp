@@ -147,7 +147,7 @@ class Db {
   /// number of recovered tasks.
   std::size_t recover_in_flight();
   /// Export the task table as CSV (for external analysis).
-  std::string tasks_csv() const;
+  [[nodiscard]] std::string tasks_csv() const;
 
  private:
   struct TaskletRow {

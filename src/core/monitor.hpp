@@ -71,19 +71,28 @@ class Monitor {
   // ---- queries ---------------------------------------------------------------
 
   [[nodiscard]] RuntimeBreakdown breakdown() const { return breakdown_; }
-  std::uint64_t tasks_seen() const { return seen_; }
-  std::uint64_t tasks_failed() const { return failures_; }
-  std::uint64_t tasks_evicted() const { return evictions_; }
+  [[nodiscard]] std::uint64_t tasks_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t tasks_failed() const { return failures_; }
+  [[nodiscard]] std::uint64_t tasks_evicted() const { return evictions_; }
 
-  const util::TimeSeries& completed_timeline() const { return completed_; }
-  const util::TimeSeries& failed_timeline() const { return failed_; }
-  const util::TimeSeries& running_timeline() const { return running_; }
+  [[nodiscard]] const util::TimeSeries& completed_timeline() const {
+    return completed_;
+  }
+  [[nodiscard]] const util::TimeSeries& failed_timeline() const {
+    return failed_;
+  }
+  [[nodiscard]] const util::TimeSeries& running_timeline() const {
+    return running_;
+  }
   /// CPU-time/wall-clock ratio per bin (the bottom panel of Figure 10).
-  std::vector<double> efficiency_timeline() const;
+  /// Bins with no finished wall time report 0, not NaN.
+  [[nodiscard]] std::vector<double> efficiency_timeline() const;
   /// Mean env-setup time per completion bin (second panel of Figure 11).
-  std::vector<double> setup_time_timeline() const;
+  /// Empty bins report 0, not NaN.
+  [[nodiscard]] std::vector<double> setup_time_timeline() const;
   /// Mean stage-out time per completion bin (third panel of Figure 11).
-  std::vector<double> stageout_time_timeline() const;
+  /// Empty bins report 0, not NaN.
+  [[nodiscard]] std::vector<double> stageout_time_timeline() const;
 
   /// Run the §5 rules against the aggregated statistics.
   std::vector<Diagnosis> diagnose(const AdvisorThresholds& thresholds = {}) const;

@@ -35,6 +35,7 @@
 
 #include "cvmfs/repository.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/trace.hpp"
 
 namespace lobster::cvmfs {
 
@@ -102,6 +103,9 @@ class CacheGroup {
   /// different threads concurrently.
   Instance make_instance();
 
+  /// Attach the unified counter plane (cvmfs.cache.*).  Optional.
+  void bind_counters(util::CounterRegistry& registry);
+
  private:
   struct Entry {
     Digest digest;
@@ -116,6 +120,10 @@ class CacheGroup {
   CacheMode mode_ LOBSTER_NOT_GUARDED(immutable after construction);
   Fetcher fetcher_ LOBSTER_NOT_GUARDED(immutable after construction);
   CacheStats stats_ LOBSTER_NOT_GUARDED(internally atomic);
+  util::Counter* ctr_hits_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Counter* ctr_fetches_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Gauge* ctr_bytes_fetched_ LOBSTER_NOT_GUARDED(target is atomic) =
+      nullptr;
 
   // Exclusive + Alien: one shared store.  Exclusive guards it (and the
   // whole fetch) with a single shared_mutex; Alien uses the map mutex only

@@ -97,7 +97,14 @@ SquidSim::SquidSim(des::Simulation& sim, const Params& params)
       params_(params),
       connections_(sim, params.max_connections),
       service_link_(sim, params.service_rate),
-      upstream_link_(sim, params.upstream_rate) {}
+      upstream_link_(sim, params.upstream_rate),
+      ctr_requests_(&sim.counters().counter("cvmfs.squid.requests")),
+      ctr_hits_(&sim.counters().counter("cvmfs.squid.hits")),
+      ctr_misses_(&sim.counters().counter("cvmfs.squid.misses")),
+      ctr_timeouts_(&sim.counters().counter("cvmfs.squid.timeouts")),
+      ctr_bytes_served_(&sim.counters().gauge("cvmfs.squid.bytes_served")),
+      ctr_bytes_upstream_(&sim.counters().gauge("cvmfs.squid.bytes_upstream")) {
+}
 
 bool SquidSim::note_request(const std::string& path) {
   auto [it, inserted] = seen_.emplace(path, true);
@@ -106,6 +113,11 @@ bool SquidSim::note_request(const std::string& path) {
 
 des::Task<double> SquidSim::fetch(double bytes, bool proxy_hit) {
   ++requests_;
+  ctr_requests_->add();
+  if (proxy_hit)
+    ctr_hits_->add();
+  else
+    ctr_misses_->add();
   const double t0 = sim_.now();
   auto slot = co_await connections_.acquire();
   const double waited = sim_.now() - t0;
@@ -115,12 +127,17 @@ des::Task<double> SquidSim::fetch(double bytes, bool proxy_hit) {
   // reproducing the "squid timeout" failure mode of the 20k-core run.
   if (params_.connect_timeout > 0.0 && waited > params_.connect_timeout) {
     ++timeouts_;
+    ctr_timeouts_->add();
     slot.release();
     throw TimeoutError();
   }
   co_await sim_.delay(params_.request_latency);
-  if (!proxy_hit) co_await upstream_link_.transfer(bytes);
+  if (!proxy_hit) {
+    co_await upstream_link_.transfer(bytes);
+    ctr_bytes_upstream_->add(bytes);
+  }
   co_await service_link_.transfer(bytes);
+  ctr_bytes_served_->add(bytes);
   co_return sim_.now() - t0;
 }
 

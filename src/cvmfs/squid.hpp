@@ -123,6 +123,14 @@ class SquidSim {
   std::unordered_map<std::string, bool> seen_;
   std::uint64_t timeouts_ = 0;
   std::uint64_t requests_ = 0;
+  // Unified counter plane (cvmfs.squid.*); all squids of a simulation share
+  // the same named counters.
+  util::Counter* ctr_requests_;
+  util::Counter* ctr_hits_;
+  util::Counter* ctr_misses_;
+  util::Counter* ctr_timeouts_;
+  util::Gauge* ctr_bytes_served_;
+  util::Gauge* ctr_bytes_upstream_;
 };
 
 }  // namespace lobster::cvmfs

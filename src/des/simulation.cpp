@@ -76,6 +76,7 @@ bool Simulation::step() {
   assert(e.time >= now_ && "event queue went backwards");
   now_ = e.time;
   ++executed_;
+  events_counter_->add();
   e.fn();
   maybe_rethrow();
   return true;

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/trace.hpp"
+
 namespace lobster::des {
 
 class Simulation;
@@ -115,7 +117,7 @@ class Event {
 /// registry.  Time is a double in seconds starting at 0.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation() { tracer_.bind_clock(&now_); }
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -155,6 +157,13 @@ class Simulation {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::size_t live_processes() const { return live_.size(); }
 
+  /// Per-simulation span/event emitter, clock-bound to now().  Inert until
+  /// a sink is installed (Tracer::set_sink).
+  util::Tracer& tracer() { return tracer_; }
+  /// The unified counter plane: DES models and the engine register named
+  /// counters here; wq/chirp/hdfs substrate objects can bind to it too.
+  util::CounterRegistry& counters() { return counters_; }
+
  private:
   friend struct Process::promise_type;
   void unregister(void* frame) { live_.erase(frame); }
@@ -182,6 +191,10 @@ class Simulation {
   /// run in a deterministic (reverse-spawn) order.
   std::unordered_map<void*, std::uint64_t> live_;
   std::exception_ptr error_;
+  util::Tracer tracer_;
+  util::CounterRegistry counters_;
+  /// Cached so step() pays one atomic add, not a map lookup.
+  util::Counter* events_counter_ = &counters_.counter("des.events_dispatched");
 };
 
 }  // namespace lobster::des

@@ -48,10 +48,17 @@ void Campaign::add_grid(const std::vector<RunSpec>& specs,
   for (const auto& spec : specs) add_seed_sweep(spec, seeds);
 }
 
+void Campaign::trace_to(std::string prefix, util::TraceFormat format) {
+  trace_prefix_ = std::move(prefix);
+  trace_format_ = format;
+}
+
 RunStats Campaign::execute(const RunSpec& spec,
                            std::shared_ptr<const EngineMetrics>* metrics_out) {
   Engine engine(spec.cluster, spec.workload, spec.seed,
                 spec.metric_bin_seconds);
+  if (!spec.trace_path.empty())
+    engine.enable_tracing(spec.trace_path, spec.trace_format);
   if (spec.outage_start > 0.0 && spec.outage_duration > 0.0)
     engine.schedule_outage(spec.outage_start, spec.outage_duration);
   const EngineMetrics& m = engine.run(spec.time_cap);
@@ -79,6 +86,18 @@ RunStats Campaign::execute(const RunSpec& spec,
 const std::vector<RunResult>& Campaign::run() {
   if (ran_) return results_;
   ran_ = true;
+  if (!trace_prefix_.empty()) {
+    // Assign paths before the pool starts so naming depends only on
+    // submission order, never on thread interleaving.
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      RunSpec& spec = specs_[i];
+      if (!spec.trace_path.empty()) continue;
+      spec.trace_format = trace_format_;
+      spec.trace_path = trace_prefix_ + "-run" + std::to_string(i) + "-seed" +
+                        std::to_string(spec.seed) +
+                        util::trace_extension(trace_format_);
+    }
+  }
   results_.resize(specs_.size());
   // Each worker writes only its own submission slot; no shared Engine
   // state crosses threads (one DES kernel and RNG universe per run).

@@ -24,6 +24,7 @@
 #include "core/monitor.hpp"
 #include "lobsim/engine.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace lobster::lobsim {
 
@@ -40,6 +41,10 @@ struct RunSpec {
   /// Optional WAN outage injected before the run (0 = none).
   double outage_start = 0.0;
   double outage_duration = 0.0;
+  /// Non-empty: write this run's trace (spans + counter snapshot) here.
+  /// Campaign::trace_to fills these per run when a whole campaign traces.
+  std::string trace_path;
+  util::TraceFormat trace_format = util::TraceFormat::Jsonl;
 };
 
 /// Scalar outcome of one run — the copyable subset of EngineMetrics that
@@ -121,6 +126,14 @@ class Campaign {
                 const std::vector<std::uint64_t>& seeds);
   std::size_t size() const { return specs_.size(); }
 
+  /// Trace every queued-and-future run to
+  /// `<prefix>-run<I>-seed<S><ext>` where I is the run's submission index.
+  /// Naming by submission index (not worker thread) keeps the file set —
+  /// and each file's bytes — identical between serial and parallel
+  /// campaigns.  Specs that already carry an explicit trace_path keep it.
+  void trace_to(std::string prefix,
+                util::TraceFormat format = util::TraceFormat::Jsonl);
+
   /// Execute every queued run across the pool.  Safe to call once; returns
   /// results in submission order.
   const std::vector<RunResult>& run();
@@ -142,6 +155,8 @@ class Campaign {
   bool ran_ = false;
   std::vector<RunSpec> specs_;
   std::vector<RunResult> results_;
+  std::string trace_prefix_;
+  util::TraceFormat trace_format_ = util::TraceFormat::Jsonl;
 };
 
 /// Order-preserving parallel for: invoke fn(0..n-1) across `jobs` threads

@@ -42,9 +42,28 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
   planner_ = MergePlanner::make(workload_.merge_mode, workload_.merge_policy);
 
   metrics_ = std::make_unique<EngineMetrics>(metric_bin_seconds);
+
+  auto& counters = sim_.counters();
+  ctr_tasks_dispatched_ = &counters.counter("lobsim.tasks_dispatched");
+  ctr_tasks_completed_ = &counters.counter("lobsim.tasks_completed");
+  ctr_tasks_failed_ = &counters.counter("lobsim.tasks_failed");
+  ctr_tasks_evicted_ = &counters.counter("lobsim.tasks_evicted");
+  ctr_tasklets_processed_ = &counters.counter("lobsim.tasklets_processed");
+  ctr_tasklets_retried_ = &counters.counter("lobsim.tasklets_retried");
+  ctr_merges_completed_ = &counters.counter("lobsim.merge_tasks_completed");
 }
 
 Engine::~Engine() = default;
+
+void Engine::enable_tracing(const std::string& path, util::TraceFormat format) {
+  sim_.tracer().set_sink(util::make_trace_sink(format, path));
+}
+
+std::uint64_t Engine::task_track(const WorkerNode& node, std::size_t slot) {
+  return ((static_cast<std::uint64_t>(node.site) + 1) << 24) |
+         ((static_cast<std::uint64_t>(node.id) & 0xFFFF) << 8) |
+         (static_cast<std::uint64_t>(slot) & 0xFF);
+}
 
 void Engine::schedule_outage(double start, double duration) {
   sites_->schedule_outage(start, duration);
@@ -89,6 +108,14 @@ const EngineMetrics& Engine::run(double time_cap) {
     metrics_->bytes_staged += sites_->federation(s).bytes_staged();
   }
   metrics_->bytes_staged_out = chirp_->bytes_in();
+  if (sim_.tracer().enabled()) {
+    // Final name-ordered counter snapshot, then one atomic flush.  Spans
+    // still open in truncated runs stay open in the file — that is the
+    // honest record of a time-capped task.
+    for (const auto& sample : sim_.counters().snapshot())
+      sim_.tracer().counter(sample.name.c_str(), sample.value);
+    sim_.tracer().close();
+  }
   return *metrics_;
 }
 
@@ -97,6 +124,8 @@ des::Process Engine::gauge_sampler(double period) {
   // starts or finishes.
   while (!done_ && sim_.now() < end_time_cap_) {
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
+    sim_.tracer().counter("lobsim.running_tasks",
+                          static_cast<double>(running_tasks_));
     co_await sim_.delay(period);
   }
 }
@@ -114,6 +143,11 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
     ++running_tasks_;
     metrics_->peak_running = std::max(metrics_->peak_running, running_tasks_);
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
+    ctr_tasks_dispatched_->add();
+
+    const std::uint64_t track = task_track(*node, slot);
+    util::Span span = sim_.tracer().span(
+        "task", task->is_merge ? "merge" : "analysis", track);
 
     core::TaskRecord record;
     record.submit_time = sim_.now();
@@ -132,6 +166,21 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
     const bool failed = !success && !evicted;
     finish_task(*task, record, success, evicted, node->site);
+    if (span) {
+      // The end event carries the authoritative record: segment spans show
+      // the timeline, but reconstruction (trace_replay) uses these args so
+      // the rebuilt breakdown matches Monitor::breakdown() exactly, even on
+      // exception paths where a segment aborted mid-flight.
+      span.arg("status", static_cast<double>(record.status));
+      span.arg("exit", static_cast<double>(record.exit_code));
+      span.arg("tasklets", static_cast<double>(task->n_tasklets));
+      span.arg("cpu", record.cpu_time);
+      span.arg("lost", record.lost_time);
+      for (std::size_t s = 0; s < core::kNumSegments; ++s)
+        span.arg(core::to_string(static_cast<core::Segment>(s)),
+                 record.segment_time[s]);
+      span.end();
+    }
     if (failed && workload_.failure_backoff > 0.0)
       co_await sim_.delay(workload_.failure_backoff);
   }
@@ -143,6 +192,8 @@ des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
   auto& squid = sites_->squid(node->site, node->squid);
   const auto mode = workload_.cache_mode;
   const double t0 = sim_.now();
+  util::Span span =
+      sim_.tracer().span("segment", "env_setup", task_track(*node, slot));
 
   // Cold population: the ~1.5 GB working set (paper §4.3), split into the
   // shared head (hot in the proxy once any worker pulled it) and this
@@ -211,6 +262,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
   auto seg = [&record](core::Segment s) -> double& {
     return record.segment_time[static_cast<std::size_t>(s)];
   };
+  const std::uint64_t track = task_track(*node, slot);
   const double start = sim_.now();
   auto evicted_now = [&]() { return sim_.now() >= node->death; };
   auto mark_evicted = [&]() {
@@ -223,7 +275,10 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     // Merge task: inputs via XrootD, CPU ~ proportional to volume, output
     // staged via Chirp (paper §4.4).
     const double t_in0 = sim_.now();
-    co_await sites_->federation(node->site).stage(task.merge_input_bytes);
+    {
+      util::Span s = sim_.tracer().span("segment", "stage_in", track);
+      co_await sites_->federation(node->site).stage(task.merge_input_bytes);
+    }
     seg(core::Segment::StageIn) += sim_.now() - t_in0;
     if (evicted_now()) {
       mark_evicted();
@@ -231,11 +286,17 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     }
     const double cpu =
         workload_.merge_cpu_per_gb * task.merge_input_bytes / 1e9;
-    co_await sim_.delay(cpu);
+    {
+      util::Span s = sim_.tracer().span("segment", "execute", track);
+      co_await sim_.delay(cpu);
+    }
     record.cpu_time += cpu;
     seg(core::Segment::Execute) += cpu;
     const double t_out0 = sim_.now();
-    co_await chirp_->put(task.merge_input_bytes);
+    {
+      util::Span s = sim_.tracer().span("segment", "stage_out", track);
+      co_await chirp_->put(task.merge_input_bytes);
+    }
     seg(core::Segment::StageOut) += sim_.now() - t_out0;
     if (evicted_now()) {
       mark_evicted();
@@ -255,7 +316,11 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
   // Sandbox + task payload from the master through the foreman fan-out.
   if (workload_.sandbox_bytes > 0.0) {
     const double t0 = sim_.now();
-    co_await foreman_fanout_->transfer(workload_.sandbox_bytes);
+    {
+      util::Span s = sim_.tracer().span("segment", "stage_in", track);
+      s.arg("sandbox_bytes", workload_.sandbox_bytes);
+      co_await foreman_fanout_->transfer(workload_.sandbox_bytes);
+    }
     seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
@@ -267,7 +332,11 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
       workload_.tasklet_input_bytes * task.n_tasklets;
   if (workload_.access == core::DataAccessMode::Stage && input_bytes > 0.0) {
     const double t0 = sim_.now();
-    co_await sites_->federation(node->site).stage(input_bytes);
+    {
+      util::Span s = sim_.tracer().span("segment", "stage_in", track);
+      s.arg("input_bytes", input_bytes);
+      co_await sites_->federation(node->site).stage(input_bytes);
+    }
     seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
@@ -293,23 +362,31 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
 
   if (stream_bytes > 0.0) {
     const double t0 = sim_.now();
-    co_await sites_->federation(node->site).stream(stream_bytes);
+    {
+      util::Span s = sim_.tracer().span("segment", "execute_io", track);
+      s.arg("stream_bytes", stream_bytes);
+      co_await sites_->federation(node->site).stream(stream_bytes);
+    }
     seg(core::Segment::ExecuteIo) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
     }
   }
-  double residual = cpu_total;
-  const double chunk = std::max(60.0, workload_.tasklet_cpu_mean);
-  while (residual > 0.0) {
-    const double step = std::min(residual, chunk);
-    co_await sim_.delay(step);
-    residual -= step;
-    if (evicted_now()) {
-      record.cpu_time += cpu_total - residual;
-      mark_evicted();
-      co_return false;
+  {
+    util::Span s = sim_.tracer().span("segment", "execute", track);
+    s.arg("cpu", cpu_total);
+    double residual = cpu_total;
+    const double chunk = std::max(60.0, workload_.tasklet_cpu_mean);
+    while (residual > 0.0) {
+      const double step = std::min(residual, chunk);
+      co_await sim_.delay(step);
+      residual -= step;
+      if (evicted_now()) {
+        record.cpu_time += cpu_total - residual;
+        mark_evicted();
+        co_return false;
+      }
     }
   }
   record.cpu_time += cpu_total;
@@ -318,7 +395,10 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
   // Stage out through the Chirp server.
   {
     const double t0 = sim_.now();
-    co_await chirp_->put(workload_.tasklet_output_bytes * task.n_tasklets);
+    {
+      util::Span s = sim_.tracer().span("segment", "stage_out", track);
+      co_await chirp_->put(workload_.tasklet_output_bytes * task.n_tasklets);
+    }
     seg(core::Segment::StageOut) += sim_.now() - t0;
   }
   if (evicted_now()) {
@@ -353,11 +433,17 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
   } else if (evicted) {
     record.status = core::TaskStatus::Evicted;
     ++metrics_->tasks_evicted;
+    ctr_tasks_evicted_->add();
+    sim_.tracer().instant("lobsim", "task_evicted", 0,
+                          {{"tasklets", static_cast<double>(task.n_tasklets)}});
   } else {
     record.status = core::TaskStatus::Failed;
     ++metrics_->tasks_failed;
+    ctr_tasks_failed_->add();
     metrics_->failures.add(now);
     metrics_->failure_events.emplace_back(now, record.exit_code);
+    sim_.tracer().instant("lobsim", "task_failed", 0,
+                          {{"exit", static_cast<double>(record.exit_code)}});
   }
   metrics_->monitor.on_task_finished(record);
 
@@ -365,6 +451,7 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
     --running_merges_;
     if (success) {
       ++metrics_->merge_tasks_completed;
+      ctr_merges_completed_->add();
       metrics_->merge_done.add(now);
       metrics_->last_merge_finish = now;
     } else {
@@ -374,22 +461,28 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
   } else {
     if (success) {
       ++metrics_->tasks_completed;
+      ctr_tasks_completed_->add();
       metrics_->analysis_done.add(now);
       metrics_->last_analysis_finish = now;
       tasklets_done_ += task.n_tasklets;
       metrics_->tasklets_processed += task.n_tasklets;
+      ctr_tasklets_processed_->add(task.n_tasklets);
       per_site_tasklets_[site] += task.n_tasklets;
       planner_->add_output(workload_.tasklet_output_bytes * task.n_tasklets);
     } else {
       dispatch_->add_tasklets(task.n_tasklets);  // retry
       metrics_->tasklets_retried += task.n_tasklets;
+      ctr_tasklets_retried_->add(task.n_tasklets);
     }
   }
 
   auto plan = planner_->plan(tasklets_done_, workload_.num_tasklets,
                              analysis_complete());
-  for (double group_bytes : plan.groups)
+  for (double group_bytes : plan.groups) {
     dispatch_->push_merge_group(group_bytes);
+    sim_.tracer().instant("lobsim", "merge_planned", 0,
+                          {{"bytes", group_bytes}});
+  }
   if (plan.start_hadoop && !hadoop_started_) {
     hadoop_started_ = true;
     sim_.spawn(hadoop_merge());
@@ -407,21 +500,30 @@ des::Process Engine::hadoop_merge() {
 
   des::Resource slots(sim_, workload_.hadoop_reduce_slots);
   std::vector<des::ProcessRef> reducers;
-  auto reducer = [](Engine* self, des::Resource& res,
-                    double bytes) -> des::Process {
+  auto reducer = [](Engine* self, des::Resource& res, double bytes,
+                    std::size_t index) -> des::Process {
     auto slot = co_await res.acquire();
     // Transfer the group to the local machine, create the HEP environment,
     // concatenate, write back at HDFS-local rates (paper §4.4).
-    co_await self->sim_.delay(self->workload_.hadoop_reduce_setup +
-                              bytes / self->workload_.hadoop_local_rate);
+    {
+      // Reducers run inside the storage cluster, not on a worker slot:
+      // give them their own track family so they never collide with task
+      // spans.
+      util::Span span = self->sim_.tracer().span(
+          "task", "hadoop_reduce", (1ULL << 40) | index);
+      span.arg("bytes", bytes);
+      co_await self->sim_.delay(self->workload_.hadoop_reduce_setup +
+                                bytes / self->workload_.hadoop_local_rate);
+    }
     const double now = self->sim_.now();
     ++self->metrics_->merge_tasks_completed;
+    self->ctr_merges_completed_->add();
     self->metrics_->merge_done.add(now);
     self->metrics_->last_merge_finish = now;
   };
   reducers.reserve(groups.size());
-  for (double bytes : groups)
-    reducers.push_back(sim_.spawn(reducer(this, slots, bytes)));
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    reducers.push_back(sim_.spawn(reducer(this, slots, groups[i], i)));
   for (auto& ref : reducers) co_await ref.done();
   hadoop_done_ = true;
   if (workflow_complete()) done_ = true;

@@ -179,6 +179,12 @@ class Engine {
   /// Inject a WAN outage (Figure 10's transient failure burst).
   void schedule_outage(double start, double duration);
 
+  /// Route per-task lifecycle spans, segment spans and the final counter
+  /// snapshot to a trace file (written when run() finishes).  Call before
+  /// run().  An empty path keeps the trace in memory (tests).
+  void enable_tracing(const std::string& path,
+                      util::TraceFormat format = util::TraceFormat::Jsonl);
+
  private:
   des::Process gauge_sampler(double period);
   des::Process core_slot(std::shared_ptr<WorkerNode> node, std::size_t slot);
@@ -194,6 +200,9 @@ class Engine {
                    bool success, bool evicted, std::size_t site);
   bool analysis_complete() const;
   bool workflow_complete() const;
+  /// Trace track for a (site, worker, slot) triple.  Worker ids are
+  /// per-site, so the site index is folded in to keep tracks distinct.
+  static std::uint64_t task_track(const WorkerNode& node, std::size_t slot);
 
   ClusterParams cluster_;
   WorkloadParams workload_;
@@ -206,6 +215,15 @@ class Engine {
   std::unique_ptr<des::BandwidthLink> foreman_fanout_;
   std::unique_ptr<chirp::ChirpSim> chirp_;
   std::unique_ptr<EngineMetrics> metrics_;
+
+  // ---- counter plane (lobsim.*), cached at construction ----
+  util::Counter* ctr_tasks_dispatched_ = nullptr;
+  util::Counter* ctr_tasks_completed_ = nullptr;
+  util::Counter* ctr_tasks_failed_ = nullptr;
+  util::Counter* ctr_tasks_evicted_ = nullptr;
+  util::Counter* ctr_tasklets_processed_ = nullptr;
+  util::Counter* ctr_tasklets_retried_ = nullptr;
+  util::Counter* ctr_merges_completed_ = nullptr;
 
   // ---- workload state ----
   std::uint64_t tasklets_done_ = 0;

@@ -40,7 +40,7 @@ class Foreman : public TaskSource {
   /// destruction; safe to call early.
   void shutdown();
 
-  std::uint64_t tasks_relayed() const { return relayed_.load(); }
+  [[nodiscard]] std::uint64_t tasks_relayed() const { return relayed_.load(); }
   std::uint64_t results_relayed() const { return results_.load(); }
 
  private:

@@ -10,6 +10,14 @@ double elapsed_seconds(std::chrono::steady_clock::time_point since) {
 }
 }  // namespace
 
+void Master::bind_counters(util::CounterRegistry& registry) {
+  ctr_submitted_ = &registry.counter("wq.master.submitted");
+  ctr_dispatched_ = &registry.counter("wq.master.dispatched");
+  ctr_completed_ = &registry.counter("wq.master.completed");
+  ctr_failed_ = &registry.counter("wq.master.failed");
+  ctr_evicted_ = &registry.counter("wq.master.evicted");
+}
+
 bool Master::submit(TaskSpec spec) {
   if (closed_.load(std::memory_order_acquire)) return false;
   submitted_.fetch_add(1, std::memory_order_acq_rel);
@@ -18,6 +26,7 @@ bool Master::submit(TaskSpec spec) {
     submitted_.fetch_sub(1, std::memory_order_acq_rel);
     return false;
   }
+  util::bump(ctr_submitted_);
   return true;
 }
 
@@ -37,17 +46,22 @@ std::optional<TaskSpec> Master::next_task(std::chrono::milliseconds wait) {
   auto stamped = pending_.receive_for(wait);
   if (!stamped) return std::nullopt;
   dispatched_.fetch_add(1, std::memory_order_acq_rel);
+  util::bump(ctr_dispatched_);
   stamped->spec.dispatch_wait = elapsed_seconds(stamped->enqueued);
   return std::move(stamped->spec);
 }
 
 void Master::deliver(TaskResult result) {
-  if (result.evicted)
+  if (result.evicted) {
     evicted_.fetch_add(1, std::memory_order_acq_rel);
-  else if (result.exit_code == 0)
+    util::bump(ctr_evicted_);
+  } else if (result.exit_code == 0) {
     completed_.fetch_add(1, std::memory_order_acq_rel);
-  else
+    util::bump(ctr_completed_);
+  } else {
     failed_.fetch_add(1, std::memory_order_acq_rel);
+    util::bump(ctr_failed_);
+  }
   results_.send(std::move(result));
   const std::uint64_t done =
       delivered_.fetch_add(1, std::memory_order_acq_rel) + 1;

@@ -16,6 +16,7 @@
 
 #include "util/channel.hpp"
 #include "util/thread_annotations.hpp"
+#include "util/trace.hpp"
 #include "wq/task.hpp"
 
 namespace lobster::wq {
@@ -49,6 +50,10 @@ class Master : public TaskSource {
   [[nodiscard]] std::uint64_t evicted() const { return evicted_.load(); }
   [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
 
+  /// Attach the unified counter plane (wq.master.*).  Optional; call before
+  /// workers start pulling.
+  void bind_counters(util::CounterRegistry& registry);
+
  private:
   struct Stamped {
     TaskSpec spec;
@@ -66,6 +71,12 @@ class Master : public TaskSource {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<bool> closed_{false};
   std::mutex dispatch_mutex_;
+  util::Counter* ctr_submitted_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Counter* ctr_dispatched_ LOBSTER_NOT_GUARDED(target is atomic) =
+      nullptr;
+  util::Counter* ctr_completed_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Counter* ctr_failed_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Counter* ctr_evicted_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
 };
 
 }  // namespace lobster::wq

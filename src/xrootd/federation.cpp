@@ -23,24 +23,39 @@ std::optional<std::string> RedirectorTable::pick(const std::string& lfn) {
 }
 
 FederationSim::FederationSim(des::Simulation& sim, const Params& params)
-    : sim_(sim), params_(params), uplink_(sim, params.campus_uplink_rate) {}
+    : sim_(sim),
+      params_(params),
+      uplink_(sim, params.campus_uplink_rate),
+      ctr_streams_(&sim.counters().counter("xrootd.streams")),
+      ctr_stages_(&sim.counters().counter("xrootd.stages")),
+      ctr_failed_opens_(&sim.counters().counter("xrootd.failed_opens")),
+      ctr_outages_(&sim.counters().counter("xrootd.outages")),
+      ctr_bytes_streamed_(&sim.counters().gauge("xrootd.bytes_streamed")),
+      ctr_bytes_staged_(&sim.counters().gauge("xrootd.bytes_staged")) {}
 
 void FederationSim::schedule_outage(double start, double duration) {
   if (start < 0.0 || duration <= 0.0)
     throw std::invalid_argument("federation: bad outage window");
   sim_.schedule(start, [this] {
     ++outage_counter_;
+    ctr_outages_->add();
+    sim_.tracer().instant("xrootd", "outage_begin");
     if (outage_depth_++ == 0) uplink_.set_capacity(0.0);
   });
   sim_.schedule(start + duration, [this] {
-    if (--outage_depth_ == 0) uplink_.set_capacity(params_.campus_uplink_rate);
+    if (--outage_depth_ == 0) {
+      uplink_.set_capacity(params_.campus_uplink_rate);
+      sim_.tracer().instant("xrootd", "outage_end");
+    }
   });
 }
 
-des::Task<double> FederationSim::transfer(double bytes, double& accounting) {
+des::Task<double> FederationSim::transfer(double bytes, double& accounting,
+                                          util::Gauge* volume) {
   const double t0 = sim_.now();
   if (outage_active()) {
     ++failed_opens_;
+    ctr_failed_opens_->add();
     co_await sim_.delay(params_.open_fail_delay);
     throw AccessError("xrootd: open failed (wide-area outage)");
   }
@@ -54,15 +69,18 @@ des::Task<double> FederationSim::transfer(double bytes, double& accounting) {
     throw AccessError("xrootd: stream broken by wide-area outage");
   }
   accounting += bytes;
+  volume->add(bytes);
   co_return sim_.now() - t0;
 }
 
 des::Task<double> FederationSim::stream(double bytes) {
-  return transfer(bytes, bytes_streamed_);
+  ctr_streams_->add();
+  return transfer(bytes, bytes_streamed_, ctr_bytes_streamed_);
 }
 
 des::Task<double> FederationSim::stage(double bytes) {
-  return transfer(bytes, bytes_staged_);
+  ctr_stages_->add();
+  return transfer(bytes, bytes_staged_, ctr_bytes_staged_);
 }
 
 void SiteStore::put(const std::string& lfn, double bytes) {

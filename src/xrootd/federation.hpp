@@ -92,7 +92,8 @@ class FederationSim {
   std::uint64_t failed_opens() const { return failed_opens_; }
 
  private:
-  des::Task<double> transfer(double bytes, double& accounting);
+  des::Task<double> transfer(double bytes, double& accounting,
+                             util::Gauge* volume);
 
   des::Simulation& sim_;
   Params params_;
@@ -102,6 +103,13 @@ class FederationSim {
   double bytes_streamed_ = 0.0;
   double bytes_staged_ = 0.0;
   std::uint64_t failed_opens_ = 0;
+  // Unified counter plane (xrootd.*).
+  util::Counter* ctr_streams_;
+  util::Counter* ctr_stages_;
+  util::Counter* ctr_failed_opens_;
+  util::Counter* ctr_outages_;
+  util::Gauge* ctr_bytes_streamed_;
+  util::Gauge* ctr_bytes_staged_;
 };
 
 // ---------------------------------------------------------------------------

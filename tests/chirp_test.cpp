@@ -7,11 +7,27 @@
 #include <vector>
 
 #include "chirp/chirp.hpp"
+#include "util/trace.hpp"
 
 namespace ch = lobster::chirp;
 namespace des = lobster::des;
 
 // ---------------------------------------------------------------- server ----
+
+TEST(ChirpServer, CounterPlaneCountsRequestsAndBytes) {
+  lobster::util::CounterRegistry registry;
+  ch::ChirpServer server;
+  server.bind_counters(registry);
+  const auto ticket = server.issue_ticket(
+      "/", ch::Rights::Read | ch::Rights::Write | ch::Rights::List);
+  auto s = server.connect(ticket);
+  s.put("/out/a", "12345");
+  s.append("/out/a", "678");
+  EXPECT_EQ(s.get("/out/a"), "12345678");
+  EXPECT_EQ(registry.counter("chirp.server.requests").value(), 3u);
+  EXPECT_EQ(registry.gauge("chirp.server.bytes_in").value(), 8.0);
+  EXPECT_EQ(registry.gauge("chirp.server.bytes_out").value(), 8.0);
+}
 
 TEST(ChirpServer, PutGetStatList) {
   ch::ChirpServer server;

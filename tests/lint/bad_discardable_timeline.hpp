@@ -1,0 +1,17 @@
+// Fixture: task-counter and timeline accessors without [[nodiscard]] — the
+// tasks_ prefix and _timeline suffix shapes the rule must recognise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+class MonitorView {
+ public:
+  std::uint64_t tasks_seen() const { return seen_; }
+  std::uint64_t tasks_evicted() const { return evicted_; }
+  std::vector<double> efficiency_timeline() const { return {}; }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t evicted_ = 0;
+};

@@ -1,0 +1,21 @@
+// Fixture: annotated task-counter and timeline accessors are clean, and the
+// suffix/prefix shapes do not over-trigger on setters or call sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+class MonitorView {
+ public:
+  [[nodiscard]] std::uint64_t tasks_seen() const { return seen_; }
+  [[nodiscard]] std::vector<double> efficiency_timeline() const { return {}; }
+
+  void reset_timeline();  // void: not an accessor
+
+ private:
+  std::uint64_t seen_ = 0;
+};
+
+inline std::uint64_t use(const MonitorView& v) {
+  return v.tasks_seen() + v.efficiency_timeline().size();  // call sites pass
+}

@@ -56,6 +56,7 @@ TEST(LintFixtures, EveryBadFixtureFlagsItsRule) {
       {"bad_partial_annotations.hpp", "guarded"},
       {"bad_discardable_stats.hpp", "nodiscard"},
       {"bad_discardable_mean.hpp", "nodiscard"},
+      {"bad_discardable_timeline.hpp", "nodiscard"},
       {"bad_empty_suppression.cpp", "suppression"},
   };
   for (const auto& e : expected) {
@@ -69,7 +70,8 @@ TEST(LintFixtures, GoodFixturesAreClean) {
   const lint::Corpus corpus = fixture_corpus();
   for (const char* file :
        {"good_seeded_rng.cpp", "good_sorted_keys.cpp",
-        "good_annotated_members.hpp", "good_nodiscard_stats.hpp"}) {
+        "good_annotated_members.hpp", "good_nodiscard_stats.hpp",
+        "good_nodiscard_timeline.hpp"}) {
     const auto fs = findings_for(corpus, file);
     EXPECT_TRUE(fs.empty()) << file << " should be clean; got ["
                             << (fs.empty() ? "" : fs.front().rule) << "] "

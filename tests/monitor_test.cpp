@@ -2,6 +2,7 @@
 // advisor), the instrumented wrapper, and the workflow configuration.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 #include "core/config.hpp"
@@ -94,6 +95,42 @@ TEST(Monitor, SetupAndStageoutTimelines) {
   EXPECT_NEAR(stageout[0], 6.0, 1e-9);
 }
 
+TEST(Monitor, EmptyMonitorTimelinesAreEmptyNotNan) {
+  core::Monitor mon(60.0);
+  EXPECT_TRUE(mon.efficiency_timeline().empty());
+  EXPECT_TRUE(mon.setup_time_timeline().empty());
+  EXPECT_TRUE(mon.stageout_time_timeline().empty());
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Monitor, ZeroWallRecordYieldsZeroEfficiencyNotNan) {
+  core::Monitor mon(60.0);
+  // A record with no recorded wall time at all: every per-bin ratio must
+  // come out 0, never NaN.
+  mon.on_task_finished(record_with(0, 0, 0, 0, 0, 0, 30.0));
+  const auto eff = mon.efficiency_timeline();
+  ASSERT_FALSE(eff.empty());
+  EXPECT_TRUE(std::isfinite(eff[0]));
+  EXPECT_DOUBLE_EQ(eff[0], 0.0);
+}
+
+TEST(Monitor, EmptyBinsReportZeroMeansNotNan) {
+  core::Monitor mon(60.0);
+  // Completions in bins 0 and 2; bin 1 has no finishers and must read 0.
+  mon.on_task_finished(record_with(10, 0, 0, 4.0, 100.0, 0, 30.0));
+  mon.on_task_finished(record_with(10, 0, 0, 8.0, 300.0, 0, 150.0));
+  const auto setup = mon.setup_time_timeline();
+  const auto stageout = mon.stageout_time_timeline();
+  const auto eff = mon.efficiency_timeline();
+  ASSERT_GE(setup.size(), 3u);
+  EXPECT_DOUBLE_EQ(setup[1], 0.0);
+  EXPECT_DOUBLE_EQ(stageout[1], 0.0);
+  EXPECT_DOUBLE_EQ(eff[1], 0.0);
+  EXPECT_TRUE(std::isfinite(setup[1]) && std::isfinite(stageout[1]) &&
+              std::isfinite(eff[1]));
+  EXPECT_NEAR(setup[2], 300.0, 1e-9);
+}
+
 TEST(Advisor, HighLostRuntimeSuggestsSmallerTasks) {
   core::Monitor mon(60.0);
   mon.on_task_finished(
@@ -141,6 +178,109 @@ TEST(Advisor, HealthyRunHasNoDiagnoses) {
   core::Monitor mon(60.0);
   mon.on_task_finished(record_with(1000, 50, 10, 10, 10, 5, 30.0));
   EXPECT_TRUE(mon.diagnose().empty());
+}
+
+// ---- threshold edges: triggers are strict, severity = (v - th) / th ----
+
+TEST(Advisor, ExactlyAtLostThresholdDoesNotTrigger) {
+  core::Monitor mon(60.0);
+  // total = 90 cpu + 10 lost = 100; lost fraction exactly 0.10.
+  mon.on_task_finished(
+      record_with(90, 0, 0, 0, 0, 0, 30.0, core::TaskStatus::Done, 10.0));
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Advisor, JustPastLostThresholdScalesLinearly) {
+  core::Monitor mon(60.0);
+  // lost fraction 0.12 -> severity (0.12 - 0.10) / 0.10 = 0.2.
+  mon.on_task_finished(
+      record_with(88, 0, 0, 0, 0, 0, 30.0, core::TaskStatus::Done, 12.0));
+  const auto diags = mon.diagnose();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].advice.find("task size"), std::string::npos);
+  EXPECT_NEAR(diags[0].severity, 0.2, 1e-9);
+}
+
+TEST(Advisor, ExactlyAtDispatchThresholdDoesNotTrigger) {
+  core::Monitor mon(60.0);
+  // dispatch fraction exactly 0.05 of a 100 s total.
+  mon.on_task_finished(record_with(95, 0, 0, 0, 0, 5.0, 30.0));
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Advisor, JustPastDispatchThresholdScalesLinearly) {
+  core::Monitor mon(60.0);
+  // dispatch fraction 0.08 -> severity (0.08 - 0.05) / 0.05 = 0.6.
+  mon.on_task_finished(record_with(92, 0, 0, 0, 0, 8.0, 30.0));
+  const auto diags = mon.diagnose();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].advice.find("foremen"), std::string::npos);
+  EXPECT_NEAR(diags[0].severity, 0.6, 1e-9);
+}
+
+TEST(Advisor, ExactlyAtSetupThresholdDoesNotTrigger) {
+  core::Monitor mon(60.0);
+  // env-setup ("other") fraction exactly 0.15.
+  mon.on_task_finished(record_with(85, 0, 0, 0, 15.0, 0, 30.0));
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Advisor, JustPastSetupThresholdScalesLinearly) {
+  core::Monitor mon(60.0);
+  // setup fraction 0.20 -> severity (0.20 - 0.15) / 0.15 = 1/3.
+  mon.on_task_finished(record_with(80, 0, 0, 0, 20.0, 0, 30.0));
+  const auto diags = mon.diagnose();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].advice.find("squid"), std::string::npos);
+  EXPECT_NEAR(diags[0].severity, 0.05 / 0.15, 1e-9);
+}
+
+TEST(Advisor, ExactlyAtStagingThresholdDoesNotTrigger) {
+  core::Monitor mon(60.0);
+  // stage-in + stage-out fraction exactly 0.25.
+  mon.on_task_finished(record_with(75, 0, 15.0, 10.0, 0, 0, 30.0));
+  EXPECT_TRUE(mon.diagnose().empty());
+}
+
+TEST(Advisor, JustPastStagingThresholdScalesLinearly) {
+  core::Monitor mon(60.0);
+  // staging fraction 0.30 -> severity (0.30 - 0.25) / 0.25 = 0.2.
+  mon.on_task_finished(record_with(70, 0, 20.0, 10.0, 0, 0, 30.0));
+  const auto diags = mon.diagnose();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].advice.find("Chirp"), std::string::npos);
+  EXPECT_NEAR(diags[0].severity, 0.2, 1e-9);
+}
+
+TEST(Advisor, SeverityCapsAtOne) {
+  core::Monitor mon(60.0);
+  // lost fraction ~0.9: (0.9 - 0.1) / 0.1 = 8, clamped to 1.0.
+  mon.on_task_finished(
+      record_with(10, 0, 0, 0, 0, 0, 30.0, core::TaskStatus::Done, 90.0));
+  const auto diags = mon.diagnose();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_DOUBLE_EQ(diags[0].severity, 1.0);
+}
+
+TEST(Advisor, MultiSymptomReportsEachWithItsOwnSeverity) {
+  core::Monitor mon(60.0);
+  // total = 50 cpu + 20 staging + 30 lost = 100:
+  //   lost 0.30    -> severity (0.30 - 0.10) / 0.10 = 1.0 (capped, = 2.0)
+  //   staging 0.20 -> below 0.25, NOT flagged
+  //   setup 0.30 (other = lost) -> severity (0.30 - 0.15) / 0.15 = 1.0
+  mon.on_task_finished(
+      record_with(50, 0, 10.0, 10.0, 0, 0, 30.0, core::TaskStatus::Done,
+                  30.0));
+  const auto diags = mon.diagnose();
+  ASSERT_EQ(diags.size(), 2u);
+  for (std::size_t i = 1; i < diags.size(); ++i)
+    EXPECT_GE(diags[i - 1].severity, diags[i].severity);
+  bool lost = false, setup = false;
+  for (const auto& d : diags) {
+    lost |= d.advice.find("task size") != std::string::npos;
+    setup |= d.advice.find("squid") != std::string::npos;
+  }
+  EXPECT_TRUE(lost && setup);
 }
 
 TEST(Advisor, SortedBySeverity) {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/trace.hpp"
 #include "wq/foreman.hpp"
 #include "wq/master.hpp"
 #include "wq/worker.hpp"
@@ -68,6 +69,33 @@ TEST(Master, SingleWorkerRunsAllTasks) {
   EXPECT_EQ(ids.size(), 100u) << "every task exactly once";
   EXPECT_EQ(master.completed(), 100u);
   EXPECT_EQ(master.failed(), 0u);
+}
+
+TEST(Master, CounterPlaneMirrorsLifecycle) {
+  lobster::util::CounterRegistry registry;
+  wq::Master master;
+  master.bind_counters(registry);
+  // Bind the worker's counters before any task exists to run: its slot
+  // threads start pulling in the constructor, and counts bump only through
+  // pointers that are bound.
+  wq::Worker worker("w0", master, 4);
+  worker.bind_counters(registry);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 20; ++i) {
+    master.submit(make_task(static_cast<std::uint64_t>(i),
+                            [&executed](wq::TaskContext&) {
+                              executed.fetch_add(1);
+                              return 0;
+                            }));
+  }
+  master.close_submission();
+  collect(master);
+  worker.join();
+  EXPECT_EQ(registry.counter("wq.master.submitted").value(), 20u);
+  EXPECT_EQ(registry.counter("wq.master.dispatched").value(), 20u);
+  EXPECT_EQ(registry.counter("wq.master.completed").value(), 20u);
+  EXPECT_EQ(registry.counter("wq.master.failed").value(), 0u);
+  EXPECT_EQ(registry.counter("wq.worker.tasks_run").value(), 20u);
 }
 
 TEST(Master, FailuresAndExceptionsCounted) {

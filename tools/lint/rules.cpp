@@ -6,6 +6,7 @@
 // under tests/lint/ pins what each rule must and must not flag.
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <sstream>
 
 #include "lint/lint.hpp"
@@ -580,10 +581,17 @@ class NodiscardRule final : public Rule {
     };
     static const char* kPrefixes[] = {"bytes_",    "total_", "num_",
                                       "resident_", "stored_", "peak_",
-                                      "lost_",     "tasklets_"};
+                                      "lost_",     "tasklets_", "tasks_"};
+    // Timeline accessors (completed_timeline, efficiency_timeline, ...)
+    // are pure queries too: computing one and dropping it is always a bug.
+    static const char* kSuffixes[] = {"_timeline"};
     if (kExact.count(w)) return true;
     for (const char* p : kPrefixes)
       if (w.rfind(p, 0) == 0) return true;
+    for (const char* s : kSuffixes) {
+      const std::size_t n = std::strlen(s);
+      if (w.size() > n && w.compare(w.size() - n, n, s) == 0) return true;
+    }
     return false;
   }
 };

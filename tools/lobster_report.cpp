@@ -8,22 +8,133 @@
 // and the §5 diagnosis.
 //
 // Usage: lobster_report <journal.jsonl> [--csv]
-//   --csv   additionally dump the task table as CSV to stdout
+//        lobster_report --trace <trace.jsonl>
+//   --csv    additionally dump the task table as CSV to stdout
+//   --trace  analyse a structured trace written by `lobster_sim --trace`
+//            (or Engine::enable_tracing) instead of a DB journal: the file
+//            is validated (well-formed JSON, monotone timestamps, balanced
+//            begin/end spans — non-zero exit on failure, so CI can use this
+//            as a smoke check), then the per-task end-event payloads are
+//            replayed into a Monitor for the runtime breakdown and the §5
+//            diagnosis, and the final counter plane is printed.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/db.hpp"
 #include "core/monitor.hpp"
+#include "core/trace_replay.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 #include "util/units.hpp"
 
 using namespace lobster;
 
+namespace {
+
+/// The Figure 8 table, shared by the journal and trace reports.
+void print_breakdown_and_diagnosis(const core::Monitor& monitor) {
+  const auto b = monitor.breakdown();
+  std::puts("\nruntime breakdown (Figure 8 form):");
+  util::Table breakdown({"phase", "time", "fraction"});
+  const double total = b.total();
+  auto frac = [total](double v) {
+    return total > 0.0 ? util::Table::num(100.0 * v / total, 1) + " %" : "-";
+  };
+  breakdown.row({"Task CPU Time", util::format_duration(b.cpu), frac(b.cpu)});
+  breakdown.row({"Task I/O Time", util::format_duration(b.io), frac(b.io)});
+  breakdown.row({"Task Failed", util::format_duration(b.failed),
+                 frac(b.failed)});
+  breakdown.row({"WQ Stage In", util::format_duration(b.stage_in + b.other),
+                 frac(b.stage_in + b.other)});
+  breakdown.row({"WQ Stage Out", util::format_duration(b.stage_out),
+                 frac(b.stage_out)});
+  std::fputs(breakdown.str().c_str(), stdout);
+
+  std::puts("\ndiagnosis (paper SS5 rules):");
+  const auto diags = monitor.diagnose();
+  if (diags.empty()) std::puts("  no bottlenecks detected");
+  for (const auto& d : diags)
+    std::printf("  [%.2f] %s\n         -> %s\n", d.severity, d.symptom.c_str(),
+                d.advice.c_str());
+}
+
+int report_trace(const std::string& path) {
+  std::vector<util::TraceEvent> events;
+  try {
+    events = util::read_trace_jsonl(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const std::string problem = util::validate_trace(events);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "error: invalid trace %s: %s\n", path.c_str(),
+                 problem.c_str());
+    return 1;
+  }
+
+  const core::TraceReplay replay = core::replay_trace(events);
+  std::printf("== Lobster trace report: %s ==\n\n", path.c_str());
+  std::printf("%zu events, %zu task records", events.size(),
+              replay.records.size());
+  if (replay.open_spans > 0)
+    std::printf(" (%zu spans still open — truncated run)", replay.open_spans);
+  std::puts("");
+
+  core::Monitor monitor(600.0);
+  std::uint64_t tasklets = 0;
+  for (const auto& rec : replay.records) {
+    monitor.on_task_finished(rec);
+    if (rec.status == core::TaskStatus::Done &&
+        rec.kind == core::TaskKind::Analysis)
+      tasklets += rec.tasklets.size();
+  }
+  util::Table state({"result", "value"});
+  state.row({"tasks seen", util::Table::integer(
+                               static_cast<long long>(monitor.tasks_seen()))});
+  state.row({"tasks failed / evicted",
+             util::Table::integer(
+                 static_cast<long long>(monitor.tasks_failed())) +
+                 " / " +
+                 util::Table::integer(
+                     static_cast<long long>(monitor.tasks_evicted()))});
+  state.row({"tasklets processed",
+             util::Table::integer(static_cast<long long>(tasklets))});
+  std::fputs(state.str().c_str(), stdout);
+
+  print_breakdown_and_diagnosis(monitor);
+
+  if (!replay.final_counters.empty()) {
+    std::puts("\nfinal counter plane:");
+    util::Table counters({"counter", "value"});
+    for (const auto& [name, value] : replay.final_counters)
+      counters.row({name, value == static_cast<double>(
+                                       static_cast<long long>(value))
+                              ? util::Table::integer(
+                                    static_cast<long long>(value))
+                              : util::Table::num(value, 1)});
+    std::fputs(counters.str().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <journal.jsonl> [--csv]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <journal.jsonl> [--csv]\n"
+                 "       %s --trace <trace.jsonl>\n",
+                 argv[0], argv[0]);
     return 2;
+  }
+  if (std::strcmp(argv[1], "--trace") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --trace <trace.jsonl>\n", argv[0]);
+      return 2;
+    }
+    return report_trace(argv[2]);
   }
   const std::string path = argv[1];
   const bool want_csv = argc > 2 && std::strcmp(argv[2], "--csv") == 0;
@@ -90,29 +201,7 @@ int main(int argc, char** argv) {
         rec.status == core::TaskStatus::Evicted)
       monitor.on_task_finished(rec);
   }
-  const auto b = monitor.breakdown();
-  std::puts("\nruntime breakdown (Figure 8 form):");
-  util::Table breakdown({"phase", "time", "fraction"});
-  const double total = b.total();
-  auto frac = [total](double v) {
-    return total > 0.0 ? util::Table::num(100.0 * v / total, 1) + " %" : "-";
-  };
-  breakdown.row({"Task CPU Time", util::format_duration(b.cpu), frac(b.cpu)});
-  breakdown.row({"Task I/O Time", util::format_duration(b.io), frac(b.io)});
-  breakdown.row({"Task Failed", util::format_duration(b.failed),
-                 frac(b.failed)});
-  breakdown.row({"WQ Stage In", util::format_duration(b.stage_in + b.other),
-                 frac(b.stage_in + b.other)});
-  breakdown.row({"WQ Stage Out", util::format_duration(b.stage_out),
-                 frac(b.stage_out)});
-  std::fputs(breakdown.str().c_str(), stdout);
-
-  std::puts("\ndiagnosis (paper SS5 rules):");
-  const auto diags = monitor.diagnose();
-  if (diags.empty()) std::puts("  no bottlenecks detected");
-  for (const auto& d : diags)
-    std::printf("  [%.2f] %s\n         -> %s\n", d.severity, d.symptom.c_str(),
-                d.advice.c_str());
+  print_breakdown_and_diagnosis(monitor);
 
   if (want_csv) {
     std::puts("\n-- task table (CSV) --");

@@ -5,7 +5,8 @@
 // diagnosis.
 //
 // Usage: lobster_sim <scenario.ini> [--seeds N] [--jobs M]
-//                    [--availability SPEC]
+//                    [--availability SPEC] [--trace PATH]
+//                    [--trace-format jsonl|chrome]
 //
 // With --seeds N the scenario becomes a campaign: N runs seeded
 // base..base+N-1 execute across M worker threads (lobsim::Campaign), the
@@ -13,6 +14,15 @@
 // sweep.  Aggregates are submission-ordered, so --jobs does not change them.
 // --availability overrides the scenario's availability model (what-if: the
 // same workflow under a harsher climate).
+//
+// --trace PATH writes a structured trace of the run: per-task lifecycle
+// spans, segment spans and the final counter snapshot.  jsonl is the
+// line-oriented analysis format (feed it to `lobster_report --trace`);
+// chrome is a Chrome-trace-event JSON loadable in Perfetto / about:tracing.
+// A single seed writes exactly PATH; a seed sweep treats PATH (minus its
+// extension) as a prefix and writes one `<prefix>-run<I>-seed<S>` file per
+// run.  The `[trace]` scenario section (`file`, `format`) sets the same
+// thing; the flags override it.
 //
 // Example scenario file:
 //
@@ -52,12 +62,17 @@
 //   [run]
 //   time_cap = 30d             # simulated-time budget; unfinished runs are
 //                              # reported as INCOMPLETE, not as finished
+//
+//   [trace]
+//   file = run-trace.jsonl     # where the structured trace goes
+//   format = jsonl             # or chrome (Perfetto-loadable)
 #include <cstdio>
 #include <string>
 
 #include "lobsim/campaign.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 #include "util/units.hpp"
 
 using namespace lobster;
@@ -66,7 +81,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: %s <scenario.ini> [--seeds N] [--jobs M] "
-                 "[--availability SPEC]\n",
+                 "[--availability SPEC] [--trace PATH] "
+                 "[--trace-format jsonl|chrome]\n",
                  argv[0]);
     return 2;
   }
@@ -175,12 +191,39 @@ int main(int argc, char** argv) {
   // as INCOMPLETE rather than pretending the cap was the makespan.
   spec.time_cap = cfg.get_duration("run", "time_cap", spec.time_cap);
 
+  // Trace destination: `[trace]` section first, then the flags on top
+  // (CLI wins).  The format may be given on its own; it then applies to the
+  // INI-configured file.
+  std::string trace_path = cfg.get_string("trace", "file", "");
+  util::TraceFormat trace_format = util::TraceFormat::Jsonl;
+  try {
+    trace_format =
+        util::parse_trace_format(cfg.get_string("trace", "format", "jsonl"));
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg != "--trace" && arg != "--trace-format") continue;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      // Consume the value here so later scans never re-read it as a flag.
+      if (arg == "--trace")
+        trace_path = argv[++i];
+      else
+        trace_format = util::parse_trace_format(argv[++i]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
   const std::uint64_t base_seed =
       static_cast<std::uint64_t>(cfg.get_int("workflow", "seed", 2015));
   lobsim::CampaignOptions opts;
   try {
-    opts = lobsim::parse_campaign_flags(argc, argv, base_seed, 1,
-                                        {"--availability"});
+    opts = lobsim::parse_campaign_flags(
+        argc, argv, base_seed, 1,
+        {"--availability", "--trace", "--trace-format"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -199,6 +242,26 @@ int main(int argc, char** argv) {
 
   lobsim::Campaign campaign(opts.jobs);
   campaign.keep_metrics(true);  // the report wants the first run's monitor
+  if (!trace_path.empty()) {
+    if (opts.seeds.size() == 1) {
+      // One run: honour the path exactly.
+      spec.trace_path = trace_path;
+      spec.trace_format = trace_format;
+      std::printf("tracing to %s (%s)\n", trace_path.c_str(),
+                  util::to_string(trace_format));
+    } else {
+      // A sweep: strip the extension (if the conventional one) and write
+      // one trace per run under that prefix.
+      std::string prefix = trace_path;
+      const std::string ext = util::trace_extension(trace_format);
+      if (prefix.size() > ext.size() &&
+          prefix.compare(prefix.size() - ext.size(), ext.size(), ext) == 0)
+        prefix.resize(prefix.size() - ext.size());
+      campaign.trace_to(prefix, trace_format);
+      std::printf("tracing each run to %s-run<I>-seed<S>%s (%s)\n",
+                  prefix.c_str(), ext.c_str(), util::to_string(trace_format));
+    }
+  }
   campaign.add_seed_sweep(spec, opts.seeds);
   campaign.run();
 
