@@ -60,9 +60,12 @@ void Engine::enable_tracing(const std::string& path, util::TraceFormat format) {
 }
 
 std::uint64_t Engine::task_track(const WorkerNode& node, std::size_t slot) {
-  return ((static_cast<std::uint64_t>(node.site) + 1) << 24) |
-         ((static_cast<std::uint64_t>(node.id) & 0xFFFF) << 8) |
-         (static_cast<std::uint64_t>(slot) & 0xFF);
+  // 64-bit track id: site in the top bits, 24 bits of node id, 16 bits of
+  // slot — wide enough that concurrently running tasks never collide (a
+  // collision would interleave begin/end events and fail validate_trace).
+  return ((static_cast<std::uint64_t>(node.site) + 1) << 40) |
+         ((static_cast<std::uint64_t>(node.id) & 0xFFFFFF) << 16) |
+         (static_cast<std::uint64_t>(slot) & 0xFFFF);
 }
 
 void Engine::schedule_outage(double start, double duration) {

@@ -17,6 +17,7 @@
 //            as a smoke check), then the per-task end-event payloads are
 //            replayed into a Monitor for the runtime breakdown and the §5
 //            diagnosis, and the final counter plane is printed.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -108,12 +109,23 @@ int report_trace(const std::string& path) {
   if (!replay.final_counters.empty()) {
     std::puts("\nfinal counter plane:");
     util::Table counters({"counter", "value"});
-    for (const auto& [name, value] : replay.final_counters)
-      counters.row({name, value == static_cast<double>(
-                                       static_cast<long long>(value))
-                              ? util::Table::integer(
-                                    static_cast<long long>(value))
-                              : util::Table::num(value, 1)});
+    for (const auto& [name, value] : replay.final_counters) {
+      // Casting a double >= 2^63 to long long is UB, so range-check before
+      // treating the value as an integer; out-of-range counters fall through
+      // to %.0f, which renders them exactly for any uint64-backed counter.
+      const bool integral =
+          std::floor(value) == value && std::fabs(value) < 9.2e18;
+      if (integral) {
+        counters.row({name, util::Table::integer(
+                                static_cast<long long>(value))});
+      } else if (std::floor(value) == value) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        counters.row({name, buf});
+      } else {
+        counters.row({name, util::Table::num(value, 1)});
+      }
+    }
     std::fputs(counters.str().c_str(), stdout);
   }
   return 0;
