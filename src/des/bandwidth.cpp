@@ -31,7 +31,7 @@ void BandwidthLink::set_capacity(double bytes_per_s) {
 
 double BandwidthLink::bytes_moved() const {
   double partial = 0.0;
-  for (const auto& [id, f] : flows_) partial += f.total - f.remaining;
+  for (const Flow& f : flows_) partial += f.total - f.remaining;
   // NB: callers that need an exact instantaneous figure should be aware the
   // in-flight component is integrated up to last_update_ only.
   return completed_bytes_ + partial;
@@ -39,7 +39,7 @@ double BandwidthLink::bytes_moved() const {
 
 double BandwidthLink::allocated_rate() const {
   double sum = 0.0;
-  for (const auto& [id, f] : flows_) sum += f.rate;
+  for (const Flow& f : flows_) sum += f.rate;
   return sum;
 }
 
@@ -50,11 +50,12 @@ std::shared_ptr<Event> BandwidthLink::start_flow(double bytes,
   auto done = std::make_shared<Event>(sim_);
   advance();
   Flow f;
+  f.id = next_id_++;
   f.total = bytes;
   f.remaining = bytes;
   f.cap = rate_cap;
   f.done = done;
-  flows_.emplace(next_id_++, std::move(f));
+  flows_.push_back(std::move(f));  // ids are monotone: order stays sorted
   recompute_rates();
   reschedule();
   return done;
@@ -67,8 +68,12 @@ void BandwidthLink::advance() {
   // The completion sweep must run even when dt == 0: a flow whose residual
   // is below one time ulp would otherwise reschedule at the same timestamp
   // forever (zero-advance event storm).
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    Flow& f = it->second;
+  // Stable compaction in flow-id order: completions trigger in the same
+  // order the std::map walk produced, so event sequence numbers (and
+  // therefore every downstream golden) are unchanged.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
     if (dt > 0.0) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
     // Relative epsilon: large transfers accumulate proportionally larger
     // floating-point residue.
@@ -76,11 +81,12 @@ void BandwidthLink::advance() {
     if (f.remaining <= eps) {
       completed_bytes_ += f.total;
       f.done->trigger();
-      it = flows_.erase(it);
     } else {
-      ++it;
+      if (out != i) flows_[out] = std::move(f);
+      ++out;
     }
   }
+  flows_.resize(out);
 }
 
 void BandwidthLink::recompute_rates() {
@@ -88,7 +94,7 @@ void BandwidthLink::recompute_rates() {
   // the leftover is shared equally among the rest.  Iterate until stable.
   std::vector<Flow*> unassigned;
   unassigned.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
+  for (Flow& f : flows_) {
     f.rate = 0.0;
     unassigned.push_back(&f);
   }
@@ -120,7 +126,7 @@ void BandwidthLink::recompute_rates() {
 void BandwidthLink::reschedule() {
   const std::uint64_t gen = ++gen_;
   double min_dt = std::numeric_limits<double>::infinity();
-  for (const auto& [id, f] : flows_)
+  for (const Flow& f : flows_)
     if (f.rate > 0.0) min_dt = std::min(min_dt, f.remaining / f.rate);
   if (!std::isfinite(min_dt)) return;  // link down or no flows
   // Guarantee strict time progress: a delay below one ulp of now() would

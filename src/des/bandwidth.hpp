@@ -17,8 +17,8 @@
 #include <coroutine>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "des/simulation.hpp"
 
@@ -65,9 +65,10 @@ class BandwidthLink {
  private:
   friend struct TransferAwaiter;
   struct Flow {
-    double total;
-    double remaining;
-    double cap;
+    std::uint64_t id = 0;
+    double total = 0.0;
+    double remaining = 0.0;
+    double cap = 0.0;
     double rate = 0.0;
     std::shared_ptr<Event> done;
   };
@@ -87,8 +88,12 @@ class BandwidthLink {
   double completed_bytes_ = 0.0;
   std::uint64_t next_id_ = 0;
   std::uint64_t gen_ = 0;
-  // Ordered by flow id so same-time completions trigger deterministically.
-  std::map<std::uint64_t, Flow> flows_;
+  // Flat array kept in ascending flow-id order (ids are assigned
+  // monotonically, so push_back maintains it; completion erasure compacts
+  // stably).  Id-order iteration makes same-time completions trigger
+  // deterministically and pins the floating-point summation order the
+  // golden files depend on.
+  std::vector<Flow> flows_;
 };
 
 }  // namespace lobster::des

@@ -6,8 +6,14 @@
 // getter's awaiter slot before resuming it, so a concurrently arriving getter
 // can never steal an item out from under a woken waiter.  Invariant: the item
 // buffer and the waiter list are never both non-empty.
+//
+// put() after close() is a producer bug — the item can never be delivered.
+// Debug builds assert; release builds drop the item but count it on the
+// simulation's `des.queue.dropped_after_close` counter so the loss is
+// visible in the metrics plane instead of silent.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <deque>
 #include <optional>
@@ -20,7 +26,10 @@ namespace lobster::des {
 template <typename T>
 class SimQueue {
  public:
-  explicit SimQueue(Simulation& sim) : sim_(&sim) {}
+  explicit SimQueue(Simulation& sim)
+      : sim_(&sim),
+        dropped_counter_(
+            &sim.counters().counter("des.queue.dropped_after_close")) {}
   SimQueue(const SimQueue&) = delete;
   SimQueue& operator=(const SimQueue&) = delete;
 
@@ -43,13 +52,19 @@ class SimQueue {
   };
 
   /// Enqueue an item; delivers directly to the oldest waiting getter if any.
+  /// Calling put() on a closed queue loses the item: asserts in debug,
+  /// counts `des.queue.dropped_after_close` in release.
   void put(T item) {
-    if (closed_) return;
+    if (closed_) {
+      assert(!closed_ && "SimQueue::put after close");
+      dropped_counter_->add();
+      return;
+    }
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
       w.awaiter->value = std::move(item);
-      sim_->schedule(0.0, [h = w.handle] { h.resume(); });
+      sim_->schedule_resume(0.0, w.handle);
       return;
     }
     items_.push_back(std::move(item));
@@ -62,7 +77,7 @@ class SimQueue {
     while (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
-      sim_->schedule(0.0, [h = w.handle] { h.resume(); });
+      sim_->schedule_resume(0.0, w.handle);
     }
   }
 
@@ -88,6 +103,8 @@ class SimQueue {
   };
 
   Simulation* sim_;
+  /// Cached `des.queue.dropped_after_close` counter (registry-shared).
+  util::Counter* dropped_counter_;
   std::deque<T> items_;
   std::deque<Waiter> waiters_;
   bool closed_ = false;

@@ -51,7 +51,7 @@ void Resource::grant_waiters() {
     Waiter w = waiters_.front();
     waiters_.pop_front();
     available_ -= w.amount;  // reserve before the waiter actually runs
-    sim_.schedule(0.0, [h = w.handle] { h.resume(); });
+    sim_.schedule_resume(0.0, w.handle);
   }
 }
 

@@ -13,7 +13,7 @@ void Process::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
   Simulation* sim = pr.sim;
   // Keep the completion event alive past frame destruction.
   std::shared_ptr<Event> done = std::move(pr.done);
-  if (sim) sim->unregister(h.address());
+  if (sim) sim->unregister(pr.live);
   h.destroy();
   if (done) done->trigger();
 }
@@ -30,8 +30,7 @@ void Event::trigger() {
   triggered_ = true;
   // Resume waiters through the event queue so trigger() never re-enters
   // user coroutines synchronously.
-  for (auto h : waiters_)
-    sim_->schedule(0.0, [h] { h.resume(); });
+  for (auto h : waiters_) sim_->schedule_resume(0.0, h);
   waiters_.clear();
 }
 
@@ -40,12 +39,12 @@ Simulation::~Simulation() {
   // callbacks may capture the (now dangling) handles, but the queue is
   // discarded without executing them.  Frames go down in reverse spawn
   // order (LIFO, like stack unwinding) so teardown side effects never
-  // depend on hash order.
+  // depend on slot-recycling order.
   std::vector<std::pair<std::uint64_t, void*>> frames;
   frames.reserve(live_.size());
-  // lobster-lint: ordered-ok(collection only; destroyed after sorting)
-  for (const auto& [frame, spawn_seq] : live_)
-    frames.emplace_back(spawn_seq, frame);
+  live_.for_each([&frames](EntityHandle, LiveProc& lp) {
+    frames.emplace_back(lp.spawn_seq, lp.frame);
+  });
   std::sort(frames.begin(), frames.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (const auto& [spawn_seq, frame] : frames)
@@ -53,8 +52,14 @@ Simulation::~Simulation() {
 }
 
 void Simulation::schedule(double delay, std::function<void()> fn) {
-  if (delay < 0.0) throw std::invalid_argument("schedule: negative delay");
-  queue_.push(Entry{now_ + delay, seq_++, std::move(fn)});
+  // !(>= 0) also rejects NaN, which would silently corrupt queue order.
+  if (!(delay >= 0.0)) throw std::invalid_argument("schedule: negative delay");
+  queue_.push_fn(now_ + delay, std::move(fn));
+}
+
+void Simulation::schedule_resume(double delay, std::coroutine_handle<> h) {
+  if (!(delay >= 0.0)) throw std::invalid_argument("schedule: negative delay");
+  queue_.push_resume(now_ + delay, h);
 }
 
 ProcessRef Simulation::spawn(Process p) {
@@ -62,22 +67,41 @@ ProcessRef Simulation::spawn(Process p) {
   assert(h && "spawn of moved-from Process");
   auto& pr = h.promise();
   pr.sim = this;
-  pr.done = std::make_shared<Event>(*this);
-  live_.emplace(h.address(), spawned_++);
-  schedule(0.0, [h] { h.resume(); });
-  return ProcessRef(pr.done);
+  pr.live = live_.emplace(LiveProc{h.address(), spawned_++});
+  schedule_resume(0.0, h);
+  return ProcessRef(this, pr.live);
+}
+
+std::shared_ptr<Event> Simulation::join_event(EntityHandle h) {
+  if (LiveProc* lp = live_.get(h)) {
+    auto& pr = Process::Handle::from_address(lp->frame).promise();
+    if (!pr.done) pr.done = std::make_shared<Event>(*this);
+    return pr.done;
+  }
+  // Process already finished (or handle stale): joining completes
+  // immediately, exactly as awaiting its triggered done event would.
+  if (!finished_event_) {
+    finished_event_ = std::make_shared<Event>(*this);
+    finished_event_->trigger();  // no waiters yet; just marks triggered
+  }
+  return finished_event_;
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  // Move the entry out before popping so the callback survives the pop.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  assert(e.time >= now_ && "event queue went backwards");
-  now_ = e.time;
+  EventQueue::Item item;
+  if (!queue_.pop_next(item)) return false;
+  assert(item.time >= now_ && "event queue went backwards");
+  now_ = item.time;
   ++executed_;
   events_counter_->add();
-  e.fn();
+  if (item.handle) {
+    item.handle.resume();
+  } else {
+    // Move the callback out (recycling its slab slot) before invoking, so
+    // it may freely schedule new events.
+    EventQueue::Callback fn = queue_.take_fn(item.fn);
+    fn();
+  }
   maybe_rethrow();
   return true;
 }
@@ -88,7 +112,7 @@ void Simulation::run(std::uint64_t max_events) {
 }
 
 void Simulation::run_until(double t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.next_time() <= t) step();
   if (now_ < t) now_ = t;
 }
 

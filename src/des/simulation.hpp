@@ -7,6 +7,12 @@
 // at the same timestamp fire in scheduling order (a monotonically increasing
 // sequence number breaks ties), so a fixed seed reproduces a run exactly.
 //
+// Hot-path layout: pending events live in a two-level calendar queue
+// (des/event_queue.hpp) and live processes in a generational slab
+// (des/handle.hpp) — no per-event heap nodes, no pointer-keyed hash maps.
+// Coroutine resumptions travel as raw handles (schedule_resume); only
+// external callbacks pay for std::function type erasure.
+//
 // Ownership model: a coroutine returning des::Process starts suspended and
 // owns its own frame until Simulation::spawn() takes it over.  Frames are
 // destroyed either when the process finishes (inside final_suspend) or when
@@ -18,10 +24,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "des/event_queue.hpp"
+#include "des/handle.hpp"
 #include "util/trace.hpp"
 
 namespace lobster::des {
@@ -30,16 +36,22 @@ class Simulation;
 class Event;
 
 /// Handle for joining a spawned process: exposes the completion event.
+/// Internally an EntityHandle into the simulation's live-process slab; the
+/// completion Event is materialised lazily on the first done() call, so a
+/// spawn that nobody joins allocates nothing.
 class ProcessRef {
  public:
   ProcessRef() = default;
-  explicit ProcessRef(std::shared_ptr<Event> done) : done_(std::move(done)) {}
-  /// Completion event — co_await ref.done() to join the process.
-  Event& done() const { return *done_; }
-  bool valid() const { return done_ != nullptr; }
+  ProcessRef(Simulation* sim, EntityHandle h) : sim_(sim), h_(h) {}
+  /// Completion event — co_await ref.done() to join the process.  For an
+  /// already-finished process this returns an event that is triggered.
+  Event& done() const;
+  bool valid() const { return sim_ != nullptr; }
 
  private:
-  std::shared_ptr<Event> done_;
+  Simulation* sim_ = nullptr;
+  EntityHandle h_;
+  mutable std::shared_ptr<Event> done_;  ///< cache of the joined event
 };
 
 /// Coroutine return type for simulation processes.
@@ -50,7 +62,10 @@ class [[nodiscard]] Process {
 
   struct promise_type {
     Simulation* sim = nullptr;
+    /// Completion event, created lazily by ProcessRef::done().
     std::shared_ptr<Event> done;
+    /// This process's slot in the simulation's live-process slab.
+    EntityHandle live;
 
     Process get_return_object() {
       return Process(Handle::from_promise(*this));
@@ -113,7 +128,7 @@ class Event {
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
-/// The simulation engine: a time-ordered callback queue plus the process
+/// The simulation engine: a time-ordered calendar queue plus the process
 /// registry.  Time is a double in seconds starting at 0.
 class Simulation {
  public:
@@ -127,6 +142,11 @@ class Simulation {
   /// Schedule a raw callback `delay` seconds from now (delay >= 0).
   void schedule(double delay, std::function<void()> fn);
 
+  /// Schedule a coroutine resumption `delay` seconds from now — the
+  /// allocation-free fast path used by delays, event triggers and resource
+  /// grants.
+  void schedule_resume(double delay, std::coroutine_handle<> h);
+
   /// Take ownership of a process coroutine and schedule its first step at
   /// the current time.  Returns a joinable reference.
   ProcessRef spawn(Process p);
@@ -137,7 +157,7 @@ class Simulation {
     double dt;
     bool await_ready() const noexcept { return dt <= 0.0; }
     void await_suspend(std::coroutine_handle<> h) {
-      sim->schedule(dt, [h] { h.resume(); });
+      sim->schedule_resume(dt, h);
     }
     void await_resume() const noexcept {}
   };
@@ -166,35 +186,44 @@ class Simulation {
 
  private:
   friend struct Process::promise_type;
-  void unregister(void* frame) { live_.erase(frame); }
+  friend class ProcessRef;
+
+  /// One entry per live (spawned, unfinished) process coroutine.
+  struct LiveProc {
+    void* frame = nullptr;
+    std::uint64_t spawn_seq = 0;
+  };
+
+  void unregister(EntityHandle h) { live_.erase(h); }
+  /// The completion event for live process `h`, creating it in the promise
+  /// on first use; a shared pre-triggered event when `h` is stale
+  /// (process already finished).
+  std::shared_ptr<Event> join_event(EntityHandle h);
   void record_error(std::exception_ptr e) {
     if (!error_) error_ = e;
   }
   void maybe_rethrow();
 
-  struct Entry {
-    double time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
-  };
-
   double now_ = 0.0;
-  std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t spawned_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  /// Live coroutine frames, keyed to their spawn sequence so teardown can
-  /// run in a deterministic (reverse-spawn) order.
-  std::unordered_map<void*, std::uint64_t> live_;
+  EventQueue queue_;
+  /// Live coroutine frames; spawn_seq makes teardown deterministic
+  /// (reverse-spawn order), independent of slot reuse.
+  Slab<LiveProc> live_;
+  /// Lazily created, already-triggered event handed to joins of finished
+  /// processes.
+  std::shared_ptr<Event> finished_event_;
   std::exception_ptr error_;
   util::Tracer tracer_;
   util::CounterRegistry counters_;
   /// Cached so step() pays one atomic add, not a map lookup.
   util::Counter* events_counter_ = &counters_.counter("des.events_dispatched");
 };
+
+inline Event& ProcessRef::done() const {
+  if (!done_) done_ = sim_->join_event(h_);
+  return *done_;
+}
 
 }  // namespace lobster::des

@@ -75,8 +75,8 @@ void Engine::schedule_outage(double start, double duration) {
 const EngineMetrics& Engine::run(double time_cap) {
   end_time_cap_ = time_cap;
   sites_->start(
-      [this](std::shared_ptr<WorkerNode> node, std::size_t slot) {
-        return core_slot(std::move(node), slot);
+      [this](NodeHandle node, std::size_t slot) {
+        return core_slot(node, slot);
       },
       [this] { return done_; }, time_cap);
   sim_.spawn(
@@ -133,10 +133,10 @@ des::Process Engine::gauge_sampler(double period) {
   }
 }
 
-des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
-                               std::size_t slot) {
-  while (!done_ && sim_.now() < node->death && sim_.now() < end_time_cap_) {
-    auto task = next_task(*node);
+des::Process Engine::core_slot(NodeHandle handle, std::size_t slot) {
+  WorkerNode& node = sites_->node(handle);  // stable dense-array slot
+  while (!done_ && sim_.now() < node.death && sim_.now() < end_time_cap_) {
+    auto task = next_task(node);
     if (!task) {
       if (workflow_complete()) co_return;
       // Momentarily idle (e.g. waiting for merge work); poll again.
@@ -148,7 +148,7 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
     ctr_tasks_dispatched_->add();
 
-    const std::uint64_t track = task_track(*node, slot);
+    const std::uint64_t track = task_track(node, slot);
     util::Span span = sim_.tracer().span(
         "task", task->is_merge ? "merge" : "analysis", track);
 
@@ -168,7 +168,7 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
     --running_tasks_;
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
     const bool failed = !success && !evicted;
-    finish_task(*task, record, success, evicted, node->site);
+    finish_task(*task, record, success, evicted, node.site);
     if (span) {
       // The end event carries the authoritative record: segment spans show
       // the timeline, but reconstruction (trace_replay) uses these args so
@@ -189,14 +189,13 @@ des::Process Engine::core_slot(std::shared_ptr<WorkerNode> node,
   }
 }
 
-des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
-                                       std::size_t slot,
+des::Task<void> Engine::setup_software(WorkerNode& node, std::size_t slot,
                                        core::TaskRecord& record) {
-  auto& squid = sites_->squid(node->site, node->squid);
+  auto& squid = sites_->squid(node.site, node.squid);
   const auto mode = workload_.cache_mode;
   const double t0 = sim_.now();
   util::Span span =
-      sim_.tracer().span("segment", "env_setup", task_track(*node, slot));
+      sim_.tracer().span("segment", "env_setup", task_track(node, slot));
 
   // Cold population: the ~1.5 GB working set (paper §4.3), split into the
   // shared head (hot in the proxy once any worker pulled it) and this
@@ -210,22 +209,22 @@ des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
   };
 
   if (mode == cvmfs::CacheMode::PerInstance) {
-    if (!node->slot_head_ready[slot]) {
+    if (!node.slot_head_ready[slot]) {
       co_await populate();
-      node->slot_head_ready[slot] = true;
+      node.slot_head_ready[slot] = true;
     }
   } else {
     // Alien and Exclusive share one copy per node.  Exclusive additionally
     // holds the whole-cache write lock across population and across every
     // later access (Figure 6(a)); Alien populates and serves concurrently.
     using CS = WorkerNode::CacheState;
-    while (node->cache_state != CS::Ready) {
-      if (node->cache_state == CS::Cold) {
-        node->cache_state = CS::Populating;
-        auto round = node->cache_round;
+    while (node.cache_state != CS::Ready) {
+      if (node.cache_state == CS::Cold) {
+        node.cache_state = CS::Populating;
+        auto round = node.cache_round;
         try {
           if (mode == cvmfs::CacheMode::Exclusive) {
-            auto lock = co_await node->cache_lock->acquire();
+            auto lock = co_await node.cache_lock->acquire();
             co_await populate();
           } else {
             co_await populate();
@@ -233,15 +232,15 @@ des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
         } catch (...) {
           // Failed population must not strand the waiting slots: return
           // to Cold and wake this round so another slot retries.
-          node->cache_state = CS::Cold;
-          node->cache_round = sim_.make_event();
+          node.cache_state = CS::Cold;
+          node.cache_round = sim_.make_event();
           round->trigger();
           throw;
         }
-        node->cache_state = CS::Ready;
+        node.cache_state = CS::Ready;
         round->trigger();
       } else {  // Populating: wait for this round to resolve, then recheck.
-        auto round = node->cache_round;
+        auto round = node.cache_round;
         co_await *round;
       }
     }
@@ -250,7 +249,7 @@ des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
   // Hot-cache traffic for everything beyond the first task is small; under
   // the exclusive discipline even these accesses take the write lock.
   if (mode == cvmfs::CacheMode::Exclusive) {
-    auto lock = co_await node->cache_lock->acquire();
+    auto lock = co_await node.cache_lock->acquire();
     co_await squid.fetch(workload_.hot_setup_bytes, true);
   } else {
     co_await squid.fetch(workload_.hot_setup_bytes, true);
@@ -259,19 +258,18 @@ des::Task<void> Engine::setup_software(std::shared_ptr<WorkerNode> node,
       sim_.now() - t0;
 }
 
-des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
-                                 std::size_t slot, TaskUnit task,
-                                 core::TaskRecord& record) {
+des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
+                                 TaskUnit task, core::TaskRecord& record) {
   auto seg = [&record](core::Segment s) -> double& {
     return record.segment_time[static_cast<std::size_t>(s)];
   };
-  const std::uint64_t track = task_track(*node, slot);
+  const std::uint64_t track = task_track(node, slot);
   const double start = sim_.now();
-  auto evicted_now = [&]() { return sim_.now() >= node->death; };
+  auto evicted_now = [&]() { return sim_.now() >= node.death; };
   auto mark_evicted = [&]() {
     record.status = core::TaskStatus::Evicted;
     record.exit_code = kExitEvicted;
-    record.lost_time = std::min(sim_.now(), node->death) - start;
+    record.lost_time = std::min(sim_.now(), node.death) - start;
   };
 
   if (task.is_merge) {
@@ -280,7 +278,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     const double t_in0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "stage_in", track);
-      co_await sites_->federation(node->site).stage(task.merge_input_bytes);
+      co_await sites_->federation(node.site).stage(task.merge_input_bytes);
     }
     seg(core::Segment::StageIn) += sim_.now() - t_in0;
     if (evicted_now()) {
@@ -338,7 +336,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     {
       util::Span s = sim_.tracer().span("segment", "stage_in", track);
       s.arg("input_bytes", input_bytes);
-      co_await sites_->federation(node->site).stage(input_bytes);
+      co_await sites_->federation(node.site).stage(input_bytes);
     }
     seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
@@ -355,7 +353,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
   // at ~tasklet-sized boundaries by chunking the CPU delay.
   double cpu_total = 0.0;
   for (std::uint32_t i = 0; i < task.n_tasklets; ++i)
-    cpu_total += node->rng.truncated_normal(workload_.tasklet_cpu_mean,
+    cpu_total += node.rng.truncated_normal(workload_.tasklet_cpu_mean,
                                             workload_.tasklet_cpu_sigma, 1.0);
   double stream_bytes = 0.0;
   if (workload_.access == core::DataAccessMode::Stream && input_bytes > 0.0)
@@ -368,7 +366,7 @@ des::Task<bool> Engine::run_task(std::shared_ptr<WorkerNode> node,
     {
       util::Span s = sim_.tracer().span("segment", "execute_io", track);
       s.arg("stream_bytes", stream_bytes);
-      co_await sites_->federation(node->site).stream(stream_bytes);
+      co_await sites_->federation(node.site).stream(stream_bytes);
     }
     seg(core::Segment::ExecuteIo) += sim_.now() - t0;
     if (evicted_now()) {

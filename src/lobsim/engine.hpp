@@ -187,12 +187,15 @@ class Engine {
 
  private:
   des::Process gauge_sampler(double period);
-  des::Process core_slot(std::shared_ptr<WorkerNode> node, std::size_t slot);
+  des::Process core_slot(NodeHandle node, std::size_t slot);
   des::Process hadoop_merge();
-  des::Task<bool> run_task(std::shared_ptr<WorkerNode> node, std::size_t slot,
-                           TaskUnit task, core::TaskRecord& record);
-  des::Task<void> setup_software(std::shared_ptr<WorkerNode> node,
-                                 std::size_t slot, core::TaskRecord& record);
+  /// run_task/setup_software take the resolved node reference: WorkerNode
+  /// storage is stable for the whole run (dense per-site arrays), so the
+  /// reference may be held across suspensions.
+  des::Task<bool> run_task(WorkerNode& node, std::size_t slot, TaskUnit task,
+                           core::TaskRecord& record);
+  des::Task<void> setup_software(WorkerNode& node, std::size_t slot,
+                                 core::TaskRecord& record);
   /// Pull the next task (analysis or merge) from the dispatch policy;
   /// nullopt when the pools are momentarily empty.
   std::optional<TaskUnit> next_task(const WorkerNode& node);

@@ -1,5 +1,7 @@
 #include "lobsim/global_pool.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 
 namespace lobster::lobsim {
@@ -33,6 +35,131 @@ std::vector<PoolOutcome> simulate_global_pool(
   }
   sim.run();
   return outcomes;
+}
+
+namespace {
+
+/// Per-user live-run state.
+struct LiveUser {
+  double unstarted = 0.0;   ///< core-seconds not yet handed to a core
+  double delivered = 0.0;   ///< core-seconds completed
+  std::uint64_t running = 0;
+  std::uint64_t cap = 1;
+  bool eligible = false;  ///< currently in the round-robin ring
+  bool arrived = false;
+  double finish = 0.0;
+};
+
+/// The discrete fair-share dispatcher.  Lives on the stack of
+/// simulate_global_pool_live for the whole sim.run(); scheduled callbacks
+/// capture `this`.
+struct LivePool {
+  des::Simulation& sim;
+  double tasklet_seconds;
+  std::vector<LiveUser> users = {};
+  std::vector<std::uint32_t> ring = {};  ///< eligible user indices
+  std::size_t cursor = 0;
+  std::uint64_t free_cores = 0;
+  std::uint64_t tasklets = 0;
+
+  void mark_eligible(std::uint32_t ui) {
+    LiveUser& u = users[ui];
+    if (!u.eligible && u.unstarted > 0.0 && u.running < u.cap) {
+      u.eligible = true;
+      ring.push_back(ui);
+    }
+  }
+
+  /// Hand out free cores round-robin across the eligible ring.  O(1)
+  /// amortised per assignment; users leaving the ring are swap-removed so
+  /// the ring never holds drained or capped campaigns.
+  void dispatch() {
+    while (free_cores > 0 && !ring.empty()) {
+      if (cursor >= ring.size()) cursor = 0;
+      const std::uint32_t ui = ring[cursor];
+      LiveUser& u = users[ui];
+      const double dur = std::min(tasklet_seconds, u.unstarted);
+      u.unstarted -= dur;
+      ++u.running;
+      --free_cores;
+      ++tasklets;
+      sim.schedule(dur, [this, ui, dur] { complete(ui, dur); });
+      if (u.unstarted <= 0.0 || u.running >= u.cap) {
+        u.eligible = false;
+        ring[cursor] = ring.back();
+        ring.pop_back();
+      } else {
+        ++cursor;
+      }
+    }
+  }
+
+  void complete(std::uint32_t ui, double dur) {
+    LiveUser& u = users[ui];
+    --u.running;
+    ++free_cores;
+    u.delivered += dur;
+    if (u.unstarted <= 0.0) {
+      if (u.running == 0) u.finish = sim.now();
+    } else {
+      mark_eligible(ui);
+    }
+    dispatch();
+  }
+};
+
+}  // namespace
+
+LivePoolResult simulate_global_pool_live(double dedicated_cores,
+                                         const std::vector<PoolUser>& users,
+                                         double tasklet_seconds) {
+  if (dedicated_cores < 1.0)
+    throw std::invalid_argument("global pool live: need at least one core");
+  if (tasklet_seconds <= 0.0)
+    throw std::invalid_argument("global pool live: bad tasklet length");
+  des::Simulation sim;
+  LivePool pool{.sim = sim, .tasklet_seconds = tasklet_seconds};
+  pool.free_cores = static_cast<std::uint64_t>(dedicated_cores);
+  pool.users.resize(users.size());
+  pool.ring.reserve(users.size());
+
+  LivePoolResult result;
+  result.outcomes.resize(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const PoolUser& spec = users[i];
+    if (spec.core_seconds <= 0.0)
+      throw std::invalid_argument("global pool live: user without work: " +
+                                  spec.name);
+    LiveUser& u = pool.users[i];
+    u.unstarted = spec.core_seconds;
+    u.cap = static_cast<std::uint64_t>(std::max(
+        1.0, std::min(spec.max_parallelism, dedicated_cores)));
+    result.outcomes[i].name = spec.name;
+    result.outcomes[i].submit_time = spec.submit_time;
+    const auto ui = static_cast<std::uint32_t>(i);
+    if (spec.submit_time > 0.0) {
+      sim.schedule(spec.submit_time, [&pool, ui] {
+        pool.mark_eligible(ui);
+        pool.dispatch();
+      });
+    } else {
+      pool.mark_eligible(ui);
+    }
+  }
+  pool.dispatch();
+  sim.run();
+
+  double total_core_seconds = 0.0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    result.outcomes[i].finish_time = pool.users[i].finish;
+    result.makespan = std::max(result.makespan, pool.users[i].finish);
+    total_core_seconds += pool.users[i].delivered;
+  }
+  result.events_executed = sim.events_executed();
+  result.tasklets_dispatched = pool.tasklets;
+  result.aggregate_goodput =
+      result.makespan > 0.0 ? total_core_seconds / result.makespan : 0.0;
+  return result;
 }
 
 double lobster_burst_completion(double core_seconds, double burst_cores,

@@ -50,6 +50,30 @@ struct PoolOutcome {
 std::vector<PoolOutcome> simulate_global_pool(
     double dedicated_cores, const std::vector<PoolUser>& users);
 
+/// Result of the discrete live pool run (simulate_global_pool_live).
+struct LivePoolResult {
+  std::vector<PoolOutcome> outcomes;  ///< per user, input order
+  std::uint64_t events_executed = 0;  ///< DES kernel events the run took
+  std::uint64_t tasklets_dispatched = 0;
+  double makespan = 0.0;  ///< finish time of the last campaign
+  /// Aggregate goodput: total core-seconds delivered / makespan.
+  double aggregate_goodput = 0.0;
+};
+
+/// The discrete, event-driven counterpart of simulate_global_pool: every
+/// campaign is chopped into tasklets of `tasklet_seconds` (the remainder
+/// forms a short final tasklet, so the delivered volume matches the fluid
+/// model exactly) and dispatched onto `dedicated_cores` discrete core slots
+/// by a fair-share scheduler (round-robin over users with backlog, each
+/// capped at its own max_parallelism — HTCondor fair share with equal
+/// priorities, discretised).  Runs live on the DES kernel: a 110k-core day
+/// with hundreds of campaigns is millions of tasklet events.  Deterministic;
+/// converges to the fluid max-min allocation as tasklet_seconds -> 0 and
+/// agrees with it to a few percent at one-hour tasklets.
+LivePoolResult simulate_global_pool_live(double dedicated_cores,
+                                         const std::vector<PoolUser>& users,
+                                         double tasklet_seconds = 3600.0);
+
 /// The Lobster alternative for ONE user: an opportunistic burst of
 /// `burst_cores` at `efficiency` (the Figure 3 ceiling accounts for
 /// eviction and overheads).  Returns the completion time of the same

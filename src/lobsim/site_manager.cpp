@@ -48,6 +48,32 @@ SiteManager::SiteManager(des::Simulation& sim, const ClusterParams& cluster,
   }
   total_slots_ = 0;
   for (const auto& site : sites_) total_slots_ += site.params.target_cores;
+
+  // Preallocate every site's dense node array up front: worker handles
+  // index into stable storage for the whole run, and the per-node RNG
+  // streams / replay phases are pure derivations (no rng_ state consumed),
+  // so building them here is bit-identical to the old lazy construction
+  // during the ramp.
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    Site& site = sites_[i];
+    if (site.params.target_cores == 0) continue;
+    const std::size_t num_workers = std::max<std::size_t>(
+        1, site.params.target_cores / cores_per_worker_);
+    site.nodes.resize(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      WorkerNode& node = site.nodes[w];
+      node.id = w;
+      node.site = i;
+      node.rng = rng_.stream("node." + std::to_string(i), w);
+      // Scatter trace-replay phases without consuming the node's RNG
+      // stream (which must keep matching the legacy draw sequence
+      // bit-for-bit).
+      std::uint64_t phase_state =
+          (static_cast<std::uint64_t>(i) << 32) ^ w;
+      node.avail_phase = util::splitmix64(phase_state);
+      node.squid = w % site.squids.size();
+    }
+  }
 }
 
 void SiteManager::schedule_outage(double start, double duration) {
@@ -65,21 +91,11 @@ void SiteManager::start(SlotBody slot_body, DonePredicate done,
 
 des::Process SiteManager::site_batch_system(std::size_t site_index) {
   const Site& site = sites_[site_index];
-  if (site.params.target_cores == 0) co_return;
-  const std::size_t num_workers =
-      std::max<std::size_t>(1, site.params.target_cores / cores_per_worker_);
+  const std::size_t num_workers = site.nodes.size();
+  if (num_workers == 0) co_return;
   for (std::size_t w = 0; w < num_workers; ++w) {
-    auto node = std::make_shared<WorkerNode>();
-    node->id = w;
-    node->site = site_index;
-    node->rng = rng_.stream("node." + std::to_string(site_index), w);
-    // Scatter trace-replay phases without consuming the node's RNG stream
-    // (which must keep matching the legacy draw sequence bit-for-bit).
-    std::uint64_t phase_state =
-        (static_cast<std::uint64_t>(site_index) << 32) ^ w;
-    node->avail_phase = util::splitmix64(phase_state);
-    node->squid = w % site.squids.size();
-    sim_.spawn(worker_life(node));
+    sim_.spawn(worker_life(NodeHandle{static_cast<std::uint32_t>(site_index),
+                                      static_cast<std::uint32_t>(w)}));
     // Stagger worker arrivals across the site's ramp window.
     co_await sim_.delay(site.params.ramp_seconds /
                         static_cast<double>(num_workers));
@@ -87,30 +103,33 @@ des::Process SiteManager::site_batch_system(std::size_t site_index) {
   }
 }
 
-des::Process SiteManager::worker_life(std::shared_ptr<WorkerNode> node) {
+des::Process SiteManager::worker_life(NodeHandle handle) {
+  // The dense node arrays never resize, so this reference stays valid
+  // across every suspension below.
+  WorkerNode& node = sites_[handle.site].nodes[handle.index];
   std::uint64_t incarnation = 0;
   while (!done_() && sim_.now() < time_cap_) {
     // A new life: fresh survival draw, cold cache.
-    node->alive = true;
-    node->death =
-        sim_.now() + sites_[node->site].availability->sample_survival_at(
-                         node->rng, sim_.now(),
-                         node->avail_phase + incarnation);
+    node.alive = true;
+    node.death =
+        sim_.now() + sites_[node.site].availability->sample_survival_at(
+                         node.rng, sim_.now(),
+                         node.avail_phase + incarnation);
     ++incarnation;
-    node->cache_state = WorkerNode::CacheState::Cold;
-    node->cache_round = sim_.make_event();
-    node->slot_head_ready.assign(cores_per_worker_, false);
-    node->cache_lock = std::make_unique<des::Resource>(sim_, 1);
+    node.cache_state = WorkerNode::CacheState::Cold;
+    node.cache_round = sim_.make_event();
+    node.slot_head_ready.assign(cores_per_worker_, false);
+    node.cache_lock = std::make_unique<des::Resource>(sim_, 1);
 
     std::vector<des::ProcessRef> slots;
     slots.reserve(cores_per_worker_);
     for (std::size_t s = 0; s < cores_per_worker_; ++s)
-      slots.push_back(sim_.spawn(slot_body_(node, s)));
+      slots.push_back(sim_.spawn(slot_body_(handle, s)));
     for (auto& ref : slots) co_await ref.done();
-    node->alive = false;
+    node.alive = false;
     if (done_()) co_return;
     // Evicted: the batch system hands the node back after a backoff.
-    co_await sim_.delay(node->rng.exponential(rejoin_mean_seconds_));
+    co_await sim_.delay(node.rng.exponential(rejoin_mean_seconds_));
   }
 }
 

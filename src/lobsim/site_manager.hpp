@@ -80,6 +80,17 @@ struct ClusterParams {
   std::vector<SiteParams> extra_sites;
 };
 
+/// Index-based handle naming one worker node: `site` picks the site,
+/// `index` the slot in that site's dense node array.  Nodes are
+/// preallocated for the whole run (lives recycle in place), so a handle
+/// never goes stale and resolution is two array indexations — no hashing,
+/// no shared_ptr control blocks on the dispatch hot path.
+struct NodeHandle {
+  std::uint32_t site = 0;
+  std::uint32_t index = 0;
+  friend bool operator==(const NodeHandle&, const NodeHandle&) = default;
+};
+
 /// A worker node: one batch-system slot of `cores_per_worker` cores
 /// sharing a Parrot cache, a squid assignment, and a common fate under
 /// eviction.
@@ -108,9 +119,9 @@ struct WorkerNode {
 class SiteManager {
  public:
   /// Coroutine body run for each live core slot; it pulls and executes
-  /// tasks until the worker dies or the workflow ends.
-  using SlotBody =
-      std::function<des::Process(std::shared_ptr<WorkerNode>, std::size_t)>;
+  /// tasks until the worker dies or the workflow ends.  The handle resolves
+  /// through node() to storage that is stable for the whole run.
+  using SlotBody = std::function<des::Process(NodeHandle, std::size_t)>;
   /// Engine-side predicate: stop granting / reviving workers once true.
   using DonePredicate = std::function<bool()>;
 
@@ -134,6 +145,18 @@ class SiteManager {
   [[nodiscard]] std::size_t num_sites() const { return sites_.size(); }
   /// Cluster-wide core count (every site's target_cores summed).
   [[nodiscard]] std::uint64_t total_slots() const { return total_slots_; }
+  /// Resolve a node handle to its (stable) dense-array slot — O(1), the
+  /// engine calls this on every dispatch and eviction check.
+  [[nodiscard]] WorkerNode& node(NodeHandle h) {
+    return sites_[h.site].nodes[h.index];
+  }
+  [[nodiscard]] const WorkerNode& node(NodeHandle h) const {
+    return sites_[h.site].nodes[h.index];
+  }
+  /// Workers preallocated at `site` (target_cores / cores_per_worker).
+  [[nodiscard]] std::size_t num_workers(std::size_t site) const {
+    return sites_.at(site).nodes.size();
+  }
   xrootd::FederationSim& federation(std::size_t site) {
     return *sites_.at(site).federation;
   }
@@ -166,10 +189,13 @@ class SiteManager {
     std::unique_ptr<xrootd::FederationSim> federation;
     std::vector<std::unique_ptr<cvmfs::SquidSim>> squids;
     std::unique_ptr<AvailabilityModel> availability;
+    /// Dense node array, fully allocated at construction and never
+    /// resized — coroutines hold references into it across suspensions.
+    std::vector<WorkerNode> nodes;
   };
 
   des::Process site_batch_system(std::size_t site_index);
-  des::Process worker_life(std::shared_ptr<WorkerNode> node);
+  des::Process worker_life(NodeHandle handle);
 
   des::Simulation& sim_;
   std::size_t cores_per_worker_;

@@ -3,7 +3,10 @@
 // fair-share bandwidth link.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "des/bandwidth.hpp"
@@ -441,4 +444,92 @@ TEST(Bandwidth, PropertyConservationUnderRandomLoad) {
   EXPECT_EQ(static_cast<int>(done.size()), flows);
   EXPECT_NEAR(link.bytes_moved(), total_bytes, 1.0);
   EXPECT_EQ(link.active_flows(), 0u);
+}
+
+// ------------------------------------------- determinism tie-break pins ----
+
+// The calendar queue must preserve the kernel's determinism contract: among
+// equal timestamps, events fire in schedule-sequence order.  This test
+// interleaves same-time clusters with scattered timestamps so the events
+// cross bucket windows, overflow spills and window rebuilds, and pins the
+// exact global (time, sequence) order.
+TEST(Simulation, SameTimeScheduleSequenceOrderUnderCalendarStress) {
+  des::Simulation sim;
+  struct Fired {
+    double time;
+    int stamp;
+  };
+  std::vector<Fired> fired;
+  std::vector<std::pair<double, int>> expected;
+  int stamp = 0;
+  // Three same-time clusters at 100, 2500 and 77777 interleaved with a
+  // spread of unique times (deterministic pseudo-random walk).
+  std::uint64_t x = 42;
+  for (int round = 0; round < 400; ++round) {
+    const double cluster = (round % 3 == 0) ? 100.0
+                           : (round % 3 == 1) ? 2500.0
+                                              : 77777.0;
+    const int s1 = stamp++;
+    sim.schedule(cluster, [&fired, &sim, s1] {
+      fired.push_back({sim.now(), s1});
+    });
+    expected.emplace_back(cluster, s1);
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double t = static_cast<double>((x >> 33) % 100000) * 0.5;
+    const int s2 = stamp++;
+    sim.schedule(t, [&fired, &sim, s2] {
+      fired.push_back({sim.now(), s2});
+    });
+    expected.emplace_back(t, s2);
+  }
+  sim.run();
+  // Expected order: stable sort by time (sequence = insertion order breaks
+  // ties because std::stable_sort preserves it).
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i].time, expected[i].first) << "at " << i;
+    EXPECT_EQ(fired[i].stamp, expected[i].second) << "at " << i;
+  }
+}
+
+// Events scheduled *during* a same-timestamp batch (zero delay from inside
+// a callback) join the end of the batch and still fire in schedule order —
+// the active-batch append path of the calendar queue.
+TEST(Simulation, ZeroDelayFromInsideBatchAppendsInOrder) {
+  des::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule(5.0, [&sim, &order, i] {
+      order.push_back(i);
+      sim.schedule(0.0, [&order, i] { order.push_back(10 + i); });
+    });
+  }
+  sim.run();
+  // The three scheduled events run first (0,1,2), then their zero-delay
+  // children in the order the parents scheduled them (10,11,12).
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+// ----------------------------------------------- queue close accounting ----
+
+TEST(SimQueue, PutAfterCloseIsCountedNotSilent) {
+  des::Simulation sim;
+  des::SimQueue<int> q(sim);
+  q.put(1);
+  q.close();
+#ifdef NDEBUG
+  // Release: the item is dropped but the loss lands on the metrics plane.
+  q.put(2);
+  q.put(3);
+  EXPECT_EQ(
+      sim.counters().counter("des.queue.dropped_after_close").value(), 2u);
+  EXPECT_EQ(q.size(), 1u);  // only the pre-close item remains buffered
+#else
+  // Debug: a producer bug fails fast.
+  EXPECT_DEATH(q.put(2), "put after close");
+#endif
 }

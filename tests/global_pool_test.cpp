@@ -67,3 +67,80 @@ TEST(GlobalPool, ContentionSlowsTheDeadlineUser) {
       lobsim::simulate_global_pool(1000.0, {{"me", 0.0, 1e6, 1e9}});
   EXPECT_GT(busy.back().turnaround(), 10.0 * quiet.back().turnaround());
 }
+
+// ---- the discrete live pool (simulate_global_pool_live) ----
+
+TEST(GlobalPoolLive, SingleUserExactWhenTaskletsDivide) {
+  // 1000 core-s at 10-wide with 100 s tasklets: exactly one wave of 10
+  // tasklets every 100 s, 100 s total per wave -> same as the fluid model.
+  const auto live = lobsim::simulate_global_pool_live(
+      100.0, {{"u", 0.0, 1000.0, 10.0}}, 100.0);
+  ASSERT_EQ(live.outcomes.size(), 1u);
+  EXPECT_NEAR(live.outcomes[0].turnaround(), 100.0, 1e-6);
+  EXPECT_EQ(live.tasklets_dispatched, 10u);
+  EXPECT_NEAR(live.aggregate_goodput, 10.0, 1e-6);
+}
+
+TEST(GlobalPoolLive, RemainderTaskletPreservesVolume) {
+  // 1050 core-s with 100 s tasklets: 10 full tasklets plus a 50 s stub.
+  const auto live = lobsim::simulate_global_pool_live(
+      1.0, {{"u", 0.0, 1050.0, 1.0}}, 100.0);
+  EXPECT_EQ(live.tasklets_dispatched, 11u);
+  EXPECT_NEAR(live.outcomes[0].turnaround(), 1050.0, 1e-6);
+}
+
+TEST(GlobalPoolLive, FairShareMatchesFluidModel) {
+  // The fluid answer: both equal users finish at t = 100 on 50 cores each.
+  // The discrete pool with 10 s tasklets alternates dispatches but delivers
+  // the same shares.
+  const auto live = lobsim::simulate_global_pool_live(
+      100.0, {{"a", 0.0, 5000.0, 1e9}, {"b", 0.0, 5000.0, 1e9}}, 10.0);
+  EXPECT_NEAR(live.outcomes[0].turnaround(), 100.0, 1.0);
+  EXPECT_NEAR(live.outcomes[1].turnaround(), 100.0, 1.0);
+}
+
+TEST(GlobalPoolLive, LateSubmitterQueuesBehindBacklog) {
+  const auto live = lobsim::simulate_global_pool_live(
+      100.0, {{"backlog", 0.0, 20000.0, 1e9}, {"late", 100.0, 1000.0, 1e9}},
+      5.0);
+  // Fluid model: late finishes 20 s after arriving.  Discrete granularity
+  // costs at most a couple of tasklet lengths.
+  EXPECT_NEAR(live.outcomes[1].turnaround(), 20.0, 10.0);
+}
+
+TEST(GlobalPoolLive, CrossChecksClosedFormOnContendedPool) {
+  // Scaled-down fig15: a contended pool with heterogeneous volumes and
+  // parallelism caps.  The live run's aggregate goodput must agree with the
+  // closed-form fluid allocation within the 5% acceptance bound.
+  std::vector<lobsim::PoolUser> users;
+  for (int i = 0; i < 20; ++i) {
+    users.push_back({"bg" + std::to_string(i), 0.0,
+                     50000.0 + 7919.0 * i, 40.0 + 13.0 * (i % 7)});
+  }
+  users.push_back({"ours", 0.0, 400000.0, 200.0});
+  const auto model = lobsim::simulate_global_pool(1000.0, users);
+  double model_makespan = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    model_makespan = std::max(model_makespan, model[i].finish_time);
+    total += users[i].core_seconds;
+  }
+  const auto live = lobsim::simulate_global_pool_live(1000.0, users, 60.0);
+  const double model_goodput = total / model_makespan;
+  EXPECT_NEAR(live.aggregate_goodput, model_goodput, 0.05 * model_goodput);
+  EXPECT_NEAR(live.outcomes.back().turnaround(), model.back().turnaround(),
+              0.05 * model.back().turnaround());
+  // Every tasklet completion is a kernel event (arrival callbacks add more).
+  EXPECT_GE(live.events_executed, live.tasklets_dispatched);
+}
+
+TEST(GlobalPoolLive, ValidatesInput) {
+  EXPECT_THROW(lobsim::simulate_global_pool_live(0.5, {{"u", 0.0, 1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      lobsim::simulate_global_pool_live(10.0, {{"u", 0.0, 1.0, 1.0}}, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      lobsim::simulate_global_pool_live(10.0, {{"u", 0.0, 0.0, 1.0}}),
+      std::invalid_argument);
+}

@@ -192,3 +192,96 @@ TEST(LintEngine, HasTokenRespectsIdentifierBoundaries) {
   EXPECT_FALSE(lint::has_token("int operand;", "rand"));
   EXPECT_TRUE(lint::has_token("x = rand", "rand"));
 }
+
+// ---- hotpath rule ----------------------------------------------------------
+
+TEST(LintHotpath, MapMemberInDesHotPathIsFlagged) {
+  const std::string text =
+      "#pragma once\n"
+      "class EventQueue {\n"
+      " public:\n"
+      "  void push();\n"
+      " private:\n"
+      "  std::unordered_map<void*, int> live_;\n"
+      "  std::map<double, int> calendar_;\n"
+      "};\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("src/des/event_queue.hpp", text));
+  const auto fs = lint::run(corpus, {});
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "hotpath");
+  EXPECT_EQ(fs[0].line, 6u);
+  EXPECT_EQ(fs[1].line, 7u);
+}
+
+TEST(LintHotpath, OutsideRootsAndLocalsAndReturnsAreClean) {
+  // Same class text outside the hot-path roots: clean.
+  const std::string text =
+      "#pragma once\n"
+      "class Registry {\n"
+      "  std::map<std::string, int> counters_;\n"
+      "};\n";
+  lint::Corpus outside;
+  outside.files.push_back(lint::make_source("src/util/registry.hpp", text));
+  EXPECT_TRUE(lint::run(outside, {}).empty());
+
+  // Inside the roots: function-local maps and map-returning member
+  // functions are off the event path and stay clean.
+  const std::string inside_text =
+      "#pragma once\n"
+      "class Exporter {\n"
+      " public:\n"
+      "  std::map<std::string, double> snapshot() const;\n"
+      "  void flush() {\n"
+      "    std::map<int, int> local;\n"
+      "    local[1] = 2;\n"
+      "  }\n"
+      "};\n";
+  lint::Corpus inside;
+  inside.files.push_back(
+      lint::make_source("src/lobsim/exporter.hpp", inside_text));
+  EXPECT_TRUE(lint::run(inside, {}).empty());
+}
+
+TEST(LintHotpath, AuditedSuppressionSilencesAndCustomRootsApply) {
+  const std::string text =
+      "#pragma once\n"
+      "class Engine {\n"
+      "  // lobster-lint: hotpath-ok(cold path: touched once per campaign)\n"
+      "  std::map<int, int> cold_;\n"
+      "};\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("src/des/engine.hpp", text));
+  EXPECT_TRUE(lint::run(corpus, {}).empty());
+
+  // Custom roots move the rule elsewhere.
+  lint::Options opts;
+  opts.hotpath_roots = {"src/wq/"};
+  lint::Corpus wq;
+  wq.files.push_back(lint::make_source(
+      "src/wq/master.hpp",
+      "#pragma once\nstruct M {\n  std::unordered_map<int, int> m_;\n};\n"));
+  const auto fs = lint::run(wq, opts);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hotpath");
+  // ...and the des/ tree is out of scope under those roots.
+  lint::Corpus des;
+  des.files.push_back(lint::make_source(
+      "src/des/queue.hpp",
+      "#pragma once\nstruct Q {\n  std::map<int, int> q_;\n};\n"));
+  EXPECT_TRUE(lint::run(des, opts).empty());
+}
+
+TEST(LintHotpath, BraceInitializedMapMemberIsFlagged) {
+  const std::string text =
+      "#pragma once\n"
+      "class SiteManager {\n"
+      "  std::unordered_map<int, int> nodes_{};\n"
+      "};\n";
+  lint::Corpus corpus;
+  corpus.files.push_back(lint::make_source("src/lobsim/sites.hpp", text));
+  const auto fs = lint::run(corpus, {});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hotpath");
+  EXPECT_EQ(fs[0].line, 3u);
+}

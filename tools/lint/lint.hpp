@@ -25,6 +25,13 @@
 //   nodiscard  — metrics/stats accessors ([[nodiscard]] name set below)
 //                declared in headers must be [[nodiscard]]: a discarded
 //                metrics read is always a bug.
+//   hotpath    — no std::map / std::unordered_map data members in classes
+//                under the DES hot-path roots (src/des/, src/lobsim/): the
+//                kernel flattening replaced node-based containers with
+//                handle-indexed slab arrays (des/handle.hpp), and a new map
+//                member reintroduces per-entity allocation and pointer
+//                chasing on the event path.  Audited exceptions carry a
+//                `lobster-lint: hotpath-ok(<reason>)` suppression.
 //
 // Suppressions are audited: `// lobster-lint: <tag>-ok(<reason>)` on the
 // flagged line or the line above silences that rule there; an empty reason
@@ -99,6 +106,9 @@ Suppression find_suppression(const SourceFile& f, std::size_t line_idx,
 struct Options {
   /// Path suffixes allowed to read wall clocks / entropy (timing harnesses).
   std::vector<std::string> entropy_allowlist;
+  /// Path fragments whose classes may not hold std::map / std::unordered_map
+  /// data members (the hotpath rule).
+  std::vector<std::string> hotpath_roots = {"src/des/", "src/lobsim/"};
 };
 
 class Rule {

@@ -1,7 +1,8 @@
 // lobster_lint — determinism & concurrency hygiene linter for the lobster
 // tree.  See lint.hpp for the rule catalogue.
 //
-// Usage: lobster_lint [--allow-entropy SUFFIX]... <path>...
+// Usage: lobster_lint [--allow-entropy SUFFIX]... [--hotpath-root FRAG]...
+//        <path>...
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 #include <cstdio>
@@ -20,10 +21,14 @@ void usage() {
                "Scans .hpp/.cpp/.h/.cc files under each path for determinism\n"
                "and concurrency hygiene violations (entropy sources, unordered\n"
                "iteration feeding order-sensitive work, unannotated members of\n"
-               "mutex-holding classes, non-[[nodiscard]] metrics accessors).\n"
+               "mutex-holding classes, non-[[nodiscard]] metrics accessors,\n"
+               "map members in DES hot-path classes).\n"
                "\n"
                "  --allow-entropy SUFFIX   path suffix permitted to read wall\n"
-               "                           clocks / entropy (repeatable)\n");
+               "                           clocks / entropy (repeatable)\n"
+               "  --hotpath-root FRAG      path fragment whose classes may not\n"
+               "                           hold std::map members (repeatable;\n"
+               "                           default: src/des/ src/lobsim/)\n");
 }
 
 }  // namespace
@@ -31,6 +36,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   lobster::lint::Options opts;
+  bool hotpath_overridden = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--allow-entropy") {
@@ -39,6 +45,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.entropy_allowlist.push_back(argv[++i]);
+    } else if (arg == "--hotpath-root") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      if (!hotpath_overridden) {
+        opts.hotpath_roots.clear();
+        hotpath_overridden = true;
+      }
+      opts.hotpath_roots.push_back(argv[++i]);
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;

@@ -250,6 +250,20 @@ class OrderedIterationRule final : public Rule {
   }
 };
 
+/// Does the buffered statement text introduce a class/struct body?  Shared
+/// by the rules that track class scopes by brace counting.
+bool opens_class_body(const std::string& stmt) {
+  const std::string t = trimmed(stmt);
+  if (t.empty()) return false;
+  if (has_token(t, "enum")) return false;  // enum class bodies: enumerators
+  if (!has_token(t, "class") && !has_token(t, "struct")) return false;
+  // `struct Entry* p = ...` or a function returning a struct would carry
+  // '=' or '(' before the brace.
+  if (t.find('=') != std::string::npos) return false;
+  if (t.find('(') != std::string::npos) return false;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Rule: guarded — mutex-holding classes annotate every member.
 // ---------------------------------------------------------------------------
@@ -359,19 +373,6 @@ class GuardedByRule final : public Rule {
   }
 
  private:
-  /// Does the buffered statement text introduce a class/struct body?
-  static bool opens_class_body(const std::string& stmt) {
-    const std::string t = trimmed(stmt);
-    if (t.empty()) return false;
-    if (has_token(t, "enum")) return false;  // enum class bodies: enumerators
-    if (!has_token(t, "class") && !has_token(t, "struct")) return false;
-    // `struct Entry* p = ...` or a function returning a struct would carry
-    // '=' or '(' before the brace.
-    if (t.find('=') != std::string::npos) return false;
-    if (t.find('(') != std::string::npos) return false;
-    return true;
-  }
-
   struct ScopeRef;  // (documentation aid only)
 
   static void analyze_member(const std::string& text, std::size_t line_idx,
@@ -596,6 +597,127 @@ class NodiscardRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule: hotpath — no map members in DES hot-path classes.
+// ---------------------------------------------------------------------------
+
+class HotpathRule final : public Rule {
+ public:
+  explicit HotpathRule(std::vector<std::string> roots)
+      : roots_(std::move(roots)) {}
+
+  const char* name() const override { return "hotpath"; }
+  const char* tag() const override { return "hotpath"; }
+
+  void check(const SourceFile& f, const Corpus&,
+             std::vector<Finding>& out) const override {
+    bool in_root = false;
+    for (const std::string& r : roots_)
+      if (f.path.find(r) != std::string::npos) {
+        in_root = true;
+        break;
+      }
+    if (!in_root) return;
+
+    // Brace-tracked class scopes, as in GuardedByRule: a statement flushed
+    // at ';' (or interrupted by a '{' brace initializer / function body)
+    // inside a class scope is a candidate member declaration.
+    std::vector<char> stack;  // 'c' class scope, 'b' any other block
+    std::string stmt;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      for (const char c : f.code[i]) {
+        if (c == '{') {
+          if (!stack.empty() && stack.back() == 'c' &&
+              !opens_class_body(stmt))
+            maybe_flag(f, stmt, i, out);  // `std::map<...> m_{...};`
+          stack.push_back(opens_class_body(stmt) ? 'c' : 'b');
+          stmt.clear();
+        } else if (c == '}') {
+          if (!stack.empty()) stack.pop_back();
+          stmt.clear();
+        } else if (c == ';') {
+          if (!stack.empty() && stack.back() == 'c') maybe_flag(f, stmt, i, out);
+          stmt.clear();
+        } else if (c == ':') {
+          const std::string t = trimmed(stmt);
+          if (t == "public" || t == "private" || t == "protected")
+            stmt.clear();
+          else
+            stmt.push_back(c);
+        } else {
+          stmt.push_back(c);
+        }
+      }
+      stmt.push_back(' ');
+    }
+  }
+
+ private:
+  void maybe_flag(const SourceFile& f, const std::string& stmt,
+                  std::size_t line_idx, std::vector<Finding>& out) const {
+    std::string type;
+    if (!declares_map_member(stmt, &type)) return;
+    const Suppression s = find_suppression(f, line_idx, tag());
+    if (s.present && s.valid) return;
+    out.push_back(
+        {f.path, line_idx + 1, name(),
+         "`" + type +
+             "` data member in a DES hot-path class: node-based containers "
+             "reintroduce per-entity allocation and pointer chasing on the "
+             "event path — use handle-indexed flat arrays (des/handle.hpp) "
+             "or suppress with `lobster-lint: hotpath-ok(<why>)` after an "
+             "audit"});
+  }
+
+  /// True when the statement declares a data member whose type is a map:
+  /// leading qualifiers stripped, the type token leads, and the declarator
+  /// that follows is a name not followed by '(' (which would be a member
+  /// function returning a map — allocation off the hot path).
+  static bool declares_map_member(const std::string& text, std::string* type) {
+    std::string t = trimmed(text);
+    for (bool again = true; again;) {
+      again = false;
+      for (const char* q : {"mutable ", "static ", "inline ", "const ",
+                            "constexpr ", "volatile "}) {
+        if (t.rfind(q, 0) == 0) {
+          t = trimmed(t.substr(std::strlen(q)));
+          again = true;
+        }
+      }
+    }
+    for (const char* ty : {"std::unordered_map", "std::map"}) {
+      const std::string prefix(ty);
+      if (t.rfind(prefix, 0) != 0) continue;
+      if (t.size() > prefix.size() && is_identifier_char(t[prefix.size()]))
+        continue;  // e.g. std::unordered_map... longer identifier
+      // Skip the template argument list.
+      std::size_t p = prefix.size();
+      if (p < t.size() && t[p] == '<') {
+        int depth = 0;
+        for (; p < t.size(); ++p) {
+          if (t[p] == '<') ++depth;
+          if (t[p] == '>' && --depth == 0) {
+            ++p;
+            break;
+          }
+        }
+      }
+      while (p < t.size() && (std::isspace(static_cast<unsigned char>(t[p])) ||
+                              t[p] == '&' || t[p] == '*'))
+        ++p;
+      std::size_t e = p;
+      while (e < t.size() && is_identifier_char(t[e])) ++e;
+      if (e == p) return false;  // no declarator name (e.g. a using-type)
+      if (next_nonspace(t, e) == '(') return false;  // function declaration
+      *type = prefix;
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> roots_;
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts) {
@@ -604,6 +726,7 @@ std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts) {
   rules.push_back(std::make_unique<OrderedIterationRule>());
   rules.push_back(std::make_unique<GuardedByRule>());
   rules.push_back(std::make_unique<NodiscardRule>());
+  rules.push_back(std::make_unique<HotpathRule>(opts.hotpath_roots));
   return rules;
 }
 
