@@ -1,10 +1,8 @@
 #include "des/bandwidth.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 namespace lobster::des {
 
@@ -12,6 +10,12 @@ namespace {
 // Flows are considered finished when less than this many bytes remain;
 // absorbs floating-point residue from rate * dt integration.
 constexpr double kEpsilonBytes = 1e-6;
+
+double completion_eps(double total) {
+  // Relative epsilon: large transfers accumulate proportionally larger
+  // floating-point residue.
+  return std::max(kEpsilonBytes, 1e-12 * total);
+}
 }  // namespace
 
 BandwidthLink::BandwidthLink(Simulation& sim, double capacity_bytes_per_s)
@@ -23,10 +27,11 @@ BandwidthLink::BandwidthLink(Simulation& sim, double capacity_bytes_per_s)
 void BandwidthLink::set_capacity(double bytes_per_s) {
   if (bytes_per_s < 0.0)
     throw std::invalid_argument("BandwidthLink: negative capacity");
-  advance();
+  // Eager: allocated_rate() <= capacity() must hold the moment this
+  // returns, even mid-timestamp, so the change cannot ride a batch.
+  refresh_pending_ = advance(/*zero_width_sweep=*/true) || refresh_pending_;
   capacity_ = bytes_per_s;
-  recompute_rates();
-  reschedule();
+  resolve();
 }
 
 double BandwidthLink::bytes_moved() const {
@@ -37,10 +42,11 @@ double BandwidthLink::bytes_moved() const {
   return completed_bytes_ + partial;
 }
 
-double BandwidthLink::allocated_rate() const {
-  double sum = 0.0;
-  for (const Flow& f : flows_) sum += f.rate;
-  return sum;
+const BandwidthLink::Flow* BandwidthLink::find_flow(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      flows_.begin(), flows_.end(), id,
+      [](const Flow& f, std::uint64_t v) { return f.id < v; });
+  return it != flows_.end() && it->id == id ? &*it : nullptr;
 }
 
 std::shared_ptr<Event> BandwidthLink::start_flow(double bytes,
@@ -48,38 +54,53 @@ std::shared_ptr<Event> BandwidthLink::start_flow(double bytes,
   if (rate_cap <= 0.0)
     throw std::invalid_argument("BandwidthLink: rate cap must be positive");
   auto done = std::make_shared<Event>(sim_);
-  advance();
+  // Integrate up to now at the pre-join rates (completions sweep first, in
+  // id order, exactly as before); the solve itself is deferred to the
+  // batch flush so a same-timestamp dispatch burst pays for one.
+  refresh_pending_ = advance(/*zero_width_sweep=*/true) || refresh_pending_;
   Flow f;
   f.id = next_id_++;
   f.total = bytes;
   f.remaining = bytes;
   f.cap = rate_cap;
   f.done = done;
+  // A joiner already below its completion epsilon finishes at the next
+  // sweeping event (possibly this timestamp, via a later join or capacity
+  // change; otherwise its own tiny completion timer) — the historical
+  // contract, reproduced exactly by the oracle.
+  if (bytes <= completion_eps(bytes)) sweep_pending_ = true;
+  by_cap_.insert(
+      std::upper_bound(by_cap_.begin(), by_cap_.end(), CapEntry{rate_cap, f.id}),
+      CapEntry{rate_cap, f.id});
+  pending_joins_.push_back(f.id);
   flows_.push_back(std::move(f));  // ids are monotone: order stays sorted
-  recompute_rates();
-  reschedule();
+  request_batch();
   return done;
 }
 
-void BandwidthLink::advance() {
+bool BandwidthLink::advance(bool zero_width_sweep) {
   const double now = sim_.now();
   const double dt = now - last_update_;
   last_update_ = now;
-  // The completion sweep must run even when dt == 0: a flow whose residual
-  // is below one time ulp would otherwise reschedule at the same timestamp
-  // forever (zero-advance event storm).
-  // Stable compaction in flow-id order: completions trigger in the same
-  // order the std::map walk produced, so event sequence numbers (and
-  // therefore every downstream golden) are unchanged.
+  // Progress only changes through dt > 0 integration, so the completion
+  // sweep is skipped entirely for zero-width updates — unless a
+  // sub-epsilon joiner is waiting and this event is allowed to sweep it.
+  if (dt <= 0.0 && !(sweep_pending_ && zero_width_sweep)) return false;
+  sweep_pending_ = false;
+  // Stable compaction in flow-id order: completions trigger in id order,
+  // so event sequence numbers (and therefore every downstream golden) are
+  // unchanged.
+  removed_scratch_.clear();
   std::size_t out = 0;
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     Flow& f = flows_[i];
-    if (dt > 0.0) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-    // Relative epsilon: large transfers accumulate proportionally larger
-    // floating-point residue.
-    const double eps = std::max(kEpsilonBytes, 1e-12 * f.total);
-    if (f.remaining <= eps) {
+    if (dt > 0.0) {
+      const double rate = std::min(f.cap, fair_rate_);
+      f.remaining = std::max(0.0, f.remaining - rate * dt);
+    }
+    if (f.remaining <= completion_eps(f.total)) {
       completed_bytes_ += f.total;
+      removed_scratch_.push_back(f.id);
       f.done->trigger();
     } else {
       if (out != i) flows_[out] = std::move(f);
@@ -87,47 +108,100 @@ void BandwidthLink::advance() {
     }
   }
   flows_.resize(out);
+  if (!removed_scratch_.empty()) {
+    // removed_scratch_ is id-sorted (the sweep walks id order), so the cap
+    // index compacts with one pass + binary membership tests.
+    std::erase_if(by_cap_, [this](const CapEntry& e) {
+      return std::binary_search(removed_scratch_.begin(),
+                                removed_scratch_.end(), e.id);
+    });
+  }
+  return true;
 }
 
-void BandwidthLink::recompute_rates() {
-  // Water-filling: flows whose cap is below the fair share get their cap;
-  // the leftover is shared equally among the rest.  Iterate until stable.
-  std::vector<Flow*> unassigned;
-  unassigned.reserve(flows_.size());
-  for (Flow& f : flows_) {
-    f.rate = 0.0;
-    unassigned.push_back(&f);
+void BandwidthLink::solve(double fair_prev) {
+  const std::size_t n = flows_.size();
+  min_capped_finish_ = kUncapped;
+  if (n == 0) {
+    fair_rate_ = kUncapped;
+    allocated_ = 0.0;
+    capped_count_ = 0;
+    pending_joins_.clear();
+    return;
   }
-  double remaining_capacity = capacity_;
-  bool changed = true;
-  while (changed && !unassigned.empty() && remaining_capacity > 0.0) {
-    changed = false;
-    const double fair =
-        remaining_capacity / static_cast<double>(unassigned.size());
-    for (std::size_t i = 0; i < unassigned.size();) {
-      if (unassigned[i]->cap <= fair) {
-        unassigned[i]->rate = unassigned[i]->cap;
-        remaining_capacity -= unassigned[i]->cap;
-        unassigned[i] = unassigned.back();
-        unassigned.pop_back();
-        changed = true;
-      } else {
-        ++i;
-      }
+  // Canonical boundary scan (mirrored bit-for-bit by the oracle in
+  // tests/reference_link.hpp): walk caps in ascending (cap, id) order,
+  // accumulating the cap-bound prefix in Kahan-compensated long double.
+  // A flow is cap-bound iff its cap fits under the running fair share of
+  // the residual; the running share is monotone non-decreasing along the
+  // walk, so the scan stops at the first cap it cannot cover.  Clamping
+  // the residual at zero guarantees the fair share is never negative — an
+  // over-subscribed prefix cannot stall the uncapped flows behind it.
+  long double sum = 0.0L;
+  long double comp = 0.0L;
+  std::size_t k = 0;
+  double fair = kUncapped;
+  while (k < n) {
+    const double residual =
+        std::max(0.0, capacity_ - static_cast<double>(sum));
+    const double share = residual / static_cast<double>(n - k);
+    if (by_cap_[k].cap > share) {
+      fair = share;
+      break;
+    }
+    const long double y = static_cast<long double>(by_cap_[k].cap) - comp;
+    const long double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+    // The cap-bound completion candidate rides along with the scan, so
+    // reschedule() never rescans the prefix.
+    const Flow* f = find_flow(by_cap_[k].id);
+    min_capped_finish_ =
+        std::min(min_capped_finish_, f->remaining / by_cap_[k].cap);
+    ++k;
+  }
+  capped_count_ = k;
+  fair_rate_ = fair;  // kUncapped when every flow is cap-bound
+  const double capped_sum = static_cast<double>(sum);
+  allocated_ = k == n ? capped_sum
+                      : capped_sum + static_cast<double>(n - k) * fair;
+  // Fair-floor bookkeeping without touching the (possibly huge) fair set:
+  // when the share dropped, the flows whose caps fall in (fair, fair_prev]
+  // migrated cap-bound -> fair-share; they are contiguous in by_cap_ right
+  // after the prefix.  Fold them (and any joiner that landed fair-side)
+  // into the cached minimum — at a zero-width batch nobody else's
+  // remaining has changed.
+  if (fair_rate_ < fair_prev) {
+    for (std::size_t i = k; i < n && by_cap_[i].cap <= fair_prev; ++i) {
+      const Flow* f = find_flow(by_cap_[i].id);
+      min_fair_remaining_ = std::min(min_fair_remaining_, f->remaining);
     }
   }
-  if (!unassigned.empty() && remaining_capacity > 0.0) {
-    const double fair =
-        remaining_capacity / static_cast<double>(unassigned.size());
-    for (Flow* f : unassigned) f->rate = fair;
+  for (const std::uint64_t id : pending_joins_) {
+    const Flow* f = find_flow(id);  // null when swept sub-epsilon already
+    if (f != nullptr && f->cap > fair_rate_)
+      min_fair_remaining_ = std::min(min_fair_remaining_, f->remaining);
   }
+  pending_joins_.clear();
+}
+
+void BandwidthLink::refresh_fair_floor() {
+  min_fair_remaining_ = kUncapped;
+  for (const Flow& f : flows_)
+    if (f.cap > fair_rate_)
+      min_fair_remaining_ = std::min(min_fair_remaining_, f.remaining);
+  refresh_pending_ = false;
 }
 
 void BandwidthLink::reschedule() {
   const std::uint64_t gen = ++gen_;
-  double min_dt = std::numeric_limits<double>::infinity();
-  for (const Flow& f : flows_)
-    if (f.rate > 0.0) min_dt = std::min(min_dt, f.remaining / f.rate);
+  // min over flows of remaining/rate, assembled from the two cached
+  // minima: fair flows share one rate (rounding is monotone, so dividing
+  // the minimum equals the minimum of the divisions); cap-bound flows
+  // carry theirs from the solve scan.
+  double min_dt = min_capped_finish_;
+  if (capped_count_ < flows_.size() && fair_rate_ > 0.0)
+    min_dt = std::min(min_dt, min_fair_remaining_ / fair_rate_);
   if (!std::isfinite(min_dt)) return;  // link down or no flows
   // Guarantee strict time progress: a delay below one ulp of now() would
   // fire at the same timestamp and make no headway.
@@ -138,11 +212,35 @@ void BandwidthLink::reschedule() {
   sim_.schedule(min_dt, [this, gen] { on_timer(gen); });
 }
 
+void BandwidthLink::resolve() {
+  batch_pending_ = false;  // this update subsumes any pending batch
+  const double fair_prev = fair_rate_;
+  solve(fair_prev);
+  // A rising fair share shrinks the fair set, so the cached floor could
+  // belong to a now-cap-bound flow; progress integration invalidates every
+  // cached remaining.  Either way the floor must be recomputed.
+  if (refresh_pending_ || fair_rate_ > fair_prev) refresh_fair_floor();
+  reschedule();
+}
+
+void BandwidthLink::flush(bool zero_width_sweep) {
+  refresh_pending_ = advance(zero_width_sweep) || refresh_pending_;
+  resolve();
+}
+
+void BandwidthLink::request_batch() {
+  if (batch_pending_) return;
+  batch_pending_ = true;
+  sim_.schedule(0.0, [this] {
+    // An eager path (capacity change, timer) may have flushed the batch
+    // already at this timestamp; the flag makes the callback a no-op then.
+    if (batch_pending_) flush(/*zero_width_sweep=*/false);
+  });
+}
+
 void BandwidthLink::on_timer(std::uint64_t gen) {
   if (gen != gen_) return;  // superseded by a later topology change
-  advance();
-  recompute_rates();
-  reschedule();
+  flush(/*zero_width_sweep=*/true);
 }
 
 }  // namespace lobster::des

@@ -12,8 +12,33 @@
 //
 //   des::BandwidthLink wan(sim, util::gbit_per_s(10));
 //   co_await wan.transfer(util::gb(2.1));            // completes when done
+//
+// Incremental solver contract (the 200 Gbps data-plane work):
+//
+//   * A max-min allocation is fully described by one number: the fair share
+//     F.  Every flow's rate is min(cap, F); flows with cap <= F are the
+//     cap-bound set, everyone else shares the residual equally.  The link
+//     therefore stores no per-flow rate at all — `by_cap_` keeps flow ids
+//     sorted by (cap, id), and solve() walks only the cap-bound *prefix*
+//     of that order (O(k+1) for k cap-bound flows; k == 0 in the saturated
+//     regime) instead of iterating full water-filling passes over every
+//     flow.  The prefix sum is accumulated in Kahan-compensated long
+//     double and the residual is clamped at zero, so the fair share can
+//     never go negative and stall uncapped flows (the latent precision
+//     trap in the old solver).
+//   * Same-timestamp updates coalesce: a join only appends the flow and
+//     schedules one zero-delay batch flush, so a dispatch burst of N
+//     transfers triggers one solve, not N.  Capacity changes and timer
+//     completions flush eagerly (allocated_rate() <= capacity() must hold
+//     the moment set_capacity returns).
+//   * The arithmetic is canonical — ascending (cap, id) order, Kahan
+//     prefix, residual/(n-k) — and deliberately identical to the naive
+//     O(n^2) oracle in tests/reference_link.hpp; bandwidth_diff_test
+//     fuzzes thousands of join/finish/cap-change/outage interleavings and
+//     requires rates within 1 ulp and completion times bit-identical.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <limits>
@@ -40,8 +65,21 @@ class BandwidthLink {
   /// Total bytes moved across the link so far (completed + partial flows);
   /// used by the conservation property tests.
   [[nodiscard]] double bytes_moved() const;
-  /// Instantaneous allocated rate summed over flows (<= capacity).
-  double allocated_rate() const;
+  /// Instantaneous allocated rate summed over flows (<= capacity).  O(1):
+  /// cap-bound prefix sum plus (n - k) * fair share, maintained by solve().
+  double allocated_rate() const { return allocated_; }
+  /// Current fair share F: every flow's rate is min(cap, F).  kUncapped
+  /// when every flow is cap-bound (or no flows); 0 while the link is down.
+  [[nodiscard]] double fair_rate() const { return fair_rate_; }
+
+  /// Visit every active flow in ascending flow-id order (the deterministic
+  /// iteration order everything else pins).  For the property/differential
+  /// tests: fn(id, total, remaining, cap, rate).
+  template <typename Fn>
+  void for_each_flow(Fn&& fn) const {
+    for (const Flow& f : flows_)
+      fn(f.id, f.total, f.remaining, f.cap, std::min(f.cap, fair_rate_));
+  }
 
   struct TransferAwaiter {
     BandwidthLink* link;
@@ -62,6 +100,12 @@ class BandwidthLink {
     return TransferAwaiter{this, bytes, rate_cap, nullptr};
   }
 
+  /// Advanced: start a flow and return its completion event without
+  /// awaiting.  Multi-hop paths (site uplink feeding a shared WAN trunk)
+  /// use this to occupy several links simultaneously and then wait for the
+  /// slowest hop.
+  std::shared_ptr<Event> start_flow(double bytes, double rate_cap);
+
  private:
   friend struct TransferAwaiter;
   struct Flow {
@@ -69,17 +113,46 @@ class BandwidthLink {
     double total = 0.0;
     double remaining = 0.0;
     double cap = 0.0;
-    double rate = 0.0;
     std::shared_ptr<Event> done;
   };
+  /// by_cap_ ordering key: ascending (cap, id).  The cap-bound set is
+  /// always a prefix of this order, so solve() never scans past it.
+  struct CapEntry {
+    double cap = 0.0;
+    std::uint64_t id = 0;
+    bool operator<(const CapEntry& o) const {
+      return cap != o.cap ? cap < o.cap : id < o.id;
+    }
+  };
 
-  std::shared_ptr<Event> start_flow(double bytes, double rate_cap);
-  /// Integrate progress since last update at the current rates.
-  void advance();
-  /// Water-filling max-min allocation respecting per-flow caps.
-  void recompute_rates();
+  const Flow* find_flow(std::uint64_t id) const;
+  /// Integrate progress since the last update at the current rates and
+  /// sweep completions.  Returns true when flow progress changed (time
+  /// advanced or a pending sub-epsilon joiner completed) — the caller then
+  /// owes a refresh_fair_floor() after the next solve().  Zero-width
+  /// updates sweep pending sub-epsilon joiners only when `zero_width_sweep`
+  /// is set: joins, capacity changes, and timers sweep (the historical
+  /// every-event contract the oracle reproduces); the link's own batch
+  /// flush does not, because the naive semantics have no such event.
+  bool advance(bool zero_width_sweep);
+  /// Re-solve the cap-bound/fair-share boundary (canonical ascending scan,
+  /// O(k+1)).  `fair_prev` is the fair share before this solve; when the
+  /// share dropped, the flows whose caps fall in (fair, fair_prev] migrate
+  /// cap-bound -> fair-share and their remaining bytes join the fair floor.
+  void solve(double fair_prev);
+  /// Recompute min remaining over fair-share flows (O(n)); needed whenever
+  /// progress integrated or the fair share rose (the fair set shrank).
+  void refresh_fair_floor();
   /// Schedule the next completion callback (cancels stale ones via gen_).
   void reschedule();
+  /// solve + conditional refresh + reschedule; subsumes any pending batch.
+  void resolve();
+  /// advance + resolve: the eager update path (timer completions) and the
+  /// zero-delay batch flush.
+  void flush(bool zero_width_sweep);
+  /// Coalesce same-timestamp updates: the first join at a timestamp
+  /// schedules one zero-delay flush; further joins ride along for free.
+  void request_batch();
   void on_timer(std::uint64_t gen);
 
   Simulation& sim_;
@@ -88,12 +161,31 @@ class BandwidthLink {
   double completed_bytes_ = 0.0;
   std::uint64_t next_id_ = 0;
   std::uint64_t gen_ = 0;
+  // Solver state: fair share F, cached allocation, cap-bound prefix size,
+  // and the two completion-candidate minima reschedule() needs (min
+  // remaining over fair flows; min remaining/cap over cap-bound flows).
+  double fair_rate_ = kUncapped;
+  double allocated_ = 0.0;
+  std::size_t capped_count_ = 0;
+  double min_fair_remaining_ = kUncapped;
+  double min_capped_finish_ = kUncapped;
+  bool batch_pending_ = false;
+  bool sweep_pending_ = false;
+  bool refresh_pending_ = false;
   // Flat array kept in ascending flow-id order (ids are assigned
   // monotonically, so push_back maintains it; completion erasure compacts
   // stably).  Id-order iteration makes same-time completions trigger
   // deterministically and pins the floating-point summation order the
   // golden files depend on.
   std::vector<Flow> flows_;
+  // Flow ids sorted by (cap, id).  Uniform caps (the federation's
+  // per-stream limit) insert at the tail in O(1); heterogeneous caps pay
+  // one ordered insert per join.
+  std::vector<CapEntry> by_cap_;
+  // Joins since the last solve: classified into the fair floor once the
+  // post-batch fair share is known.
+  std::vector<std::uint64_t> pending_joins_;
+  std::vector<std::uint64_t> removed_scratch_;
 };
 
 }  // namespace lobster::des

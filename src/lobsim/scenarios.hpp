@@ -107,6 +107,40 @@ struct MergeCampaign {
 MergeCampaign run_merge_campaign(const std::vector<std::uint64_t>& seeds,
                                  std::size_t jobs);
 
+/// Figure 16: the 200 Gbps data-plane challenge — `sites` site uplinks
+/// feeding `trunks` shared WAN trunks through the multi-path federation,
+/// offered load ramping phase by phase up to `target_gbps`.  A pure
+/// function of the options (seed included), so campaigns can fan ramps
+/// across threads and pin serial == parallel bitwise.
+struct RampOptions {
+  std::size_t sites = 16;
+  std::size_t trunks = 4;
+  double target_gbps = 200.0;
+  std::size_t phases = 8;
+  double phase_seconds = 120.0;
+  double file_bytes = 2e9;          ///< per-stream transfer volume
+  double per_stream_rate = 3.0e7;   ///< server/TCP per-stream ceiling
+  xrootd::PathPolicy policy = xrootd::PathPolicy::LeastLoaded;
+  /// Collapse site 0's uplink mid-ramp for 1.5 phases (the uplink-collapse
+  /// failure mode): its streams break, opens re-route to survivors.
+  bool uplink_collapse = false;
+  std::uint64_t seed = 2015;
+};
+struct RampPhase {
+  double offered_gbps = 0.0;
+  double achieved_gbps = 0.0;      ///< sum of per-site uplink deltas
+  std::vector<double> site_gbps;   ///< per-site achieved this phase
+  std::uint64_t broken_streams = 0;  ///< cumulative at phase end
+  std::uint64_t failed_opens = 0;    ///< cumulative at phase end
+};
+struct RampResult {
+  std::vector<RampPhase> phases;
+  double peak_gbps = 0.0;
+  std::uint64_t streams_completed = 0;
+  std::uint64_t events_executed = 0;
+};
+RampResult run_200gbps_ramp(const RampOptions& opt);
+
 /// Figure 9: the "global dashboard" ledger of XrootD consumers.  Background
 /// sites are synthesized around the measured Lobster volume.
 struct ConsumerEntry {

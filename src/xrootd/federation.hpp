@@ -52,6 +52,17 @@ struct AccessError : std::runtime_error {
   explicit AccessError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// How the redirector chooses among multiple wide-area paths.
+enum class PathPolicy {
+  /// Pick the path whose most-loaded hop (uplink or trunk) has the lowest
+  /// utilization; skip paths that are down.  The sensible default.
+  LeastLoaded,
+  /// Always pick the first path that is up.  Deliberately naive: models the
+  /// redirector-hotspot failure mode (every client piles onto one site
+  /// while the others idle) exercised by bench/fig16_200gbps_ramp.
+  FirstAvailable,
+};
+
 /// DES model of the federation as seen from one campus.
 class FederationSim {
  public:
@@ -65,6 +76,25 @@ class FederationSim {
     /// When a file is opened during an outage the client errors out after
     /// this long instead of hanging.
     double open_fail_delay = 30.0;
+
+    /// Multi-path topology (200 Gbps data plane).  When `paths` is empty
+    /// the federation behaves exactly as the legacy single shared uplink
+    /// above — bit-identical, no extra links are created.  Otherwise every
+    /// transfer picks a path per `path_policy` and occupies both the
+    /// path's site uplink and its shared WAN trunk; completion waits for
+    /// the slowest hop (fluid series approximation).
+    struct Trunk {
+      std::string name;
+      double rate = 0.0;  // bytes/s
+    };
+    struct Path {
+      std::string name;
+      double uplink_rate = 0.0;       // bytes/s, this site's uplink
+      std::size_t trunk = 0;          // index into `trunks`
+    };
+    std::vector<Trunk> trunks;
+    std::vector<Path> paths;
+    PathPolicy path_policy = PathPolicy::LeastLoaded;
   };
 
   FederationSim(des::Simulation& sim, const Params& params);
@@ -72,8 +102,13 @@ class FederationSim {
   /// Declare an outage window [start, start+duration): opens fail, and
   /// transfers in flight when the outage begins error out once the network
   /// path unblocks (the TCP streams broke — their tasks lose the work).
+  /// In multi-path mode this is a global event: every site uplink drops.
   void schedule_outage(double start, double duration);
+  /// Collapse one site's uplink for [start, start+duration): streams on
+  /// that path break, opens re-route to surviving paths.  Multi-path only.
+  void schedule_path_outage(std::size_t path, double start, double duration);
   bool outage_active() const { return outage_depth_ > 0; }
+  bool path_down(std::size_t path) const;
   std::uint64_t outages_started() const { return outage_counter_; }
 
   /// Stream `bytes` into a running task.  Models read-as-you-go access: the
@@ -91,13 +126,35 @@ class FederationSim {
   [[nodiscard]] double bytes_staged() const { return bytes_staged_; }
   std::uint64_t failed_opens() const { return failed_opens_; }
 
+  // Multi-path accessors (num_paths() == 0 in legacy mode).
+  [[nodiscard]] std::size_t num_paths() const { return path_links_.size(); }
+  des::BandwidthLink& path_link(std::size_t i) { return *path_links_[i]; }
+  des::BandwidthLink& trunk_link(std::size_t i) { return *trunk_links_[i]; }
+  const std::string& path_name(std::size_t i) const {
+    return params_.paths[i].name;
+  }
+  /// Bytes delivered over path i (streams + stages), for per-site
+  /// throughput breakdowns.
+  [[nodiscard]] double path_bytes(std::size_t i) const {
+    return path_bytes_[i];
+  }
+
  private:
   des::Task<double> transfer(double bytes, double& accounting,
                              util::Gauge* volume);
+  /// Choose a path per the configured policy; num_paths() when all down.
+  std::size_t pick_path() const;
 
   des::Simulation& sim_;
   Params params_;
   des::BandwidthLink uplink_;
+  // Multi-path plumbing: one uplink per site path plus the shared trunks
+  // they feed (unique_ptr: BandwidthLink is non-movable).
+  std::vector<std::unique_ptr<des::BandwidthLink>> path_links_;
+  std::vector<std::unique_ptr<des::BandwidthLink>> trunk_links_;
+  std::vector<int> path_outage_depth_;
+  std::vector<std::uint64_t> path_epoch_;
+  std::vector<double> path_bytes_;
   int outage_depth_ = 0;
   std::uint64_t outage_counter_ = 0;
   double bytes_streamed_ = 0.0;

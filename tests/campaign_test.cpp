@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "lobsim/campaign.hpp"
+#include "lobsim/scenarios.hpp"
+#include "util/units.hpp"
 
 namespace lobster::lobsim {
 namespace {
@@ -200,6 +202,100 @@ TEST(CampaignTest, LifetimeDispatchDeterministicAcrossJobs) {
   fifo.cluster.availability.burst_period_hours = 2.0;
   const RunStats f = Campaign::execute(fifo);
   EXPECT_NE(f.makespan, serial.results()[2].stats.makespan);
+}
+
+// The Figure 9 streaming regime — oversubscribed campus uplink, max-min
+// water-filling on every dispatch wave, a transient wide-area outage — must
+// stay bitwise identical between --jobs 1 and --jobs 4.  This is the
+// campaign-level pin of the incremental fair-share solver: any thread-order
+// sensitivity in the batched re-solve (shared state, iteration order,
+// accumulated floating point) surfaces as a field diff here.
+TEST(CampaignTest, StreamingSpecSerialVsParallelBitwise) {
+  RunSpec fig09 = small_spec();
+  fig09.label = "fig09-mini";
+  fig09.cluster.federation.campus_uplink_rate = util::gbit_per_s(1);
+  fig09.cluster.federation.per_stream_rate = 3.0e7;
+  fig09.workload.tasklet_input_bytes = 390e6;
+  fig09.workload.read_fraction = 0.28;
+  fig09.workload.access = core::DataAccessMode::Stream;
+  fig09.outage_start = 1800.0;
+  fig09.outage_duration = 600.0;
+  const std::vector<std::uint64_t> seeds = {2015, 2016, 2017, 2018};
+
+  Campaign serial(1);
+  serial.add_seed_sweep(fig09, seeds);
+  serial.run();
+
+  Campaign parallel(4);
+  parallel.add_seed_sweep(fig09, seeds);
+  parallel.run();
+
+  ASSERT_EQ(serial.results().size(), seeds.size());
+  ASSERT_EQ(parallel.results().size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto& rs = serial.results()[i];
+    const auto& rp = parallel.results()[i];
+    SCOPED_TRACE("seed " + std::to_string(rs.seed));
+    ASSERT_TRUE(rs.ok()) << rs.error;
+    ASSERT_TRUE(rp.ok()) << rp.error;
+    EXPECT_GT(rs.stats.bytes_streamed, 0.0);  // the regime actually streams
+    expect_stats_identical(rs.stats, rp.stats);
+  }
+}
+
+// run_200gbps_ramp is documented as a pure function of its options, so a
+// seed-swept fan-out across threads must reproduce the serial phase tables
+// bitwise — offered/achieved rates, every per-site breakdown entry, broken
+// streams and failed opens alike.
+TEST(CampaignTest, RampSerialVsParallelBitwise) {
+  const std::size_t n = 4;
+  auto options_for = [](std::size_t i) {
+    RampOptions opt;
+    opt.sites = 4;
+    opt.trunks = 2;
+    opt.target_gbps = 10.0;
+    // 4 phases x 30 s: the collapse window (half the horizon, 1.5 phases
+    // long) ends at t=105 of 120, so broken streams land inside the run.
+    opt.phases = 4;
+    opt.phase_seconds = 30.0;
+    opt.file_bytes = 2e8;
+    opt.uplink_collapse = (i % 2) == 1;  // alternate the failure mode
+    opt.seed = 2015 + i;
+    return opt;
+  };
+
+  std::vector<RampResult> serial(n), parallel(n);
+  parallel_runs(n, 1, [&](std::size_t i) {
+    serial[i] = run_200gbps_ramp(options_for(i));
+  });
+  parallel_runs(n, 4, [&](std::size_t i) {
+    parallel[i] = run_200gbps_ramp(options_for(i));
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE("ramp " + std::to_string(i));
+    const RampResult& a = serial[i];
+    const RampResult& b = parallel[i];
+    EXPECT_EQ(a.peak_gbps, b.peak_gbps);
+    EXPECT_EQ(a.streams_completed, b.streams_completed);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    for (std::size_t p = 0; p < a.phases.size(); ++p) {
+      SCOPED_TRACE("phase " + std::to_string(p));
+      const RampPhase& pa = a.phases[p];
+      const RampPhase& pb = b.phases[p];
+      EXPECT_EQ(pa.offered_gbps, pb.offered_gbps);
+      EXPECT_EQ(pa.achieved_gbps, pb.achieved_gbps);
+      EXPECT_EQ(pa.broken_streams, pb.broken_streams);
+      EXPECT_EQ(pa.failed_opens, pb.failed_opens);
+      ASSERT_EQ(pa.site_gbps.size(), pb.site_gbps.size());
+      for (std::size_t s = 0; s < pa.site_gbps.size(); ++s)
+        EXPECT_EQ(pa.site_gbps[s], pb.site_gbps[s]);
+    }
+    EXPECT_GT(a.streams_completed, 0u);
+  }
+  // The collapse runs genuinely broke streams (the failure mode is live).
+  EXPECT_GT(serial[1].phases.back().broken_streams, 0u);
 }
 
 TEST(CampaignTest, AddGridCrossesSpecsAndSeeds) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lobsim/campaign.hpp"
+#include "util/units.hpp"
 
 #ifndef LOBSTER_GOLDEN_DIR
 #error "LOBSTER_GOLDEN_DIR must point at the checked-in golden directory"
@@ -64,6 +65,22 @@ std::vector<std::string> snapshot_lines() {
   lifetime.label = "weibull-lifetime";
   lifetime.workload.dispatch = DispatchMode::Lifetime;
   campaign.add_seed_sweep(lifetime, {2015, 2016, 2017, 2018});
+  // fig09-mini: the Figure 9 regime at golden scale — streaming analysis
+  // over a deliberately undersized campus uplink (heavily oversubscribed,
+  // so the max-min water-filling runs on every dispatch wave) with a
+  // transient wide-area outage mid-run (capacity -> 0 and back, broken
+  // streams, failed opens).  Pins the BandwidthLink allocation bit-for-bit:
+  // any drift in fair-share arithmetic, completion epsilons, or completion
+  // *ordering* surfaces here as a per-line diff.
+  RunSpec fig09 = golden_spec(AvailabilityKind::Weibull);
+  fig09.label = "fig09-stream";
+  fig09.cluster.federation.campus_uplink_rate = util::gbit_per_s(1);
+  fig09.cluster.federation.per_stream_rate = 3.0e7;
+  fig09.workload.tasklet_input_bytes = 390e6;
+  fig09.workload.read_fraction = 0.28;
+  fig09.outage_start = 1800.0;
+  fig09.outage_duration = 600.0;
+  campaign.add_seed_sweep(fig09, {2015, 2016, 2017, 2018});
   campaign.run();
 
   std::vector<std::string> lines;
@@ -126,8 +143,9 @@ TEST(GoldenMetrics, AvailabilityCampaignMatchesSnapshot) {
     std::FILE* f = std::fopen(kGoldenPath, "w");
     ASSERT_NE(f, nullptr) << "cannot write " << kGoldenPath;
     std::fputs(
-        "# Golden metrics: weibull + diurnal climates (fifo dispatch) and a\n"
-        "# weibull lifetime-dispatch sweep, seeds 2015-2018.\n"
+        "# Golden metrics: weibull + diurnal climates (fifo dispatch), a\n"
+        "# weibull lifetime-dispatch sweep, and the fig09-stream saturated-\n"
+        "# uplink + outage sweep, seeds 2015-2018.\n"
         "# Regenerate with LOBSTER_UPDATE_GOLDEN=1 (see "
         "golden_metrics_test.cpp).\n",
         f);

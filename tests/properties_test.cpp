@@ -110,6 +110,140 @@ TEST(Properties, LinkAllocationBoundedUnderCapacityChurn) {
   EXPECT_EQ(link.active_flows(), 0u) << "all flows must eventually drain";
 }
 
+// Property: the link conserves bytes — after every flow drains,
+// bytes_moved() equals exactly the sum of what was injected, no matter how
+// capacity churned (including full outages) while flows were in flight.
+TEST(Properties, LinkConservesBytesMovedUnderChurn) {
+  lu::Rng rng(777);
+  des::Simulation sim;
+  des::BandwidthLink link(sim, 2e6);
+  double injected = 0.0;
+  auto spawn_flow = [&](double bytes, double cap) {
+    struct Runner {
+      static des::Process go(des::BandwidthLink& l, double b, double c) {
+        co_await l.transfer(b, c);
+      }
+    };
+    injected += bytes;
+    sim.spawn(Runner::go(link, bytes, cap));
+  };
+  for (int i = 0; i < 200; ++i) {
+    const double cap = rng.chance(0.3) ? des::BandwidthLink::kUncapped
+                                       : rng.uniform(1e4, 1e6);
+    sim.schedule(rng.uniform(0.0, 50.0),
+                 [&, b = rng.uniform(1e4, 1e7), cap] { spawn_flow(b, cap); });
+  }
+  // Capacity churn, including a hard outage window; restore at the end so
+  // everything can drain.
+  for (int i = 0; i < 15; ++i)
+    sim.schedule(rng.uniform(0.0, 60.0),
+                 [&, c = rng.uniform(1e5, 4e6)] { link.set_capacity(c); });
+  sim.schedule(20.0, [&] { link.set_capacity(0.0); });
+  sim.schedule(25.0, [&] { link.set_capacity(2e6); });
+  sim.schedule(70.0, [&] { link.set_capacity(2e6); });
+  // bytes_moved() must be monotone along the way.
+  double last_moved = 0.0;
+  bool monotone = true;
+  for (double t = 1.0; t < 70.0; t += 1.0) {
+    sim.schedule(t, [&] {
+      const double m = link.bytes_moved();
+      monotone = monotone && m >= last_moved;
+      last_moved = m;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(link.active_flows(), 0u);
+  EXPECT_NEAR(link.bytes_moved(), injected, 1e-6 * injected);
+}
+
+// Property: the allocation is max-min optimal at every sampled instant —
+// each flow gets exactly min(cap, fair share), and whenever any flow is
+// held below its cap the link is fully utilized (nobody could be given
+// more without taking from someone else).
+TEST(Properties, LinkAllocationIsMaxMinOptimal) {
+  lu::Rng rng(1234);
+  des::Simulation sim;
+  des::BandwidthLink link(sim, 1.5e6);
+  auto spawn_flow = [&](double bytes, double cap) {
+    struct Runner {
+      static des::Process go(des::BandwidthLink& l, double b, double c) {
+        co_await l.transfer(b, c);
+      }
+    };
+    sim.spawn(Runner::go(link, bytes, cap));
+  };
+  for (int i = 0; i < 150; ++i) {
+    const double cap = rng.chance(0.4) ? des::BandwidthLink::kUncapped
+                                       : rng.uniform(5e3, 8e5);
+    sim.schedule(rng.uniform(0.0, 40.0),
+                 [&, b = rng.uniform(1e5, 8e6), cap] { spawn_flow(b, cap); });
+  }
+  for (int i = 0; i < 10; ++i)
+    sim.schedule(rng.uniform(0.0, 50.0),
+                 [&, c = rng.uniform(2e5, 3e6)] { link.set_capacity(c); });
+  int violations = 0;
+  for (double t = 0.25; t < 60.0; t += 0.25) {
+    sim.schedule(t, [&] {
+      const double fair = link.fair_rate();
+      bool any_below_cap = false;
+      link.for_each_flow([&](std::uint64_t, double, double, double cap,
+                             double rate) {
+        if (rate != std::min(cap, fair)) ++violations;
+        if (rate < cap) any_below_cap = true;
+      });
+      if (link.allocated_rate() > link.capacity() * (1.0 + 1e-9)) ++violations;
+      // Pareto condition: someone is throttled below their cap only when
+      // the capacity is fully handed out.
+      if (any_below_cap &&
+          link.allocated_rate() < link.capacity() * (1.0 - 1e-9))
+        ++violations;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(violations, 0);
+}
+
+// Regression for the solver precision trap: 1e5 flows whose caps are equal
+// to within 1e-9 sum to just past the link capacity, putting the cap-bound
+// boundary at the very tail of the prefix scan where a plain running sum
+// can overshoot the capacity and drive the fair share negative — stalling
+// every uncapped flow.  The Kahan prefix plus the residual clamp keep the
+// share non-negative and the link fully utilized.
+TEST(Properties, NearEqualCapsAtScaleDoNotStallFairShare) {
+  lu::Rng rng(4242);
+  des::Simulation sim;
+  des::BandwidthLink link(sim, 1e5);
+  struct Runner {
+    static des::Process go(des::BandwidthLink& l, double b, double c) {
+      co_await l.transfer(b, c);
+    }
+  };
+  // All joins land at t=0: one batched solve, not 1e5.
+  for (int i = 0; i < 100000; ++i)
+    sim.spawn(Runner::go(link, 1e9, 1.0 + 1e-9 * rng.uniform()));
+  // One uncapped flow rides the residual — the victim of the old trap.
+  sim.spawn(Runner::go(link, 1e9, des::BandwidthLink::kUncapped));
+  bool probed = false;
+  sim.schedule(1.0, [&] {
+    probed = true;
+    EXPECT_EQ(link.active_flows(), 100001u);
+    EXPECT_GE(link.fair_rate(), 0.0) << "fair share must never go negative";
+    EXPECT_LE(link.allocated_rate(), link.capacity() * (1.0 + 1e-9));
+    link.for_each_flow(
+        [&](std::uint64_t, double, double, double, double rate) {
+          EXPECT_GE(rate, 0.0);
+        });
+  });
+  // bytes_moved() integrates up to the link's last event; with completions
+  // ~1e9 s out, poke it (same-value capacity set) to integrate to t=9.
+  sim.schedule(9.0, [&] { link.set_capacity(1e5); });
+  sim.run_until(10.0);
+  EXPECT_TRUE(probed);
+  // No stall: the link ran flat out the whole window.
+  EXPECT_NEAR(link.bytes_moved(), 1e5 * 9.0, 0.01 * 1e5 * 9.0);
+}
+
 // Fault injection: a corrupted journal is rejected, not misread.
 TEST(Properties, CorruptJournalRejected) {
   const std::string path = ::testing::TempDir() + "corrupt.jsonl";
@@ -182,7 +316,31 @@ TEST_P(AvailabilityConservationSweep, WorkloadConservedUnderEvictions) {
 
   lobsim::Engine engine(cluster, workload,
                         static_cast<std::uint64_t>(seed));
+
+  // Ride along: the campus uplink's max-min invariants must hold at every
+  // probe instant, whatever the climate does (evictions, retries, outage
+  // churn all hit the link through dispatch bursts).
+  int net_violations = 0;
+  auto& uplink = engine.federation().uplink();
+  for (double t = 300.0; t < 4.0 * 3600.0; t += 300.0) {
+    engine.sim().schedule(t, [&] {
+      const double fair = uplink.fair_rate();
+      bool any_below_cap = false;
+      uplink.for_each_flow([&](std::uint64_t, double, double, double cap,
+                               double rate) {
+        if (rate != std::min(cap, fair)) ++net_violations;
+        if (rate < cap) any_below_cap = true;
+      });
+      if (uplink.allocated_rate() > uplink.capacity() * (1.0 + 1e-9))
+        ++net_violations;
+      if (any_below_cap &&
+          uplink.allocated_rate() < uplink.capacity() * (1.0 - 1e-9))
+        ++net_violations;
+    });
+  }
+
   const auto& m = engine.run(10.0 * 86400.0);
+  EXPECT_EQ(net_violations, 0);
 
   // No tasklet lost or duplicated.
   EXPECT_EQ(m.tasklets_processed, workload.num_tasklets);

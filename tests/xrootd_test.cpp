@@ -130,6 +130,144 @@ TEST(FederationSim, BadOutageWindowRejected) {
   EXPECT_THROW(fed.schedule_outage(0.0, 0.0), std::invalid_argument);
 }
 
+// ------------------------------------------------------------ multi-path ----
+
+namespace {
+// Two sites, each with a 100 MB/s uplink, feeding one shared 150 MB/s WAN
+// trunk.  Per-stream cap high enough not to bind.
+xr::FederationSim::Params two_path_params(xr::PathPolicy policy) {
+  xr::FederationSim::Params p;
+  p.per_stream_rate = 1e8;
+  p.open_latency = 0.0;
+  p.open_fail_delay = 2.0;
+  p.trunks = {{"wan-east", 1.5e8}};
+  p.paths = {{"site-a", 1e8, 0}, {"site-b", 1e8, 0}};
+  p.path_policy = policy;
+  return p;
+}
+}  // namespace
+
+TEST(FederationMultiPath, LeastLoadedSpreadsAcrossSites) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::LeastLoaded));
+  ASSERT_EQ(fed.num_paths(), 2u);
+  std::vector<double> times;
+  int failures = 0;
+  // A same-timestamp burst of 4 equal transfers must alternate paths even
+  // though no solve has run between the picks.
+  for (int i = 0; i < 4; ++i)
+    sim.spawn(run_stream(sim, fed, 1e8, times, failures));
+  sim.run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(failures, 0);
+  EXPECT_DOUBLE_EQ(fed.path_bytes(0), 2e8);
+  EXPECT_DOUBLE_EQ(fed.path_bytes(1), 2e8);
+  // 4 streams x 100 MB through a 150 MB/s trunk: the trunk is the
+  // bottleneck, so the batch drains in 400 MB / 150 MB/s.
+  EXPECT_NEAR(times.back(), 4e8 / 1.5e8, 1e-6);
+}
+
+TEST(FederationMultiPath, FirstAvailablePilesOntoOneSite) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::FirstAvailable));
+  std::vector<double> times;
+  int failures = 0;
+  for (int i = 0; i < 4; ++i)
+    sim.spawn(run_stream(sim, fed, 1e8, times, failures));
+  sim.run();
+  ASSERT_EQ(times.size(), 4u);
+  // The redirector hotspot: everything lands on site-a; its 100 MB/s
+  // uplink (below the trunk's 150 MB/s) becomes the bottleneck.
+  EXPECT_DOUBLE_EQ(fed.path_bytes(0), 4e8);
+  EXPECT_DOUBLE_EQ(fed.path_bytes(1), 0.0);
+  EXPECT_NEAR(times.back(), 4e8 / 1e8, 1e-6);
+}
+
+TEST(FederationMultiPath, CompletionWaitsForSlowerHop) {
+  des::Simulation sim;
+  // One site whose uplink (50 MB/s) is slower than the trunk.
+  xr::FederationSim::Params p;
+  p.per_stream_rate = 1e9;
+  p.open_latency = 0.0;
+  p.trunks = {{"wan", 1.5e8}};
+  p.paths = {{"site-slow", 5e7, 0}};
+  xr::FederationSim fed(sim, p);
+  std::vector<double> times;
+  int failures = 0;
+  sim.spawn(run_stream(sim, fed, 1e8, times, failures));
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_NEAR(times[0], 1e8 / 5e7, 1e-9);  // uplink-bound, not trunk-bound
+}
+
+TEST(FederationMultiPath, PathOutageReroutesAndBreaksStreams) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::LeastLoaded));
+  std::vector<double> times;
+  int failures = 0;
+  // One long transfer starts on site-a at t=0 (10 s unloaded).  site-a
+  // collapses at t=2: the in-flight stream breaks once its flow drains.
+  sim.spawn(run_stream(sim, fed, 1e9, times, failures));
+  fed.schedule_path_outage(0, 2.0, 4.0);
+  // Opens during the collapse re-route to site-b and succeed.
+  sim.schedule(3.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e8, times, failures));
+  });
+  sim.run();
+  EXPECT_EQ(failures, 1);          // the broken site-a stream
+  EXPECT_EQ(fed.failed_opens(), 0u);  // nothing failed to open
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(fed.path_bytes(1), 1e8);  // re-routed volume
+}
+
+TEST(FederationMultiPath, AllPathsDownFailsOpen) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::LeastLoaded));
+  std::vector<double> times;
+  int failures = 0;
+  fed.schedule_path_outage(0, 1.0, 10.0);
+  fed.schedule_path_outage(1, 1.0, 10.0);
+  sim.schedule(2.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e6, times, failures));
+  });
+  sim.run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(fed.failed_opens(), 1u);
+  EXPECT_TRUE(times.empty());
+}
+
+TEST(FederationMultiPath, GlobalOutageDropsEverySite) {
+  des::Simulation sim;
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::LeastLoaded));
+  std::vector<double> times;
+  int failures = 0;
+  fed.schedule_outage(1.0, 5.0);
+  sim.schedule(2.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e6, times, failures));
+  });
+  // After the outage both sites serve again.
+  sim.schedule(10.0, [&] {
+    sim.spawn(run_stream(sim, fed, 1e6, times, failures));
+  });
+  sim.run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(fed.failed_opens(), 1u);
+  ASSERT_EQ(times.size(), 1u);
+}
+
+TEST(FederationMultiPath, BadTopologyRejected) {
+  des::Simulation sim;
+  xr::FederationSim::Params no_trunk;
+  no_trunk.paths = {{"site", 1e8, 0}};
+  EXPECT_THROW(xr::FederationSim(sim, no_trunk), std::invalid_argument);
+  xr::FederationSim::Params bad_idx;
+  bad_idx.trunks = {{"wan", 1e8}};
+  bad_idx.paths = {{"site", 1e8, 7}};
+  EXPECT_THROW(xr::FederationSim(sim, bad_idx), std::invalid_argument);
+  xr::FederationSim fed(sim, two_path_params(xr::PathPolicy::LeastLoaded));
+  EXPECT_THROW(fed.schedule_path_outage(9, 0.0, 1.0), std::invalid_argument);
+}
+
 // ------------------------------------------------------------ real client ----
 
 TEST(Client, ReadThroughRedirector) {
