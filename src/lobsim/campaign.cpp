@@ -76,6 +76,9 @@ RunStats Campaign::execute(const RunSpec& spec,
   s.merge_tasks_completed = m.merge_tasks_completed;
   s.tasklets_processed = m.tasklets_processed;
   s.tasklets_retried = m.tasklets_retried;
+  s.steal_attempts = m.steal_attempts;
+  s.steal_tasks = m.steal_tasks;
+  s.steal_bytes_penalty = m.steal_bytes_penalty;
   s.peak_running = m.peak_running;
   s.completed = m.completed;
   s.breakdown = m.monitor.breakdown();

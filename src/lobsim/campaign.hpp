@@ -62,6 +62,9 @@ struct RunStats {
   std::uint64_t merge_tasks_completed = 0;
   std::uint64_t tasklets_processed = 0;
   std::uint64_t tasklets_retried = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_tasks = 0;
+  double steal_bytes_penalty = 0.0;
   std::size_t peak_running = 0;
   /// False when the run hit its time cap (or stalled) before the workflow
   /// finished — `makespan` is then a lower bound, not a completion time.

@@ -20,7 +20,18 @@
 //                 distribution: expected remaining worker lifetime divided
 //                 by the mean tasklet CPU, scaled by a safety factor — the
 //                 literal §4.1 sizing rule, now that every
-//                 AvailabilityModel answers expected_lifetime(now).
+//                 AvailabilityModel answers expected_lifetime(now);
+//  * Partitioned — the pending pool is statically apportioned across sites
+//                 by slot count (largest-remainder); each site drains only
+//                 its own share.  The multi-site strawman: an idle site
+//                 stays idle while a bursty one drowns in retries;
+//  * Stealing   — Partitioned, plus work stealing: a site whose share has
+//                 drained takes a task-sized chunk from the deepest
+//                 sibling backlog (above a minimum, so the drain tail is
+//                 not churned).  The Engine charges stolen tasks the
+//                 victim-vs-thief data penalty (cold squid, WAN transfer
+//                 through the thief's uplink), so stealing is
+//                 locality-aware rather than free.
 //
 // The policy owns the dispatchable pools (pending tasklets, planned merge
 // groups) and is pure logic over them — no DES types — so it unit-tests
@@ -33,6 +44,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <vector>
 
 namespace lobster::lobsim {
 
@@ -41,6 +53,11 @@ struct TaskUnit {
   bool is_merge = false;
   std::uint32_t n_tasklets = 0;
   double merge_input_bytes = 0.0;  ///< total inputs to a merge task
+  /// Work-stealing provenance: the tasklets came out of another site's
+  /// partition.  The Engine charges the thief the data-locality penalty
+  /// and, on retry, returns the tasklets to the victim's pool.
+  bool stolen = false;
+  std::size_t victim_site = 0;
 };
 
 /// What a policy may consult when constructing the next task.
@@ -61,7 +78,7 @@ struct DispatchContext {
 };
 
 enum class DispatchMode : std::uint8_t { Fifo, TailShrink, SiteAware,
-                                         Lifetime };
+                                         Lifetime, Partitioned, Stealing };
 const char* to_string(DispatchMode m);
 
 class DispatchPolicy {
@@ -83,10 +100,27 @@ class DispatchPolicy {
 
   bool idle() const { return tasklets_pending_ == 0 && merge_queue_.empty(); }
 
+  /// Apportion the already-added pending pool across sites weighted by
+  /// their slot counts.  A no-op for the single-pool policies; the
+  /// per-site policies (Partitioned, Stealing) split the pool here.  Call
+  /// once, after the initial add_tasklets(), before the first next().
+  virtual void partition(const std::vector<std::uint64_t>& site_slots) {
+    (void)site_slots;
+  }
+
+  /// Failed/evicted tasklets re-enter the pool.  `site` is the pool the
+  /// work was drawn from (the victim's site for a stolen task); single-pool
+  /// policies ignore it.
+  virtual void return_tasklets(std::size_t site, std::uint64_t n) {
+    (void)site;
+    add_tasklets(n);
+  }
+
   /// Construct the next task for a pulling slot: merge groups first (their
   /// outputs gate publication), then an analysis task whose size the
-  /// concrete policy chooses.  nullopt when both pools are empty.
-  std::optional<TaskUnit> next(const DispatchContext& ctx);
+  /// concrete policy chooses.  nullopt when both pools are empty (or, for
+  /// the per-site policies, when this site has nothing to dispatch).
+  virtual std::optional<TaskUnit> next(const DispatchContext& ctx);
 
  protected:
   explicit DispatchPolicy(std::uint32_t tasklets_per_task)
@@ -180,10 +214,76 @@ class LifetimeAwareDispatch final : public DispatchPolicy {
   std::uint32_t max_tasklets_;
 };
 
+/// Static per-site partitioning: partition() splits the pending pool across
+/// sites proportionally to their slot counts (largest-remainder method, ties
+/// to the lower site index — deterministic), and every pull draws from the
+/// requesting site's share only.  Sizing is per-site tail-shrink: full tasks
+/// while the site's share exceeds its slot count, single tasklets in the
+/// drain phase.  This is the multi-site baseline stealing is measured
+/// against.
+class PartitionedDispatch : public DispatchPolicy {
+ public:
+  explicit PartitionedDispatch(std::uint32_t tasklets_per_task)
+      : DispatchPolicy(tasklets_per_task) {}
+  const char* name() const override { return "partitioned"; }
+
+  void partition(const std::vector<std::uint64_t>& site_slots) override;
+  void return_tasklets(std::size_t site, std::uint64_t n) override;
+  std::optional<TaskUnit> next(const DispatchContext& ctx) override;
+
+  [[nodiscard]] std::size_t num_partitions() const {
+    return site_pending_.size();
+  }
+  [[nodiscard]] std::uint64_t site_pending(std::size_t site) const {
+    return site < site_pending_.size() ? site_pending_[site] : 0;
+  }
+
+ protected:
+  std::uint32_t task_size(const DispatchContext& ctx) const override;
+  /// Per-site pools; sum always equals tasklets_pending_.  Empty until
+  /// partition() is called (the policy then degrades to a single pool).
+  std::vector<std::uint64_t> site_pending_;
+  std::vector<std::uint64_t> site_slots_;
+};
+
+/// Partitioned, plus locality-aware work stealing: when the requesting
+/// site's share (and the merge queue) is empty, take one task-sized chunk
+/// from the site with the deepest backlog — but only while that backlog is
+/// at least `min_backlog` tasklets, so the victim's own drain tail is not
+/// churned for chunks whose data penalty outweighs the balance gain.  The
+/// returned TaskUnit carries stolen/victim_site so the Engine can charge
+/// the transfer penalty and return retries to the victim's pool.  Victim
+/// choice is a pure function of the pool state — no RNG — keeping
+/// campaigns bitwise deterministic.
+class StealingDispatch final : public PartitionedDispatch {
+ public:
+  /// min_backlog 0 defaults to 2x tasklets_per_task.
+  StealingDispatch(std::uint32_t tasklets_per_task, std::uint64_t min_backlog)
+      : PartitionedDispatch(tasklets_per_task),
+        min_backlog_(min_backlog ? min_backlog : 2ULL * tasklets_per_task_) {}
+  const char* name() const override { return "stealing"; }
+
+  std::optional<TaskUnit> next(const DispatchContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t min_backlog() const { return min_backlog_; }
+  /// Steal polls by an idle site (successful or not) and chunks actually
+  /// taken; the Engine mirrors these into lobsim.steal.{attempts,tasks}.
+  [[nodiscard]] std::uint64_t steal_attempts() const { return attempts_; }
+  [[nodiscard]] std::uint64_t steal_tasks() const { return stolen_; }
+
+ private:
+  std::uint64_t min_backlog_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t stolen_ = 0;
+};
+
 /// `lifetime_safety` and `lifetime_max_tasklets` only matter for
 /// DispatchMode::Lifetime; max_tasklets 0 defaults to 4x the static size.
+/// `steal_min_backlog` only matters for DispatchMode::Stealing (0 = 2x
+/// tasklets_per_task).
 std::unique_ptr<DispatchPolicy> make_dispatch_policy(
     DispatchMode mode, std::uint32_t tasklets_per_task,
-    double lifetime_safety = 0.25, std::uint32_t lifetime_max_tasklets = 0);
+    double lifetime_safety = 0.25, std::uint32_t lifetime_max_tasklets = 0,
+    std::uint64_t steal_min_backlog = 0);
 
 }  // namespace lobster::lobsim

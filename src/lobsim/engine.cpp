@@ -37,8 +37,18 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
     mode = DispatchMode::TailShrink;
   dispatch_ = make_dispatch_policy(mode, workload_.tasklets_per_task,
                                    workload_.lifetime_safety,
-                                   workload_.lifetime_max_tasklets);
+                                   workload_.lifetime_max_tasklets,
+                                   workload_.steal_min_backlog);
   dispatch_->add_tasklets(workload_.num_tasklets);
+  // Per-site policies split the pool by slot share; a no-op for the rest.
+  {
+    std::vector<std::uint64_t> site_slots;
+    site_slots.reserve(sites_->num_sites());
+    for (std::size_t s = 0; s < sites_->num_sites(); ++s)
+      site_slots.push_back(sites_->site_params(s).target_cores);
+    dispatch_->partition(site_slots);
+  }
+  stealing_ = dynamic_cast<StealingDispatch*>(dispatch_.get());
   planner_ = MergePlanner::make(workload_.merge_mode, workload_.merge_policy);
 
   metrics_ = std::make_unique<EngineMetrics>(metric_bin_seconds);
@@ -51,6 +61,11 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
   ctr_tasklets_processed_ = &counters.counter("lobsim.tasklets_processed");
   ctr_tasklets_retried_ = &counters.counter("lobsim.tasklets_retried");
   ctr_merges_completed_ = &counters.counter("lobsim.merge_tasks_completed");
+  if (stealing_) {
+    ctr_steal_attempts_ = &counters.counter("lobsim.steal.attempts");
+    ctr_steal_tasks_ = &counters.counter("lobsim.steal.tasks");
+    ctr_steal_bytes_penalty_ = &counters.gauge("lobsim.steal.bytes_penalty");
+  }
 }
 
 Engine::~Engine() = default;
@@ -331,6 +346,32 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
 
   const double input_bytes =
       workload_.tasklet_input_bytes * task.n_tasklets;
+
+  // Data-locality penalty of a stolen task: the thief's squids have never
+  // seen the victim dataset's conditions payload (cold fetch), and a
+  // penalty fraction of the input must come across the WAN through the
+  // thief site's own uplink before the task can run.
+  if (task.stolen) {
+    const double t0 = sim_.now();
+    const double wan_bytes = workload_.steal_penalty_factor * input_bytes;
+    {
+      util::Span s = sim_.tracer().span("segment", "steal_penalty", track);
+      s.arg("bytes", wan_bytes);
+      co_await sites_->squid(node.site, node.squid)
+          .fetch(workload_.hot_setup_bytes, false);
+      if (wan_bytes > 0.0)
+        co_await sites_->federation(node.site).stage(wan_bytes);
+    }
+    seg(core::Segment::StageIn) += sim_.now() - t0;
+    const double charged = wan_bytes + workload_.hot_setup_bytes;
+    metrics_->steal_bytes_penalty += charged;
+    util::bump(ctr_steal_bytes_penalty_, charged);
+    if (evicted_now()) {
+      mark_evicted();
+      co_return false;
+    }
+  }
+
   if (workload_.access == core::DataAccessMode::Stage && input_bytes > 0.0) {
     const double t0 = sim_.now();
     {
@@ -420,6 +461,24 @@ std::optional<TaskUnit> Engine::next_task(const WorkerNode& node) {
       sites_->expected_remaining_lifetime(node.site, ctx.now);
   ctx.tasklet_cpu_mean = workload_.tasklet_cpu_mean;
   auto task = dispatch_->next(ctx);
+  if (stealing_) {
+    // Mirror the policy's attempt count (it ticks even on failed polls) and
+    // announce successful steals on the trace plane.
+    const std::uint64_t attempts = stealing_->steal_attempts();
+    if (attempts > metrics_->steal_attempts) {
+      util::bump(ctr_steal_attempts_, attempts - metrics_->steal_attempts);
+      metrics_->steal_attempts = attempts;
+    }
+    if (task && task->stolen) {
+      ++metrics_->steal_tasks;
+      util::bump(ctr_steal_tasks_);
+      sim_.tracer().instant(
+          "lobsim", "steal", 0,
+          {{"victim", static_cast<double>(task->victim_site)},
+           {"thief", static_cast<double>(node.site)},
+           {"tasklets", static_cast<double>(task->n_tasklets)}});
+    }
+  }
   if (task && task->is_merge) ++running_merges_;
   return task;
 }
@@ -471,7 +530,10 @@ void Engine::finish_task(const TaskUnit& task, core::TaskRecord& record,
       per_site_tasklets_[site] += task.n_tasklets;
       planner_->add_output(workload_.tasklet_output_bytes * task.n_tasklets);
     } else {
-      dispatch_->add_tasklets(task.n_tasklets);  // retry
+      // Retry: the tasklets re-enter the pool they were drawn from — a
+      // stolen chunk goes back to its victim's partition, not the thief's.
+      dispatch_->return_tasklets(task.stolen ? task.victim_site : site,
+                                 task.n_tasklets);
       metrics_->tasklets_retried += task.n_tasklets;
       ctr_tasklets_retried_->add(task.n_tasklets);
     }

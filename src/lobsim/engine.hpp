@@ -86,6 +86,13 @@ struct WorkloadParams {
   /// tasklets_per_task).
   double lifetime_safety = 0.25;
   std::uint32_t lifetime_max_tasklets = 0;
+  /// Stealing dispatch only: a stolen task re-stages this fraction of its
+  /// input volume over the thief site's WAN uplink (on top of a cold-squid
+  /// conditions fetch) — the victim-vs-thief data-locality penalty.  And a
+  /// site only steals from a backlog of at least steal_min_backlog
+  /// tasklets (0 = 2x tasklets_per_task).
+  double steal_penalty_factor = 0.5;
+  std::uint64_t steal_min_backlog = 0;
   /// Shrink tasks to single tasklets once the pending pool is smaller than
   /// the slot count (the §8 task-size adaptivity).  Kept for compatibility;
   /// equivalent to dispatch = DispatchMode::TailShrink.
@@ -128,6 +135,12 @@ struct EngineMetrics {
   /// "wasted dispatches" an availability climate costs (each is work that
   /// had to be re-run).
   std::uint64_t tasklets_retried = 0;
+  /// Work stealing (DispatchMode::Stealing only): idle-site steal polls,
+  /// chunks actually stolen, and the extra bytes the data-locality penalty
+  /// cost the thieves.
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_tasks = 0;
+  double steal_bytes_penalty = 0.0;
   double last_analysis_finish = 0.0;
   double last_merge_finish = 0.0;
   double bytes_streamed = 0.0;
@@ -213,6 +226,9 @@ class Engine {
   des::Simulation sim_;
   std::unique_ptr<SiteManager> sites_;
   std::unique_ptr<DispatchPolicy> dispatch_;
+  /// Non-null iff dispatch_ is a StealingDispatch (cached once; the hot
+  /// next_task path must not dynamic_cast per pull).
+  StealingDispatch* stealing_ = nullptr;
   std::unique_ptr<MergePlanner> planner_;
   std::vector<std::uint64_t> per_site_tasklets_;
   std::unique_ptr<des::BandwidthLink> foreman_fanout_;
@@ -227,6 +243,11 @@ class Engine {
   util::Counter* ctr_tasklets_processed_ = nullptr;
   util::Counter* ctr_tasklets_retried_ = nullptr;
   util::Counter* ctr_merges_completed_ = nullptr;
+  // Registered only when the dispatch policy steals, so non-stealing runs
+  // keep a byte-identical counter snapshot in their traces.
+  util::Counter* ctr_steal_attempts_ = nullptr;
+  util::Counter* ctr_steal_tasks_ = nullptr;
+  util::Gauge* ctr_steal_bytes_penalty_ = nullptr;
 
   // ---- workload state ----
   std::uint64_t tasklets_done_ = 0;

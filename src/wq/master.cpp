@@ -16,14 +16,27 @@ void Master::bind_counters(util::CounterRegistry& registry) {
   ctr_completed_ = &registry.counter("wq.master.completed");
   ctr_failed_ = &registry.counter("wq.master.failed");
   ctr_evicted_ = &registry.counter("wq.master.evicted");
+  ctr_rejected_resubmits_ = &registry.counter("wq.master.rejected_resubmits");
 }
 
 bool Master::submit(TaskSpec spec) {
-  if (closed_.load(std::memory_order_acquire)) return false;
+  if (closed_.load(std::memory_order_acquire)) {
+    rejected_resubmits_.fetch_add(1, std::memory_order_acq_rel);
+    util::bump(ctr_rejected_resubmits_);
+    return false;
+  }
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   if (!pending_.send(Stamped{std::move(spec),
                              std::chrono::steady_clock::now()})) {
+    // Lost the race with close_submission(): undo the count and record the
+    // rejection.  The transient submitted_ inflation may have made
+    // close_submission's delivered==submitted check fail spuriously, so
+    // re-run the close check here — otherwise nobody closes results_ and
+    // next_result() hangs.
     submitted_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_resubmits_.fetch_add(1, std::memory_order_acq_rel);
+    util::bump(ctr_rejected_resubmits_);
+    maybe_close_results();
     return false;
   }
   util::bump(ctr_submitted_);
@@ -35,6 +48,19 @@ void Master::close_submission() {
   if (!closed_.compare_exchange_strong(expected, true)) return;
   pending_.close();
   // If everything already came back, unblock result consumers now.
+  maybe_close_results();
+}
+
+void Master::maybe_close_results() {
+  // BOTH loads must happen under the mutex.  With bare acq/rel each side
+  // of the old check (deliver: write delivered_, read closed_;
+  // close_submission: write closed_, read delivered_) could read the
+  // other's pre-write value — store-buffering, so both skipped the close
+  // and next_result() blocked forever.  The mutex serialises the checkers:
+  // whichever of close_submission(), the final deliver(), or a doomed
+  // submit() locks last observes the terminal state and closes results_.
+  std::lock_guard lock(close_mutex_);
+  if (!closed_.load(std::memory_order_acquire)) return;
   if (delivered_.load(std::memory_order_acquire) ==
       submitted_.load(std::memory_order_acquire))
     results_.close();
@@ -63,11 +89,8 @@ void Master::deliver(TaskResult result) {
     util::bump(ctr_failed_);
   }
   results_.send(std::move(result));
-  const std::uint64_t done =
-      delivered_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (closed_.load(std::memory_order_acquire) &&
-      done == submitted_.load(std::memory_order_acquire))
-    results_.close();
+  delivered_.fetch_add(1, std::memory_order_acq_rel);
+  maybe_close_results();
 }
 
 }  // namespace lobster::wq

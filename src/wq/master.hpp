@@ -28,6 +28,15 @@ class Master : public TaskSource {
   // ---- application side ----------------------------------------------------
 
   /// Queue a task for dispatch.  Returns false after close_submission().
+  ///
+  /// Contract for evicted work: a TaskResult marked evicted invites
+  /// resubmission, but a resubmit that races close_submission() is
+  /// REJECTED, not silently dropped — submit() returns false and the
+  /// rejection is counted in rejected_resubmits() (and the
+  /// wq.master.rejected_resubmits counter).  An application that closes
+  /// submission while evicted work is still in flight must either check
+  /// submit()'s return value and handle the loss, or keep submission open
+  /// until every eviction has been redispatched.
   bool submit(TaskSpec spec);
   /// No more submissions; workers drain the queue then see end-of-work.
   void close_submission();
@@ -48,6 +57,11 @@ class Master : public TaskSource {
   [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
   [[nodiscard]] std::uint64_t failed() const { return failed_.load(); }
   [[nodiscard]] std::uint64_t evicted() const { return evicted_.load(); }
+  /// Submissions refused because submission was already closed (typically
+  /// an evicted task resubmitted after close_submission()).
+  [[nodiscard]] std::uint64_t rejected_resubmits() const {
+    return rejected_resubmits_.load();
+  }
   [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
 
   /// Attach the unified counter plane (wq.master.*).  Optional; call before
@@ -60,6 +74,14 @@ class Master : public TaskSource {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// Close results_ exactly once when submission is closed and every
+  /// submitted task has been delivered.  Serialised by close_mutex_: the
+  /// bare acq/rel checks previously done by close_submission() and
+  /// deliver() could each see the other's half-finished state and both
+  /// skip the close (a Dekker-style lost wakeup), leaving next_result()
+  /// blocked forever.
+  void maybe_close_results();
+
   util::Channel<Stamped> pending_ LOBSTER_NOT_GUARDED(internally synchronized);
   util::Channel<TaskResult> results_
       LOBSTER_NOT_GUARDED(internally synchronized);
@@ -69,14 +91,17 @@ class Master : public TaskSource {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> rejected_resubmits_{0};
   std::atomic<bool> closed_{false};
-  std::mutex dispatch_mutex_;
+  std::mutex close_mutex_;
   util::Counter* ctr_submitted_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
   util::Counter* ctr_dispatched_ LOBSTER_NOT_GUARDED(target is atomic) =
       nullptr;
   util::Counter* ctr_completed_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
   util::Counter* ctr_failed_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
   util::Counter* ctr_evicted_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
+  util::Counter* ctr_rejected_resubmits_ LOBSTER_NOT_GUARDED(target is atomic) =
+      nullptr;
 };
 
 }  // namespace lobster::wq

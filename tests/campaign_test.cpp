@@ -47,6 +47,9 @@ void expect_stats_identical(const RunStats& a, const RunStats& b) {
   EXPECT_EQ(a.merge_tasks_completed, b.merge_tasks_completed);
   EXPECT_EQ(a.tasklets_processed, b.tasklets_processed);
   EXPECT_EQ(a.tasklets_retried, b.tasklets_retried);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  EXPECT_EQ(a.steal_tasks, b.steal_tasks);
+  EXPECT_EQ(a.steal_bytes_penalty, b.steal_bytes_penalty);
   EXPECT_EQ(a.peak_running, b.peak_running);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.breakdown.cpu, b.breakdown.cpu);
@@ -202,6 +205,56 @@ TEST(CampaignTest, LifetimeDispatchDeterministicAcrossJobs) {
   fifo.cluster.availability.burst_period_hours = 2.0;
   const RunStats f = Campaign::execute(fifo);
   EXPECT_NE(f.makespan, serial.results()[2].stats.makespan);
+}
+
+// Work stealing scans all per-site pools on every idle pull and charges a
+// WAN penalty through shared bandwidth models; with heterogeneous sites and
+// an adversarial-burst climate on one of them, the whole campaign must stay
+// bitwise identical between --jobs 1 and --jobs 4 — including the steal
+// counters themselves.
+TEST(CampaignTest, StealingDispatchDeterministicAcrossJobs) {
+  RunSpec spec = small_spec();
+  spec.label = "stealing";
+  spec.workload.num_tasklets = 600;
+  spec.workload.dispatch = DispatchMode::Stealing;
+  spec.workload.steal_min_backlog = 6;
+  SiteParams bursty;
+  bursty.name = "bursty";
+  bursty.target_cores = 64;
+  bursty.ramp_seconds = 60.0;
+  bursty.availability.kind = AvailabilityKind::AdversarialBurst;
+  bursty.availability.scale_hours = 2.0;
+  bursty.availability.burst_period_hours = 1.0;
+  bursty.availability.burst_fraction = 0.8;
+  SiteParams calm;
+  calm.name = "calm";
+  calm.target_cores = 32;
+  calm.ramp_seconds = 60.0;
+  calm.evictions = false;
+  spec.cluster.extra_sites = {bursty, calm};
+
+  Campaign serial(1);
+  Campaign parallel(4);
+  serial.add_seed_sweep(spec, {2015, 2016, 2017});
+  parallel.add_seed_sweep(spec, {2015, 2016, 2017});
+  serial.run();
+  parallel.run();
+
+  ASSERT_EQ(serial.results().size(), 3u);
+  ASSERT_EQ(parallel.results().size(), 3u);
+  bool stole = false;
+  for (std::size_t i = 0; i < serial.results().size(); ++i) {
+    const auto& rs = serial.results()[i];
+    const auto& rp = parallel.results()[i];
+    SCOPED_TRACE(rs.label + "/" + std::to_string(rs.seed));
+    ASSERT_TRUE(rs.ok()) << rs.error;
+    ASSERT_TRUE(rp.ok()) << rp.error;
+    EXPECT_TRUE(rs.stats.completed);
+    expect_stats_identical(rs.stats, rp.stats);
+    stole = stole || rs.stats.steal_tasks > 0;
+  }
+  // The sweep genuinely exercised the steal path, not just the partitions.
+  EXPECT_TRUE(stole);
 }
 
 // The Figure 9 streaming regime — oversubscribed campus uplink, max-min

@@ -1,0 +1,21 @@
+// Fixture: a work-stealing sibling registry holding a mutex — the member
+// list a thief walks under the lock must carry a LOBSTER_GUARDED_BY
+// annotation, like wq::StealGroup does.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+class Foreman;
+
+class StealQueue {
+ public:
+  void add(Foreman* member);
+  Foreman* pick_victim(const Foreman* thief);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Foreman*> members_;
+  std::size_t next_victim_ = 0;
+};

@@ -53,6 +53,7 @@ TEST(LintFixtures, EveryBadFixtureFlagsItsRule) {
       {"bad_rng_draw.cpp", "ordered"},
       {"bad_cross_file.cpp", "ordered"},
       {"bad_unguarded_members.hpp", "guarded"},
+      {"bad_unguarded_steal_queue.hpp", "guarded"},
       {"bad_partial_annotations.hpp", "guarded"},
       {"bad_discardable_stats.hpp", "nodiscard"},
       {"bad_discardable_mean.hpp", "nodiscard"},

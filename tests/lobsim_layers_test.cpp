@@ -159,6 +159,143 @@ TEST(DispatchPolicyTest, MergeGroupsDispatchFirst) {
   EXPECT_EQ(p->tasklets_pending(), 94u);
 }
 
+TEST(DispatchPolicyTest, PartitionedApportionsByLargestRemainder) {
+  auto base = make_dispatch_policy(DispatchMode::Partitioned, 6);
+  EXPECT_STREQ(base->name(), "partitioned");
+  auto* p = dynamic_cast<PartitionedDispatch*>(base.get());
+  ASSERT_NE(p, nullptr);
+  p->add_tasklets(100);
+  // Weights 3:3:2 over 100 tasklets: exact shares 37.5 / 37.5 / 25.
+  // Floors give 37/37/25 with one leftover; the remainder tie (0.5 vs 0.5)
+  // breaks to the lower site index.
+  p->partition({3000, 3000, 2000});
+  ASSERT_EQ(p->num_partitions(), 3u);
+  EXPECT_EQ(p->site_pending(0), 38u);
+  EXPECT_EQ(p->site_pending(1), 37u);
+  EXPECT_EQ(p->site_pending(2), 25u);
+  EXPECT_EQ(p->site_pending(0) + p->site_pending(1) + p->site_pending(2),
+            p->tasklets_pending());
+  // Degenerate all-zero weights: everything parks on site 0.
+  auto degenerate = make_dispatch_policy(DispatchMode::Partitioned, 6);
+  auto* q = dynamic_cast<PartitionedDispatch*>(degenerate.get());
+  q->add_tasklets(10);
+  q->partition({0, 0});
+  EXPECT_EQ(q->site_pending(0), 10u);
+  EXPECT_EQ(q->site_pending(1), 0u);
+}
+
+TEST(DispatchPolicyTest, PartitionedDrawsOnlyFromOwnSite) {
+  auto base = make_dispatch_policy(DispatchMode::Partitioned, 6);
+  auto* p = dynamic_cast<PartitionedDispatch*>(base.get());
+  p->add_tasklets(20);
+  p->partition({4, 4});  // 10 / 10, four slots each
+  // Site 1 drains its own pool to zero and then gets nothing, even though
+  // site 0's share is untouched — that is the partitioning pathology
+  // stealing exists to fix.
+  std::uint64_t drawn = 0;
+  while (auto t = p->next(ctx(4, true, /*site=*/1))) drawn += t->n_tasklets;
+  EXPECT_EQ(drawn, 10u);
+  EXPECT_EQ(p->site_pending(1), 0u);
+  EXPECT_EQ(p->site_pending(0), 10u);
+  EXPECT_FALSE(p->next(ctx(4, true, /*site=*/1)).has_value());
+  // Per-site drain sizing: site 0's share (10) exceeds its slot weight (4),
+  // so the first draw is full-size; once pending fits the slots it shrinks.
+  auto t = p->next(ctx(4, true, /*site=*/0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 6u);
+  t = p->next(ctx(4, true, /*site=*/0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 1u);
+}
+
+TEST(DispatchPolicyTest, PartitionedReturnRoutesToNamedSite) {
+  auto base = make_dispatch_policy(DispatchMode::Partitioned, 6);
+  auto* p = dynamic_cast<PartitionedDispatch*>(base.get());
+  p->add_tasklets(12);
+  p->partition({2, 2});  // 6 / 6, two slots each
+  auto t = p->next(ctx(2, true, /*site=*/1));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 6u);  // 6 > 2 slots: full-size draw empties it
+  EXPECT_EQ(p->site_pending(1), 0u);
+  // A retried task returns to the pool of the site it was drawn for.
+  p->return_tasklets(1, t->n_tasklets);
+  EXPECT_EQ(p->site_pending(1), 6u);
+  EXPECT_EQ(p->tasklets_pending(), 12u);
+  // An out-of-range site (defensive) routes to site 0 instead of vanishing.
+  p->return_tasklets(99, 2);
+  EXPECT_EQ(p->site_pending(0), 8u);
+}
+
+TEST(DispatchPolicyTest, StealingTakesFromDeepestBacklog) {
+  auto base = make_dispatch_policy(DispatchMode::Stealing, 6,
+                                   /*lifetime_safety=*/2.0,
+                                   /*lifetime_max_tasklets=*/0,
+                                   /*steal_min_backlog=*/1);
+  EXPECT_STREQ(base->name(), "stealing");
+  auto* p = dynamic_cast<StealingDispatch*>(base.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->min_backlog(), 1u);
+  p->add_tasklets(30);
+  p->partition({0, 100, 200});  // 0 / 10 / 20
+  // Site 0 has no share: its draw becomes a steal from the deepest pool
+  // (site 2), marked stolen with the victim recorded for penalty charging.
+  auto t = p->next(ctx(1, true, /*site=*/0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->stolen);
+  EXPECT_EQ(t->victim_site, 2u);
+  // Victim backlog (20) exceeds its slots (ctx carries the THIEF's slots;
+  // the chunk decision uses the victim's partition slots = 200), so the
+  // drain-phase rule gives a single tasklet here: 20 <= 200.
+  EXPECT_EQ(t->n_tasklets, 1u);
+  EXPECT_EQ(p->site_pending(2), 19u);
+  EXPECT_EQ(p->steal_tasks(), 1u);
+  EXPECT_GE(p->steal_attempts(), 1u);
+  // A stolen retry returns to the VICTIM's pool, not the thief's.
+  p->return_tasklets(t->victim_site, t->n_tasklets);
+  EXPECT_EQ(p->site_pending(2), 20u);
+}
+
+TEST(DispatchPolicyTest, StealingChunkMirrorsDrainSizing) {
+  auto base = make_dispatch_policy(DispatchMode::Stealing, 6, 2.0, 0,
+                                   /*steal_min_backlog=*/1);
+  auto* p = dynamic_cast<StealingDispatch*>(base.get());
+  p->add_tasklets(40);
+  p->partition({0, 4});  // all 40 on site 1, whose slot weight is only 4
+  // Victim backlog (40) exceeds its slots (4): full-size chunks.
+  auto t = p->next(ctx(8, true, /*site=*/0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->stolen);
+  EXPECT_EQ(t->n_tasklets, 6u);
+  // Drain the victim down into its slot count: single-tasklet steals, so
+  // the tail never re-grows stragglers out of stolen work.
+  while (p->site_pending(1) > 4)
+    ASSERT_TRUE(p->next(ctx(8, true, /*site=*/0)).has_value());
+  t = p->next(ctx(8, true, /*site=*/0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->n_tasklets, 1u);
+}
+
+TEST(DispatchPolicyTest, StealingHonoursMinBacklogThreshold) {
+  // Default threshold is 2x tasklets_per_task = 12.
+  auto base = make_dispatch_policy(DispatchMode::Stealing, 6);
+  auto* p = dynamic_cast<StealingDispatch*>(base.get());
+  EXPECT_EQ(p->min_backlog(), 12u);
+  p->add_tasklets(11);
+  p->partition({0, 100});  // 0 / 11 — just below the threshold
+  const auto before = p->steal_attempts();
+  EXPECT_FALSE(p->next(ctx(8, true, /*site=*/0)).has_value());
+  EXPECT_GT(p->steal_attempts(), before);  // attempted, found nothing deep
+  EXPECT_EQ(p->steal_tasks(), 0u);
+  EXPECT_EQ(p->site_pending(1), 11u);  // untouched
+  // Before partition() the policy acts as a single pool (unit-test mode),
+  // so next() still works without a SiteManager.
+  auto solo = make_dispatch_policy(DispatchMode::Stealing, 6);
+  solo->add_tasklets(6);
+  const auto t = solo->next(ctx(64));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->stolen);
+}
+
 // -- MergePlanner ----------------------------------------------------------
 
 core::MergePolicy test_policy() {

@@ -49,10 +49,16 @@
 //   output_per_tasklet = 20MB
 //   access = stream            # or stage
 //   merge = interleaved        # or sequential / hadoop
-//   dispatch = fifo            # or tail-shrink / site-aware / lifetime
+//   dispatch = fifo            # or tail-shrink / site-aware / lifetime /
+//                              # partitioned / stealing
 //   lifetime_safety = 0.25     # lifetime dispatch: fraction of the expected
 //                              # remaining worker lifetime a task may fill
 //   lifetime_max_tasklets = 24 # lifetime dispatch: per-task cap (0 = 4x
+//                              # tasklets_per_task)
+//   steal_penalty_factor = 0.5 # stealing dispatch: input fraction a stolen
+//                              # task re-stages over the thief's WAN uplink
+//   steal_min_backlog = 12     # stealing dispatch: smallest victim backlog
+//                              # worth stealing from (0 = 2x
 //                              # tasklets_per_task)
 //
 //   [failures]
@@ -175,6 +181,10 @@ int main(int argc, char** argv) {
     workload.dispatch = lobsim::DispatchMode::SiteAware;
   else if (dispatch == "lifetime")
     workload.dispatch = lobsim::DispatchMode::Lifetime;
+  else if (dispatch == "partitioned")
+    workload.dispatch = lobsim::DispatchMode::Partitioned;
+  else if (dispatch == "stealing")
+    workload.dispatch = lobsim::DispatchMode::Stealing;
   else if (dispatch != "fifo") {
     std::fprintf(stderr, "error: unknown dispatch mode '%s'\n",
                  dispatch.c_str());
@@ -184,6 +194,11 @@ int main(int argc, char** argv) {
       cfg.get_double("workflow", "lifetime_safety", workload.lifetime_safety);
   workload.lifetime_max_tasklets = static_cast<std::uint32_t>(cfg.get_int(
       "workflow", "lifetime_max_tasklets", workload.lifetime_max_tasklets));
+  workload.steal_penalty_factor = cfg.get_double(
+      "workflow", "steal_penalty_factor", workload.steal_penalty_factor);
+  workload.steal_min_backlog = static_cast<std::uint64_t>(cfg.get_int(
+      "workflow", "steal_min_backlog",
+      static_cast<long long>(workload.steal_min_backlog)));
 
   spec.outage_start = cfg.get_duration("failures", "outage_start", 0.0);
   spec.outage_duration = cfg.get_duration("failures", "outage_duration", 0.0);
