@@ -110,7 +110,7 @@ BENCHMARK(BM_SpanChrome);
 
 void BM_CounterAdd(benchmark::State& state) {
   util::CounterRegistry registry;
-  util::Counter* c = &registry.counter("bench.counter");
+  util::Counter* c = &registry.counter("bench.micro_trace.counter_add");
   for (auto _ : state) {
     util::bump(c);
     benchmark::DoNotOptimize(c);
@@ -120,7 +120,7 @@ BENCHMARK(BM_CounterAdd);
 
 void BM_GaugeAdd(benchmark::State& state) {
   util::CounterRegistry registry;
-  util::Gauge* g = &registry.gauge("bench.gauge");
+  util::Gauge* g = &registry.gauge("bench.micro_trace.gauge_set");
   for (auto _ : state) {
     util::bump(g, 1.5);
     benchmark::DoNotOptimize(g);

@@ -201,10 +201,10 @@ ChirpSim::ChirpSim(des::Simulation& sim, const Params& params)
       params_(params),
       connections_(sim, params.max_connections),
       nic_(sim, params.nic_rate),
-      ctr_puts_(&sim.counters().counter("chirp.puts")),
-      ctr_gets_(&sim.counters().counter("chirp.gets")),
-      ctr_bytes_in_(&sim.counters().gauge("chirp.bytes_in")),
-      ctr_bytes_out_(&sim.counters().gauge("chirp.bytes_out")) {}
+      ctr_puts_(&sim.counters().counter("chirp.sim.puts")),
+      ctr_gets_(&sim.counters().counter("chirp.sim.gets")),
+      ctr_bytes_in_(&sim.counters().gauge("chirp.sim.bytes_in")),
+      ctr_bytes_out_(&sim.counters().gauge("chirp.sim.bytes_out")) {}
 
 des::Task<double> ChirpSim::transfer(double bytes, double& accounting,
                                      util::Gauge* volume) {

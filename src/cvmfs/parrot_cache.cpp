@@ -184,7 +184,9 @@ AccessResult CacheGroup::access_alien(const FileObject& obj) {
   }
   if (state->fetching) {
     stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
-    state->cv.wait(lock, [&] { return state->present; });
+    state->cv.wait(lock, [&]() LOBSTER_NO_THREAD_SAFETY_ANALYSIS {
+      return state->present;
+    });
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     std::shared_lock slock(cache_lock_);
     return {shared_store_.at(obj.path).digest, true, 0.0};

@@ -53,8 +53,8 @@ class SquidProxy {
   [[nodiscard]] std::size_t resident_objects() const;
 
  private:
-  void touch_locked(const std::string& path);
-  void evict_locked();
+  void touch_locked(const std::string& path) LOBSTER_REQUIRES(mutex_);
+  void evict_locked() LOBSTER_REQUIRES(mutex_);
 
   struct Entry {
     Digest digest;

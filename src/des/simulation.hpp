@@ -218,7 +218,7 @@ class Simulation {
   util::Tracer tracer_;
   util::CounterRegistry counters_;
   /// Cached so step() pays one atomic add, not a map lookup.
-  util::Counter* events_counter_ = &counters_.counter("des.events_dispatched");
+  util::Counter* events_counter_ = &counters_.counter("des.kernel.events_dispatched");
 };
 
 inline Event& ProcessRef::done() const {

@@ -32,10 +32,10 @@ std::vector<std::size_t> Cluster::place_replicas_locked(
 }
 
 void Cluster::bind_counters(util::CounterRegistry& registry) {
-  ctr_puts_ = &registry.counter("hdfs.puts");
-  ctr_gets_ = &registry.counter("hdfs.gets");
-  ctr_bytes_written_ = &registry.gauge("hdfs.bytes_written");
-  ctr_bytes_read_ = &registry.gauge("hdfs.bytes_read");
+  ctr_puts_ = &registry.counter("hdfs.cluster.puts");
+  ctr_gets_ = &registry.counter("hdfs.cluster.gets");
+  ctr_bytes_written_ = &registry.gauge("hdfs.cluster.bytes_written");
+  ctr_bytes_read_ = &registry.gauge("hdfs.cluster.bytes_read");
 }
 
 void Cluster::put(const std::string& path, const std::string& content) {

@@ -82,8 +82,9 @@ class Cluster {
     std::map<std::uint64_t, std::string> blocks;
   };
 
-  std::vector<std::size_t> place_replicas_locked(std::uint64_t block_id) const;
-  void remove_locked(const std::string& path);
+  std::vector<std::size_t> place_replicas_locked(std::uint64_t block_id) const
+      LOBSTER_REQUIRES(mutex_);
+  void remove_locked(const std::string& path) LOBSTER_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
   std::size_t replication_ LOBSTER_NOT_GUARDED(immutable after construction);

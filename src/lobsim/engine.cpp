@@ -54,13 +54,13 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
   metrics_ = std::make_unique<EngineMetrics>(metric_bin_seconds);
 
   auto& counters = sim_.counters();
-  ctr_tasks_dispatched_ = &counters.counter("lobsim.tasks_dispatched");
-  ctr_tasks_completed_ = &counters.counter("lobsim.tasks_completed");
-  ctr_tasks_failed_ = &counters.counter("lobsim.tasks_failed");
-  ctr_tasks_evicted_ = &counters.counter("lobsim.tasks_evicted");
-  ctr_tasklets_processed_ = &counters.counter("lobsim.tasklets_processed");
-  ctr_tasklets_retried_ = &counters.counter("lobsim.tasklets_retried");
-  ctr_merges_completed_ = &counters.counter("lobsim.merge_tasks_completed");
+  ctr_tasks_dispatched_ = &counters.counter("lobsim.engine.tasks_dispatched");
+  ctr_tasks_completed_ = &counters.counter("lobsim.engine.tasks_completed");
+  ctr_tasks_failed_ = &counters.counter("lobsim.engine.tasks_failed");
+  ctr_tasks_evicted_ = &counters.counter("lobsim.engine.tasks_evicted");
+  ctr_tasklets_processed_ = &counters.counter("lobsim.engine.tasklets_processed");
+  ctr_tasklets_retried_ = &counters.counter("lobsim.engine.tasklets_retried");
+  ctr_merges_completed_ = &counters.counter("lobsim.engine.merge_tasks_completed");
   if (stealing_) {
     ctr_steal_attempts_ = &counters.counter("lobsim.steal.attempts");
     ctr_steal_tasks_ = &counters.counter("lobsim.steal.tasks");
@@ -142,7 +142,7 @@ des::Process Engine::gauge_sampler(double period) {
   // starts or finishes.
   while (!done_ && sim_.now() < end_time_cap_) {
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
-    sim_.tracer().counter("lobsim.running_tasks",
+    sim_.tracer().counter("lobsim.engine.running_tasks",
                           static_cast<double>(running_tasks_));
     co_await sim_.delay(period);
   }

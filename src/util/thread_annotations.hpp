@@ -36,3 +36,33 @@
 /// thread, ...).  Expands to nothing; the reason is for the reader and the
 /// linter.
 #define LOBSTER_NOT_GUARDED(...)
+
+/// Lock-order declarations: this mutex is canonically acquired after (or
+/// before) the named mutexes.  Cross-class references use the qualified
+/// spelling (`util::Channel::mutex_`).  These expand to nothing everywhere:
+/// clang parses acquired_after/acquired_before but documents them as
+/// unimplemented, and a qualified member reference is not a valid attribute
+/// argument anyway — enforcement lives in lobster_lint's `lockorder` rule,
+/// which checks every observed cross-class acquisition edge against the
+/// hierarchy declared here and reports cycles.
+#define LOBSTER_ACQUIRED_AFTER(...)
+#define LOBSTER_ACQUIRED_BEFORE(...)
+
+/// Caller must hold `mutex` on entry.  Under clang this is the real
+/// REQUIRES attribute; lobster_lint additionally seeds the annotated
+/// method's lexical lock-set with it (rule `guardeduse`).
+#define LOBSTER_REQUIRES(...) \
+  LOBSTER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `mutex` on entry (deadlock documentation).
+#define LOBSTER_EXCLUDES(...) \
+  LOBSTER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for functions whose locking clang's analysis cannot follow:
+/// libc++ annotates std::mutex/lock_guard/scoped_lock but not
+/// std::unique_lock, and manual unlock()/lock() cycles around fetches or
+/// condition-variable waits are beyond the attribute system.  lobster_lint
+/// still checks these functions (its tracker is lexical, not attribute
+/// based), so the escape loses no coverage in the default build.
+#define LOBSTER_NO_THREAD_SAFETY_ANALYSIS \
+  LOBSTER_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -26,7 +26,7 @@
 //
 // Counter naming convention: `<layer>.<subsystem>.<metric>` with
 // lower_snake_case metrics, e.g. "cvmfs.squid.requests",
-// "wq.master.dispatched", "lobsim.tasklets_retried".  Monotonic event
+// "wq.master.dispatched", "lobsim.engine.tasklets_retried".  Monotonic event
 // counts are Counters (integers); byte volumes and levels are Gauges
 // (doubles).
 #pragma once

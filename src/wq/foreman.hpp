@@ -71,7 +71,9 @@ class StealGroup {
   void add(Foreman* member);
   void remove(Foreman* member);
 
-  mutable std::mutex mutex_;
+  // Held while probing members' local queues (queue_depth / steal_one), so
+  // it sits above every Channel lock in the hierarchy; see DESIGN.md.
+  mutable std::mutex mutex_ LOBSTER_ACQUIRED_BEFORE(util::Channel::mutex_);
   std::vector<Foreman*> members_ LOBSTER_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> attempts_{0};
   std::atomic<std::uint64_t> stolen_{0};

@@ -93,7 +93,9 @@ class Master : public TaskSource {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> rejected_resubmits_{0};
   std::atomic<bool> closed_{false};
-  std::mutex close_mutex_;
+  // Serializes the drained-check/close decision; results_.close() runs
+  // under it, so it orders before the Channel lock (see DESIGN.md).
+  std::mutex close_mutex_ LOBSTER_ACQUIRED_BEFORE(util::Channel::mutex_);
   util::Counter* ctr_submitted_ LOBSTER_NOT_GUARDED(target is atomic) = nullptr;
   util::Counter* ctr_dispatched_ LOBSTER_NOT_GUARDED(target is atomic) =
       nullptr;

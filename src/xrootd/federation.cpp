@@ -29,12 +29,12 @@ FederationSim::FederationSim(des::Simulation& sim, const Params& params)
     : sim_(sim),
       params_(params),
       uplink_(sim, params.campus_uplink_rate),
-      ctr_streams_(&sim.counters().counter("xrootd.streams")),
-      ctr_stages_(&sim.counters().counter("xrootd.stages")),
-      ctr_failed_opens_(&sim.counters().counter("xrootd.failed_opens")),
-      ctr_outages_(&sim.counters().counter("xrootd.outages")),
-      ctr_bytes_streamed_(&sim.counters().gauge("xrootd.bytes_streamed")),
-      ctr_bytes_staged_(&sim.counters().gauge("xrootd.bytes_staged")) {
+      ctr_streams_(&sim.counters().counter("xrootd.federation.streams")),
+      ctr_stages_(&sim.counters().counter("xrootd.federation.stages")),
+      ctr_failed_opens_(&sim.counters().counter("xrootd.federation.failed_opens")),
+      ctr_outages_(&sim.counters().counter("xrootd.federation.outages")),
+      ctr_bytes_streamed_(&sim.counters().gauge("xrootd.federation.bytes_streamed")),
+      ctr_bytes_staged_(&sim.counters().gauge("xrootd.federation.bytes_staged")) {
   if (!params_.paths.empty()) {
     if (params_.trunks.empty())
       throw std::invalid_argument("federation: paths require trunks");

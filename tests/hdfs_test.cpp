@@ -19,10 +19,10 @@ TEST(Hdfs, CounterPlaneCountsIo) {
   c.bind_counters(registry);
   c.put("/data/f1", "0123456789");
   EXPECT_EQ(c.get("/data/f1").size(), 10u);
-  EXPECT_EQ(registry.counter("hdfs.puts").value(), 1u);
-  EXPECT_EQ(registry.counter("hdfs.gets").value(), 1u);
-  EXPECT_EQ(registry.gauge("hdfs.bytes_written").value(), 10.0);
-  EXPECT_EQ(registry.gauge("hdfs.bytes_read").value(), 10.0);
+  EXPECT_EQ(registry.counter("hdfs.cluster.puts").value(), 1u);
+  EXPECT_EQ(registry.counter("hdfs.cluster.gets").value(), 1u);
+  EXPECT_EQ(registry.gauge("hdfs.cluster.bytes_written").value(), 10.0);
+  EXPECT_EQ(registry.gauge("hdfs.cluster.bytes_read").value(), 10.0);
 }
 
 TEST(Hdfs, PutGetRoundTrip) {

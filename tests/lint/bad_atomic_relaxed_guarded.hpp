@@ -1,0 +1,23 @@
+#pragma once
+// Fixture: a relaxed atomic load of a guarded member outside the mutex is
+// still a guardeduse finding — atomicity is not the contract, the lock is.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class BacklogMeter {
+ public:
+  std::size_t sample() const {
+    return backlog_.load(std::memory_order_relaxed);
+  }
+  void grow() {
+    std::lock_guard<std::mutex> lock(meter_mu_);
+    backlog_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex meter_mu_;
+  std::atomic<std::size_t> backlog_ LOBSTER_GUARDED_BY(meter_mu_){0};
+};

@@ -1,0 +1,30 @@
+#pragma once
+// Fixture: the PR 8 close-vs-deliver shape — `closed_` is guarded, but
+// deliver() peeks at it before taking the lock (the lost-wakeup race).
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class DeliveryChute {
+ public:
+  bool deliver(int parcel) {
+    if (closed_) return false;
+    std::lock_guard<std::mutex> lock(chute_mu_);
+    parcels_.push_back(parcel);
+    arrived_.notify_one();
+    return true;
+  }
+  void close() {
+    std::lock_guard<std::mutex> lock(chute_mu_);
+    closed_ = true;
+    arrived_.notify_all();
+  }
+
+ private:
+  std::mutex chute_mu_;
+  std::condition_variable arrived_;
+  std::deque<int> parcels_ LOBSTER_GUARDED_BY(chute_mu_);
+  bool closed_ LOBSTER_GUARDED_BY(chute_mu_) = false;
+};

@@ -1,0 +1,10 @@
+// Fixture: the same counter registered at two sites, and one name
+// registered as both a counter and a gauge.
+#include "util/trace.hpp"
+
+void register_dup_counters(lobster::util::MetricRegistry& registry) {
+  registry.counter("fixture.dup.attempts");
+  registry.counter("fixture.dup.attempts");
+  registry.counter("fixture.kind.flips");
+  registry.gauge("fixture.kind.flips");
+}

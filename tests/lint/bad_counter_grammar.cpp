@@ -1,0 +1,9 @@
+// Fixture: counter registration literals that violate the
+// layer.subsystem.metric grammar (segment count and case).
+#include "util/trace.hpp"
+
+void register_bad_counters(lobster::util::MetricRegistry& registry) {
+  registry.counter("fixture.two_segments");
+  registry.gauge("Fixture.grammar.UpperCase");
+  registry.counter("fixture.grammar.good_name");
+}

@@ -1,0 +1,25 @@
+#pragma once
+// Fixture: half of a cross-class lock-order cycle (the other half lives in
+// bad_cross_class_order_b.hpp): RelayHub locks hub_mu_ and calls into
+// RelayPort, which locks port_mu_.
+#include <mutex>
+
+#include "bad_cross_class_order_b.hpp"
+#include "util/thread_annotations.hpp"
+
+class RelayHub {
+ public:
+  void broadcast() {
+    std::lock_guard<std::mutex> lock(hub_mu_);
+    port_->accept_frame();
+  }
+  void bump() {
+    std::lock_guard<std::mutex> lock(hub_mu_);
+    ++frames_;
+  }
+
+ private:
+  std::mutex hub_mu_;
+  long frames_ LOBSTER_GUARDED_BY(hub_mu_) = 0;
+  RelayPort* port_ LOBSTER_NOT_GUARDED(wired once at construction) = nullptr;
+};

@@ -1,0 +1,25 @@
+#pragma once
+// Fixture: the other half of the cross-class cycle started in
+// bad_cross_class_order_a.hpp: RelayPort locks port_mu_ and calls back
+// into RelayHub under it.
+#include <mutex>
+
+#include "bad_cross_class_order_a.hpp"
+#include "util/thread_annotations.hpp"
+
+class RelayPort {
+ public:
+  void accept_frame() {
+    std::lock_guard<std::mutex> lock(port_mu_);
+    ++accepted_;
+  }
+  void flush_upstream() {
+    std::lock_guard<std::mutex> lock(port_mu_);
+    hub_->bump();
+  }
+
+ private:
+  std::mutex port_mu_;
+  long accepted_ LOBSTER_GUARDED_BY(port_mu_) = 0;
+  RelayHub* hub_ LOBSTER_NOT_GUARDED(wired once at construction) = nullptr;
+};

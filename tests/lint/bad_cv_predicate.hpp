@@ -1,0 +1,26 @@
+#pragma once
+// Fixture: the condition-variable wait predicate runs under pump_mu_ (the
+// lock passed to wait), but `primed_` is guarded by tank_mu_ — the
+// predicate read is a guardeduse finding, not an exemption.
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class PressurePump {
+ public:
+  void wait_primed() {
+    std::unique_lock<std::mutex> lock(pump_mu_);
+    primed_cv_.wait(lock, [&] { return primed_; });
+  }
+  void prime() {
+    std::lock_guard<std::mutex> lock(tank_mu_);
+    primed_ = true;
+  }
+
+ private:
+  std::mutex pump_mu_;
+  std::mutex tank_mu_;
+  std::condition_variable primed_cv_;
+  bool primed_ LOBSTER_GUARDED_BY(tank_mu_) = false;
+};

@@ -1,0 +1,27 @@
+#pragma once
+// Fixture: two mutexes of one class taken in opposite orders by two
+// methods — the lockorder rule must report a cycle.
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class PairLedger {
+ public:
+  void credit() {
+    std::lock_guard<std::mutex> a(ledger_mu_);
+    std::lock_guard<std::mutex> b(audit_mu_);
+    ++credits_;
+    ++audits_;
+  }
+  void audit() {
+    std::lock_guard<std::mutex> b(audit_mu_);
+    std::lock_guard<std::mutex> a(ledger_mu_);
+    ++audits_;
+  }
+
+ private:
+  std::mutex ledger_mu_;
+  std::mutex audit_mu_;
+  long credits_ LOBSTER_GUARDED_BY(ledger_mu_) = 0;
+  long audits_ LOBSTER_GUARDED_BY(audit_mu_) = 0;
+};

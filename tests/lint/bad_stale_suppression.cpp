@@ -1,0 +1,10 @@
+// Fixture: a suppression that silences nothing — the audit must flag it as
+// stale so dead markers can't mask future regressions.
+#include <vector>
+
+int sum_sizes(const std::vector<int>& v) {
+  // lobster-lint: ordered-ok(vector iteration is deterministic anyway)
+  int total = 0;
+  for (int x : v) total += x;
+  return total;
+}

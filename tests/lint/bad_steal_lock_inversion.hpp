@@ -1,0 +1,36 @@
+#pragma once
+// Fixture: the PR 8 steal-group shape — the group lock is held while
+// probing a member queue's lock, and the cross-class edge is not declared
+// in the hierarchy.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+class RaidedQueue {
+ public:
+  std::size_t probe_depth() const {
+    std::lock_guard<std::mutex> lock(raided_mu_);
+    return depth_;
+  }
+
+ private:
+  mutable std::mutex raided_mu_;
+  std::size_t depth_ LOBSTER_GUARDED_BY(raided_mu_) = 0;
+};
+
+class RaiderGroup {
+ public:
+  std::size_t deepest() const {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    std::size_t best = 0;
+    for (RaidedQueue* q : raided_)
+      if (q->probe_depth() > best) best = q->probe_depth();
+    return best;
+  }
+
+ private:
+  mutable std::mutex group_mu_;
+  std::vector<RaidedQueue*> raided_ LOBSTER_GUARDED_BY(group_mu_);
+};

@@ -1,0 +1,10 @@
+// Fixture: one registration site per counter, grammar-conformant names; a
+// tracer sample of an existing counter is not a re-registration.
+#include "util/trace.hpp"
+
+void register_good_counters(lobster::util::MetricRegistry& registry,
+                            lobster::util::TraceSink& sink) {
+  registry.counter("fixture.plane.pushes");
+  registry.gauge("fixture.plane.depth");
+  sink.counter("fixture.plane.pushes", 1.0, 0.0);
+}

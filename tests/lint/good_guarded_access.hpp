@@ -1,0 +1,29 @@
+#pragma once
+// Fixture: guarded members touched only under their mutex, including the
+// cv-wait predicate — clean under guardeduse.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class SluiceGate {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    pending_.push_back(v);
+    ready_cv_.notify_one();
+  }
+  int pop() {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    ready_cv_.wait(lock, [&] { return !pending_.empty(); });
+    const int v = pending_.front();
+    pending_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex gate_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<int> pending_ LOBSTER_GUARDED_BY(gate_mu_);
+};

@@ -1,0 +1,33 @@
+#pragma once
+// Fixture: a declared two-level hierarchy used in one direction only —
+// clean under lockorder.
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+class LampSocket {
+ public:
+  void flip() {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    lit_ = !lit_;
+  }
+
+ private:
+  std::mutex socket_mu_;
+  bool lit_ LOBSTER_GUARDED_BY(socket_mu_) = false;
+};
+
+class LampPanel {
+ public:
+  void flip_all() {
+    std::lock_guard<std::mutex> lock(panel_mu_);
+    socket_->flip();
+    ++flips_;
+  }
+
+ private:
+  std::mutex panel_mu_ LOBSTER_ACQUIRED_BEFORE(LampSocket::socket_mu_);
+  long flips_ LOBSTER_GUARDED_BY(panel_mu_) = 0;
+  LampSocket* socket_ LOBSTER_NOT_GUARDED(wired once at construction) =
+      nullptr;
+};

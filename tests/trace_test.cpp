@@ -72,7 +72,7 @@ TEST(JsonlSink, EventsRoundTripThroughParser) {
   sink.begin("task", "analysis", 7, 1.5);
   sink.end("task", "analysis", 7, 2.5, {{"cpu", 0.75}, {"exit", 0.0}});
   sink.instant("lobsim", "task_failed", 0, 3.0, {{"exit", 211.0}});
-  sink.counter("lobsim.tasks_completed", 4.0, 42.0);
+  sink.counter("lobsim.engine.tasks_completed", 4.0, 42.0);
   sink.close();
 
   const auto events = util::parse_trace_jsonl(sink.buffer());
@@ -89,7 +89,7 @@ TEST(JsonlSink, EventsRoundTripThroughParser) {
   EXPECT_EQ(events[2].phase, 'i');
   EXPECT_EQ(events[2].arg("exit"), 211.0);
   EXPECT_EQ(events[3].phase, 'C');
-  EXPECT_EQ(events[3].name, "lobsim.tasks_completed");
+  EXPECT_EQ(events[3].name, "lobsim.engine.tasks_completed");
   EXPECT_EQ(events[3].value, 42.0);
   EXPECT_TRUE(util::validate_trace(events).empty());
 }
@@ -132,7 +132,7 @@ TEST(ChromeSink, ProducesTraceEventArray) {
   sink.begin("task", "analysis", 3, 1.0);
   sink.end("task", "analysis", 3, 2.0, {{"cpu", 1.5}});
   sink.instant("xrootd", "outage_begin", 0, 2.5, {});
-  sink.counter("lobsim.running_tasks", 3.0, 17.0);
+  sink.counter("lobsim.engine.running_tasks", 3.0, 17.0);
   sink.close();
 
   const std::string& buf = sink.buffer();
@@ -216,10 +216,10 @@ TEST(CounterPlane, FindOrCreateReturnsStableRefs) {
   EXPECT_EQ(&a, &b);
   a.add(3);
   EXPECT_EQ(b.value(), 3u);
-  util::Gauge& g = reg.gauge("chirp.bytes_in");
+  util::Gauge& g = reg.gauge("chirp.sim.bytes_in");
   g.add(1.5);
   g.add(2.5);
-  EXPECT_EQ(reg.gauge("chirp.bytes_in").value(), 4.0);
+  EXPECT_EQ(reg.gauge("chirp.sim.bytes_in").value(), 4.0);
 }
 
 TEST(CounterPlane, SnapshotIsNameOrdered) {
@@ -263,7 +263,7 @@ TEST(TraceReplay, RebuildsRecordsFromEndEventArgs) {
   // A reducer span carries no status and must not become a record.
   sink.begin("task", "hadoop_reduce", 1 << 20, 120.0);
   sink.end("task", "hadoop_reduce", 1 << 20, 130.0, {{"bytes", 1e9}});
-  sink.counter("lobsim.tasks_completed", 130.0, 1.0);
+  sink.counter("lobsim.engine.tasks_completed", 130.0, 1.0);
   sink.close();
 
   const auto replay =
@@ -283,7 +283,7 @@ TEST(TraceReplay, RebuildsRecordsFromEndEventArgs) {
       rec.segment_time[static_cast<std::size_t>(core::Segment::ExecuteIo)],
       5.0);
   ASSERT_EQ(replay.final_counters.size(), 1u);
-  EXPECT_EQ(replay.final_counters[0].first, "lobsim.tasks_completed");
+  EXPECT_EQ(replay.final_counters[0].first, "lobsim.engine.tasks_completed");
   EXPECT_EQ(replay.open_spans, 0u);
 }
 
@@ -324,9 +324,9 @@ TEST(EngineTrace, TracedRunIsValidAndReconstructsBreakdownExactly) {
   // The final counter plane agrees with the metrics the engine reported.
   double completed = -1.0, evicted = -1.0, des_events = -1.0;
   for (const auto& [name, value] : replay.final_counters) {
-    if (name == "lobsim.tasks_completed") completed = value;
-    if (name == "lobsim.tasks_evicted") evicted = value;
-    if (name == "des.events_dispatched") des_events = value;
+    if (name == "lobsim.engine.tasks_completed") completed = value;
+    if (name == "lobsim.engine.tasks_evicted") evicted = value;
+    if (name == "des.kernel.events_dispatched") des_events = value;
   }
   EXPECT_EQ(completed, static_cast<double>(stats.tasks_completed));
   EXPECT_EQ(evicted, static_cast<double>(stats.tasks_evicted));

@@ -29,6 +29,25 @@ bool has_token(const std::string& line, const std::string& token) {
   return false;
 }
 
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool opens_class_body(const std::string& stmt) {
+  const std::string t = trim(stmt);
+  if (t.empty()) return false;
+  if (has_token(t, "enum")) return false;  // enum class bodies: enumerators
+  if (!has_token(t, "class") && !has_token(t, "struct")) return false;
+  // `struct Entry* p = ...` or a function returning a struct would carry
+  // '=' or '(' before the brace.
+  if (t.find('=') != std::string::npos) return false;
+  if (t.find('(') != std::string::npos) return false;
+  return true;
+}
+
 namespace {
 
 /// Blank comments and string/char literals to spaces, preserving line
@@ -213,6 +232,26 @@ SourceFile make_source(std::string path, const std::string& text) {
   return f;
 }
 
+DocFile make_doc(std::string path, const std::string& text) {
+  DocFile d;
+  d.path = std::move(path);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    d.raw.push_back(line);
+  }
+  return d;
+}
+
+void load_doc(Corpus& corpus, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("lobster_lint: cannot read doc " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  corpus.docs.push_back(make_doc(path, buf.str()));
+}
+
 Corpus load_corpus(const std::vector<std::string>& roots) {
   std::vector<std::string> paths;
   for (const std::string& root : roots) {
@@ -292,6 +331,7 @@ Suppression find_suppression(const SourceFile& f, std::size_t line_idx,
     if (close != std::string::npos)
       s.reason = trimmed(line.substr(open + 1, close - open - 1));
     s.valid = !s.reason.empty();
+    if (s.valid) f.suppressions_used.insert(line_idx - back);
     return s;
   }
   return {};
@@ -300,11 +340,19 @@ Suppression find_suppression(const SourceFile& f, std::size_t line_idx,
 std::vector<Finding> run(const Corpus& corpus, const Options& opts) {
   std::vector<Finding> findings;
   const auto rules = make_rules(opts);
-  for (const SourceFile& f : corpus.files) {
+  for (const SourceFile& f : corpus.files) f.suppressions_used.clear();
+  for (const SourceFile& f : corpus.files)
     for (const auto& rule : rules) rule->check(f, corpus, findings);
-    // Audited suppressions: a marker with an empty reason is a finding in
-    // its own right — the audit trail is the point.  Only comment text is
-    // considered (string literals may legitimately mention the marker).
+  for (const auto& rule : rules) rule->check_corpus(corpus, findings);
+
+  // Audited suppressions: a marker with an empty reason is a finding in
+  // its own right — the audit trail is the point — and so is a valid
+  // marker that silenced nothing this run (stale after a refactor; dead
+  // suppressions would hide future findings).  Only comment text is
+  // considered (string literals may legitimately mention the marker), and
+  // prose placeholders spelled `<like this>` are documentation, not
+  // suppressions.
+  for (const SourceFile& f : corpus.files) {
     for (std::size_t i = 0; i < f.raw.size(); ++i) {
       const std::size_t comment = f.comment[i];
       if (comment == std::string::npos) continue;
@@ -317,15 +365,29 @@ std::vector<Finding> run(const Corpus& corpus, const Options& opts) {
                             "`lobster-lint: <rule>-ok(<reason>)`"});
         continue;
       }
+      const std::string tag =
+          trimmed(f.raw[i].substr(pos + 14, open - (pos + 14)));
+      if (tag.find('<') != std::string::npos)
+        continue;  // `lobster-lint: <tag>-ok(...)` in prose about the syntax
       const std::size_t close = f.raw[i].find(')', open);
       const std::string reason =
           close == std::string::npos
               ? ""
               : trimmed(f.raw[i].substr(open + 1, close - open - 1));
-      if (reason.empty())
+      if (reason.empty()) {
         findings.push_back({f.path, i + 1, "suppression",
                             "suppression without a reason: state why the "
                             "flagged pattern is safe"});
+        continue;
+      }
+      if (reason.front() == '<' && reason.back() == '>')
+        continue;  // `hotpath-ok(<reason>)` in prose about the protocol
+      if (f.suppressions_used.count(i)) continue;
+      findings.push_back(
+          {f.path, i + 1, "suppression",
+           "stale suppression `" + tag +
+               "(...)`: it no longer silences any finding — delete it so a "
+               "future regression here cannot hide behind it"});
     }
   }
   std::stable_sort(findings.begin(), findings.end(),

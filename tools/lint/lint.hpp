@@ -32,10 +32,28 @@
 //                member reintroduces per-entity allocation and pointer
 //                chasing on the event path.  Audited exceptions carry a
 //                `lobster-lint: hotpath-ok(<reason>)` suppression.
+//   lockorder  — corpus-wide lock-acquisition graph: RAII acquisitions in
+//                nested lexical scopes plus call edges resolved through the
+//                class model (method A locks m1 then calls B which locks
+//                m2).  Any cycle is a potential deadlock; any cross-class
+//                edge must be declared with LOBSTER_ACQUIRED_BEFORE/AFTER
+//                on the mutex member (the canonical hierarchy lives in
+//                DESIGN.md).
+//   guardeduse — reads/writes of a LOBSTER_GUARDED_BY(m) member from a
+//                method whose lexical lock-set does not include `m` (the
+//                lost-wakeup class PR 8 fixed by hand).  Condition-variable
+//                wait predicates are accesses; atomic loads of guarded
+//                members outside the mutex are findings, not exemptions.
+//   counterplane — every counter/gauge registration literal matches the
+//                `layer.subsystem.metric` grammar and is registered at
+//                exactly one site; every counter named in the docs passed
+//                via --doc (README/EXPERIMENTS) exists in code.
 //
 // Suppressions are audited: `// lobster-lint: <tag>-ok(<reason>)` on the
 // flagged line or the line above silences that rule there; an empty reason
-// is itself a finding.
+// is itself a finding, and so is a stale suppression that no longer
+// silences anything (placeholder reasons spelled `<like this>` in prose
+// comments are exempt).
 //
 // Include-graph awareness: `#include "a/b.hpp"` edges between scanned files
 // are resolved by path suffix, so a .cpp iterating a container declared in
@@ -71,6 +89,17 @@ struct SourceFile {
   std::vector<std::size_t> comment;
   /// Targets of `#include "..."` directives, as written.
   std::vector<std::string> includes;
+  /// 0-based lines whose suppression marker silenced a finding this run;
+  /// filled by find_suppression, read by the stale-suppression audit.
+  mutable std::set<std::size_t> suppressions_used;
+};
+
+/// A documentation file (README/EXPERIMENTS) cross-checked by the
+/// counterplane rule: backticked `layer.subsystem.metric` tokens must name
+/// counters that exist in code.
+struct DocFile {
+  std::string path;
+  std::vector<std::string> raw;
 };
 
 /// Build a SourceFile from in-memory text (fixture tests use this).
@@ -78,6 +107,7 @@ SourceFile make_source(std::string path, const std::string& text);
 
 struct Corpus {
   std::vector<SourceFile> files;
+  std::vector<DocFile> docs;
 
   /// Resolve an include target ("util/rng.hpp") to a corpus file by path
   /// suffix; nullptr when the target is outside the scanned set.
@@ -91,6 +121,12 @@ struct Corpus {
 /// Recursively collect .hpp/.cpp/.h/.cc files under `roots` (files may also
 /// be named directly).  Deterministic order; throws on an unreadable root.
 Corpus load_corpus(const std::vector<std::string>& roots);
+
+/// Build a DocFile from in-memory text (fixture tests use this).
+DocFile make_doc(std::string path, const std::string& text);
+
+/// Load a documentation file into the corpus; throws when unreadable.
+void load_doc(Corpus& corpus, const std::string& path);
 
 struct Suppression {
   bool present = false;  ///< a `lobster-lint: <tag>-ok(...)` marker exists
@@ -119,18 +155,76 @@ class Rule {
   virtual const char* tag() const = 0;
   virtual void check(const SourceFile& f, const Corpus& corpus,
                      std::vector<Finding>& out) const = 0;
+  /// Whole-corpus analyses (lockorder, guardeduse, counterplane) override
+  /// this instead of the per-file hook.
+  virtual void check_corpus(const Corpus& corpus,
+                            std::vector<Finding>& out) const {
+    (void)corpus;
+    (void)out;
+  }
 };
 
 std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts);
 
-/// Run every rule over every file; also flags suppression markers with an
-/// empty reason.  Findings are ordered by file, then line.
+/// The corpus-level rule factories (rules_lock.cpp); make_rules includes
+/// all three.
+std::unique_ptr<Rule> make_lockorder_rule();
+std::unique_ptr<Rule> make_guardeduse_rule();
+std::unique_ptr<Rule> make_counterplane_rule();
+
+/// Run every rule over every file, then every corpus-level rule; also
+/// audits suppressions (empty reason, malformed marker, stale marker that
+/// silenced nothing).  Findings are ordered by file, then line.
 std::vector<Finding> run(const Corpus& corpus, const Options& opts);
+
+// ---- baseline & machine-readable output -----------------------------------
+
+/// One baselined finding class: `count` occurrences of `message` from
+/// `rule` in `file` (path normalized to its repo-relative suffix, line
+/// numbers deliberately excluded so unrelated edits don't churn the file).
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string message;
+  std::size_t count = 0;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Strip everything before the repo-relative root (src/, tools/, bench/,
+/// tests/, examples/) so baselines match regardless of invocation cwd.
+std::string normalize_path(const std::string& path);
+
+Baseline make_baseline(const std::vector<Finding>& findings);
+std::string baseline_to_json(const Baseline& b);
+/// Throws std::runtime_error on malformed input.
+Baseline parse_baseline_json(const std::string& text);
+
+/// Baseline drift: `fresh` findings not covered by the baseline, `stale`
+/// baseline entries (or occurrence surplus) no longer produced — CI fails
+/// on either direction.
+struct BaselineDiff {
+  std::vector<Finding> fresh;
+  std::vector<BaselineEntry> stale;
+};
+BaselineDiff diff_against_baseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings);
+
+std::string findings_to_json(const std::vector<Finding>& findings);
+/// SARIF 2.1.0 (one run, physical locations with 1-based lines).
+std::string findings_to_sarif(const std::vector<Finding>& findings);
 
 // ---- shared token helpers (exposed for the rule implementations/tests) ----
 
 bool is_identifier_char(char c);
 /// True when `token` occurs in `line` delimited by non-identifier chars.
 bool has_token(const std::string& line, const std::string& token);
+/// Copy of `s` without leading/trailing whitespace.
+std::string trim(const std::string& s);
+/// Does the buffered statement text introduce a class/struct body?  Shared
+/// by every rule that tracks class scopes by brace counting.
+bool opens_class_body(const std::string& stmt);
 
 }  // namespace lobster::lint

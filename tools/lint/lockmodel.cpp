@@ -1,0 +1,680 @@
+// lockmodel.cpp — builds the corpus-wide lock model (see lockmodel.hpp).
+//
+// Pass A: structural scan of every file.  Brace-tracked contexts distinguish
+// class bodies (member statements are analyzed at each ';'), method bodies
+// (located and skipped — pass B owns them) and everything else.  Pass B:
+// each method body is re-scanned with the lexical lock-set tracker.
+#include "lint/lockmodel.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lobster::lint {
+
+namespace {
+
+bool is_ident(const std::string& s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s)
+    if (!is_identifier_char(c)) return false;
+  return true;
+}
+
+/// Last identifier run of `s` ("" when s doesn't end in one).
+std::string trailing_ident(const std::string& s) {
+  std::size_t e = s.size();
+  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > 0 && is_identifier_char(s[b - 1])) --b;
+  return s.substr(b, e - b);
+}
+
+/// Strip one balanced `MACRO(...)` occurrence; returns true when found and
+/// stores the argument text in `args`.
+bool strip_macro(std::string& t, const std::string& macro, std::string* args) {
+  const std::size_t pos = t.find(macro);
+  if (pos == std::string::npos) return false;
+  const std::size_t open = t.find('(', pos);
+  if (open == std::string::npos) return false;
+  int depth = 0;
+  std::size_t close = open;
+  for (; close < t.size(); ++close) {
+    if (t[close] == '(') ++depth;
+    if (t[close] == ')' && --depth == 0) break;
+  }
+  if (close >= t.size()) return false;
+  if (args) *args = trim(t.substr(open + 1, close - open - 1));
+  t = t.substr(0, pos) + " " + t.substr(close + 1);
+  return true;
+}
+
+std::vector<std::string> split_top_level_commas(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+const char* kMutexTypes[] = {"std::mutex", "std::shared_mutex",
+                             "std::recursive_mutex", "std::timed_mutex"};
+const char* kLockTypes[] = {"std::scoped_lock", "std::lock_guard",
+                            "std::unique_lock", "std::shared_lock"};
+
+bool starts_with_token(const std::string& t, const std::string& prefix) {
+  return t.rfind(prefix, 0) == 0 &&
+         (t.size() == prefix.size() || !is_identifier_char(t[prefix.size()]));
+}
+
+/// `util::Channel<TaskSpec>*` -> "Channel"; the simple class name of a
+/// declared member type.
+std::string type_class_name(std::string type) {
+  type = trim(type);
+  const std::size_t lt = type.find('<');
+  if (lt != std::string::npos) type = type.substr(0, lt);
+  while (!type.empty() && (type.back() == '*' || type.back() == '&' ||
+                           std::isspace(static_cast<unsigned char>(type.back()))))
+    type.pop_back();
+  const std::size_t colons = type.rfind("::");
+  if (colons != std::string::npos) type = type.substr(colons + 2);
+  return is_ident(type) ? type : "";
+}
+
+/// Class name from a `class X : public Y` / `template <class T> struct X`
+/// header: the last identifier before the base-clause colon that is not a
+/// keyword or a template parameter.
+std::string class_name_from_header(const std::string& stmt) {
+  std::string t = trim(stmt);
+  // Drop a trailing base clause (`: public TaskSource`), taking care not to
+  // cut inside `::`.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] != ':') continue;
+    const bool left = i > 0 && t[i - 1] == ':';
+    const bool right = i + 1 < t.size() && t[i + 1] == ':';
+    if (!left && !right) {
+      t = trim(t.substr(0, i));
+      break;
+    }
+    if (right) ++i;
+  }
+  // Drop attribute/export macros trailing the name; the name is now the
+  // last identifier, as long as a class/struct keyword precedes something.
+  const std::string name = trailing_ident(t);
+  if (name == "class" || name == "struct" || name == "final") {
+    // `struct {` anonymous, or `class ... final` — retry without `final`.
+    if (name == "final") {
+      std::string head = trim(t.substr(0, t.size() - 5));
+      return trailing_ident(head);
+    }
+    return "";
+  }
+  return name;
+}
+
+struct MethodHeader {
+  bool found = false;
+  std::string cls;   ///< "" when not qualified (use enclosing class)
+  std::string name;  ///< may equal cls for constructors
+};
+
+/// Parse a function-definition header: the identifier before the first
+/// top-level '(' plus an optional `Cls::` qualifier.  `= lambda` inits and
+/// brace-initialized members are rejected by the caller ('=' before '(').
+MethodHeader parse_method_header(const std::string& stmt) {
+  MethodHeader h;
+  const std::size_t open = stmt.find('(');
+  if (open == std::string::npos) return h;
+  std::size_t e = open;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(stmt[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > 0 && is_identifier_char(stmt[b - 1])) --b;
+  if (b == e) return h;
+  h.name = stmt.substr(b, e - b);
+  if (b >= 1 && stmt[b - 1] == '~') h.name = "~" + h.name;
+  // Optional `Cls::` (possibly `ns::Outer::Inner::`): take the innermost.
+  std::size_t q = b;
+  if (h.name[0] == '~') --q;
+  if (q >= 2 && stmt[q - 1] == ':' && stmt[q - 2] == ':') {
+    std::size_t ce = q - 2, cb = ce;
+    while (cb > 0 && is_identifier_char(stmt[cb - 1])) --cb;
+    if (cb < ce) h.cls = stmt.substr(cb, ce - cb);
+  }
+  h.found = true;
+  return h;
+}
+
+/// Normalize a receiver chain: `this->x` -> `x`, `self->x` -> `x` (the
+/// `auto* self = const_cast<...>(this)` idiom), "" and "this"/"self" ->
+/// "this".
+std::string normalize_receiver(std::string r) {
+  r = trim(r);
+  if (r.rfind("this->", 0) == 0) r = trim(r.substr(6));
+  if (r.rfind("self->", 0) == 0) r = trim(r.substr(6));
+  if (r.empty() || r == "this" || r == "self" || r == "(*this)") return "this";
+  return r;
+}
+
+}  // namespace
+
+bool parse_lock_ref(const std::string& text, LockRef& out) {
+  std::string t = trim(text);
+  while (!t.empty() && (t.front() == '*' || t.front() == '&'))
+    t = trim(t.substr(1));
+  if (t.empty()) return false;
+  if (t.find("::") != std::string::npos) return false;  // std::try_to_lock &c
+  if (t.find('(') != std::string::npos) return false;   // calls, casts
+  // Split at the last `->` or `.`.
+  std::size_t split = std::string::npos;
+  bool arrow = false;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i] == '-' && t[i + 1] == '>') {
+      split = i;
+      arrow = true;
+    } else if (t[i] == '.') {
+      split = i;
+      arrow = false;
+    }
+  }
+  if (split == std::string::npos) {
+    if (!is_ident(t)) return false;
+    out = {"this", t};
+    return true;
+  }
+  const std::string name = trim(t.substr(split + (arrow ? 2 : 1)));
+  if (!is_ident(name)) return false;
+  out = {normalize_receiver(t.substr(0, split)), name};
+  return true;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass A — class inventory and method-body location.
+// ---------------------------------------------------------------------------
+
+struct BodySpan {
+  std::string cls;
+  std::string name;
+  bool ctor_dtor = false;
+  std::vector<LockRef> entry_locks;
+  std::size_t line = 0;  ///< 0-based line of the opening brace
+  std::size_t col = 0;   ///< column just after the opening brace
+};
+
+std::vector<LockRef> parse_requires_args(const std::string& args) {
+  std::vector<LockRef> out;
+  for (const std::string& a : split_top_level_commas(args)) {
+    LockRef ref;
+    if (parse_lock_ref(a, ref)) out.push_back(ref);
+  }
+  return out;
+}
+
+/// Analyze one class-scope statement flushed at ';'.
+void analyze_class_member(const std::string& text, std::size_t line_idx,
+                          const SourceFile& f, ClassModel& cls) {
+  std::string t = trim(text);
+  if (t.empty()) return;
+  static const char* kSkipPrefixes[] = {
+      "public",   "private", "protected", "using",    "typedef", "template",
+      "enum",     "class",   "struct",    "operator", "return",  "#",
+      "friend",
+  };
+  for (const char* p : kSkipPrefixes)
+    if (starts_with_token(t, p) || t[0] == '#' || t[0] == '~') return;
+
+  std::string guard, before_args, after_args, requires_args;
+  const bool guarded = strip_macro(t, "LOBSTER_GUARDED_BY", &guard);
+  strip_macro(t, "LOBSTER_PT_GUARDED_BY", nullptr);
+  strip_macro(t, "LOBSTER_NOT_GUARDED", nullptr);
+  const bool has_before =
+      strip_macro(t, "LOBSTER_ACQUIRED_BEFORE", &before_args);
+  const bool has_after = strip_macro(t, "LOBSTER_ACQUIRED_AFTER", &after_args);
+  const bool has_requires = strip_macro(t, "LOBSTER_REQUIRES", &requires_args);
+  strip_macro(t, "LOBSTER_EXCLUDES", nullptr);
+  t = trim(t);
+  if (t.empty()) return;
+
+  if (t.find('(') != std::string::npos) {
+    // A method declaration: record its REQUIRES contract, if any.
+    if (has_requires) {
+      const MethodHeader h = parse_method_header(t);
+      if (h.found)
+        cls.method_requires[h.name] = parse_requires_args(requires_args);
+    }
+    return;
+  }
+
+  for (bool again = true; again;) {
+    again = false;
+    for (const char* q :
+         {"mutable ", "inline ", "static ", "const ", "volatile "}) {
+      if (t.rfind(q, 0) == 0) {
+        t = trim(t.substr(std::string(q).size()));
+        again = true;
+      }
+    }
+  }
+  if (t.empty()) return;
+
+  // Cut a default member initializer before extracting the declarator.
+  std::string decl = t;
+  const std::size_t eq = decl.find('=');
+  if (eq != std::string::npos) decl = trim(decl.substr(0, eq));
+  const std::string member = trailing_ident(decl);
+  if (member.empty()) return;
+
+  bool is_mutex = false;
+  for (const char* m : kMutexTypes)
+    if (starts_with_token(t, m)) is_mutex = true;
+  if (is_mutex) {
+    cls.mutexes.insert(member);
+    auto note_edges = [&](const std::string& args, bool member_is_after) {
+      for (const std::string& a : split_top_level_commas(args)) {
+        ClassModel::DeclaredEdge e;
+        if (member_is_after) {
+          e.before = a;
+          e.after = member;
+        } else {
+          e.before = member;
+          e.after = a;
+        }
+        e.file = &f;
+        e.line = line_idx + 1;
+        cls.declared_edges.push_back(e);
+      }
+    };
+    if (has_after) note_edges(after_args, /*member_is_after=*/true);
+    if (has_before) note_edges(before_args, /*member_is_after=*/false);
+    return;
+  }
+
+  if (guarded) {
+    LockRef g;
+    if (parse_lock_ref(guard, g)) cls.guarded_by[member] = g.name;
+  }
+  // Member type, for receiver resolution (`local_.try_receive()`).
+  const std::size_t name_pos = decl.rfind(member);
+  const std::string cls_name = type_class_name(decl.substr(0, name_pos));
+  if (!cls_name.empty()) cls.member_class[member] = cls_name;
+}
+
+void scan_file_structure(const SourceFile& f, LockModel& model,
+                         std::vector<BodySpan>& bodies) {
+  struct Ctx {
+    enum Kind { Other, Class, Body } kind = Other;
+    std::string cls;  ///< for Class contexts
+  };
+  std::vector<Ctx> stack;
+  std::string stmt;
+  int body_depth = 0;  // >0: inside a method/function body, brace-count only
+  int init_depth = 0;  // >0: inside a member's brace initializer `{0}`
+
+  auto current_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+      if (it->kind == Ctx::Class) return it->cls;
+    return "";
+  };
+
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    if (trim(line).rfind('#', 0) == 0 && body_depth == 0) continue;
+    for (std::size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (body_depth > 0) {
+        if (c == '{') ++body_depth;
+        if (c == '}') --body_depth;
+        continue;
+      }
+      if (init_depth > 0) {
+        // Swallow a balanced brace initializer; the member statement stays
+        // pending so the ';' flush still analyzes it.
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        continue;
+      }
+      if (c == '{') {
+        const std::string t = trim(stmt);
+        if (opens_class_body(t)) {
+          stmt.clear();
+          Ctx ctx;
+          ctx.kind = Ctx::Class;
+          ctx.cls = class_name_from_header(t);
+          stack.push_back(ctx);
+          if (!ctx.cls.empty()) {
+            ClassModel& cm = model.classes[ctx.cls];
+            if (cm.name.empty()) {
+              cm.name = ctx.cls;
+              cm.file = &f;
+              cm.line = li + 1;
+            }
+          }
+          continue;
+        }
+        // Function definition?  '=' before the first '(' means an
+        // initializer (lambda member, array init), not a header.  Member
+        // annotation macros carry parentheses of their own
+        // (`T x_ LOBSTER_GUARDED_BY(m){0}`), so strip them before testing.
+        std::string ht = t;
+        std::string requires_args;
+        const bool has_requires =
+            strip_macro(ht, "LOBSTER_REQUIRES", &requires_args);
+        for (const char* m :
+             {"LOBSTER_GUARDED_BY", "LOBSTER_PT_GUARDED_BY",
+              "LOBSTER_NOT_GUARDED", "LOBSTER_ACQUIRED_BEFORE",
+              "LOBSTER_ACQUIRED_AFTER", "LOBSTER_EXCLUDES"})
+          while (strip_macro(ht, m, nullptr)) {
+          }
+        const std::size_t open = ht.find('(');
+        const std::size_t eq = ht.find('=');
+        const bool header_like =
+            open != std::string::npos && (eq == std::string::npos || eq > open);
+        if (header_like) {
+          stmt.clear();
+          const MethodHeader h = parse_method_header(ht);
+          std::string cls = h.cls.empty() ? current_class() : h.cls;
+          if (h.found && !cls.empty()) {
+            BodySpan span;
+            span.cls = cls;
+            span.name = h.name;
+            span.ctor_dtor = h.name == cls || h.name == "~" + cls;
+            if (has_requires)
+              span.entry_locks = parse_requires_args(requires_args);
+            span.line = li;
+            span.col = ci + 1;
+            bodies.push_back(span);
+            // Also record a REQUIRES contract attached to a definition.
+            if (has_requires && model.classes.count(cls))
+              model.classes[cls].method_requires[h.name] = span.entry_locks;
+          }
+          body_depth = 1;
+          continue;
+        }
+        if (!stack.empty() && stack.back().kind == Ctx::Class && !t.empty()) {
+          // A member's brace initializer: keep the statement pending so the
+          // trailing ';' still flushes it through analyze_class_member.
+          init_depth = 1;
+          continue;
+        }
+        stmt.clear();
+        stack.push_back(Ctx{});  // plain block at this level
+        continue;
+      }
+      if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        stmt.clear();
+        continue;
+      }
+      if (c == ';') {
+        if (!stack.empty() && stack.back().kind == Ctx::Class &&
+            !stack.back().cls.empty())
+          analyze_class_member(stmt, li, f, model.classes[stack.back().cls]);
+        stmt.clear();
+        continue;
+      }
+      if (c == ':' && !stack.empty() && stack.back().kind == Ctx::Class) {
+        const std::string t = trim(stmt);
+        if (t == "public" || t == "private" || t == "protected") {
+          stmt.clear();
+          continue;
+        }
+      }
+      stmt.push_back(c);
+    }
+    stmt.push_back(' ');
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B — lexical lock-set tracking over one method body.
+// ---------------------------------------------------------------------------
+
+const char* kStmtKeywords[] = {
+    "if",       "for",         "while",    "switch",   "return",  "sizeof",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast", "catch",
+    "assert",   "do",          "else",     "case",     "new",     "delete",
+    "throw",    "co_return",   "alignof",  "decltype", "noexcept",
+};
+
+bool is_keyword(const std::string& w) {
+  for (const char* k : kStmtKeywords)
+    if (w == k) return true;
+  return false;
+}
+
+struct BodyScanner {
+  const SourceFile& f;
+  const std::set<std::string>& guarded_names;
+  MethodModel& out;
+
+  std::vector<std::vector<LockRef>> scopes{{}};
+
+  std::vector<LockRef> flatten() const {
+    std::vector<LockRef> all = out.entry_locks;
+    for (const auto& s : scopes) all.insert(all.end(), s.begin(), s.end());
+    return all;
+  }
+
+  /// RAII lock declaration: record acquisitions, return true when the
+  /// statement was one.
+  bool try_lock_decl(const std::string& t, std::size_t line) {
+    for (const char* lt : kLockTypes) {
+      const std::size_t pos = t.find(lt);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && is_identifier_char(t[pos - 1])) continue;
+      std::size_t i = pos + std::string(lt).size();
+      if (i < t.size() && is_identifier_char(t[i])) continue;
+      // Optional template argument list.
+      while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+      if (i < t.size() && t[i] == '<') {
+        int depth = 0;
+        for (; i < t.size(); ++i) {
+          if (t[i] == '<') ++depth;
+          if (t[i] == '>' && --depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+      // Guard variable name.
+      std::size_t e = i;
+      while (e < t.size() && is_identifier_char(t[e])) ++e;
+      if (e == i) return false;  // no declarator: not a declaration
+      i = e;
+      while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i])))
+        ++i;
+      if (i >= t.size() || t[i] != '(') return false;  // `std::unique_lock lk;`
+      int depth = 0;
+      std::size_t close = i;
+      for (; close < t.size(); ++close) {
+        if (t[close] == '(') ++depth;
+        if (t[close] == ')' && --depth == 0) break;
+      }
+      if (close >= t.size()) return false;
+      const std::string args = t.substr(i + 1, close - i - 1);
+      if (args.find("defer_lock") != std::string::npos) return true;
+      const std::vector<LockRef> held_before = flatten();
+      for (const std::string& a : split_top_level_commas(args)) {
+        LockRef ref;
+        if (!parse_lock_ref(a, ref)) continue;  // tags, durations
+        Acquisition acq;
+        acq.line = line;
+        acq.lock = ref;
+        acq.held = held_before;
+        out.acquisitions.push_back(acq);
+        scopes.back().push_back(ref);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Receiver chain ending just before position `b` ("" when none):
+  /// `state->` yields "state", `it->second.` yields "it->second".
+  static std::string receiver_before(const std::string& t, std::size_t b) {
+    std::size_t i = b;
+    bool any = false;
+    while (i > 0) {
+      if (i >= 2 && t[i - 1] == '>' && t[i - 2] == '-') {
+        i -= 2;
+        any = true;
+      } else if (t[i - 1] == '.' &&
+                 !(i >= 2 && std::isdigit(static_cast<unsigned char>(t[i - 2])))) {
+        i -= 1;
+        any = true;
+      } else {
+        break;
+      }
+      // The segment before the separator.
+      std::size_t sb = i;
+      while (sb > 0 && is_identifier_char(t[sb - 1])) --sb;
+      if (sb == i) break;  // `).x` etc: give up on the chain
+      i = sb;
+    }
+    if (!any) return "";
+    return t.substr(i, b - i);
+  }
+
+  void scan_statement(const std::string& raw_stmt, std::size_t line) {
+    const std::string t = trim(raw_stmt);
+    if (t.empty()) return;
+    if (t[0] == '#') return;
+    if (try_lock_decl(t, line)) return;
+    const std::vector<LockRef> held = flatten();
+    // Token walk: every identifier is a call (followed by '(') or a
+    // candidate guarded access.
+    for (std::size_t i = 0; i < t.size();) {
+      if (!is_identifier_char(t[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i;
+      while (e < t.size() && is_identifier_char(t[e])) ++e;
+      const std::string word = t.substr(i, e - i);
+      // Skip qualified names (std::foo) and digits.
+      const bool qualified =
+          (i >= 2 && t[i - 1] == ':' && t[i - 2] == ':') ||
+          (e + 1 < t.size() && t[e] == ':' && t[e + 1] == ':');
+      const bool digit = std::isdigit(static_cast<unsigned char>(t[i]));
+      std::size_t j = e;
+      while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])))
+        ++j;
+      const bool is_call = j < t.size() && t[j] == '(';
+      if (!qualified && !digit && !is_keyword(word)) {
+        std::string recv = receiver_before(t, i);
+        // Drop the trailing separator (`state->` -> `state`).
+        if (recv.size() >= 2 && recv.compare(recv.size() - 2, 2, "->") == 0)
+          recv = recv.substr(0, recv.size() - 2);
+        else if (!recv.empty() && recv.back() == '.')
+          recv = recv.substr(0, recv.size() - 1);
+        if (is_call) {
+          Call call;
+          call.line = line;
+          call.receiver = recv.empty() ? "" : normalize_receiver(recv);
+          call.name = word;
+          call.held = held;
+          out.calls.push_back(call);
+        } else if (guarded_names.count(word)) {
+          Access a;
+          a.line = line;
+          a.receiver = normalize_receiver(recv);
+          a.name = word;
+          a.held = held;
+          out.accesses.push_back(a);
+        }
+      }
+      i = e;
+    }
+  }
+
+  /// Walk the body from just after its opening brace to the matching close.
+  void scan(std::size_t start_line, std::size_t start_col) {
+    std::string stmt;
+    int depth = 1;
+    for (std::size_t li = start_line; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      std::size_t ci = li == start_line ? start_col : 0;
+      if (trim(line).rfind('#', 0) == 0) continue;
+      for (; ci < line.size(); ++ci) {
+        const char c = line[ci];
+        if (c == '{') {
+          scan_statement(stmt, li + 1);
+          stmt.clear();
+          scopes.push_back({});
+          ++depth;
+          continue;
+        }
+        if (c == '}') {
+          scan_statement(stmt, li + 1);
+          stmt.clear();
+          if (!scopes.empty()) scopes.pop_back();
+          if (--depth == 0) return;
+          continue;
+        }
+        if (c == ';') {
+          scan_statement(stmt, li + 1);
+          stmt.clear();
+          continue;
+        }
+        stmt.push_back(c);
+      }
+      stmt.push_back(' ');
+    }
+  }
+};
+
+}  // namespace
+
+LockModel build_lock_model(const Corpus& corpus) {
+  LockModel model;
+  std::vector<std::pair<const SourceFile*, std::vector<BodySpan>>> all_bodies;
+  for (const SourceFile& f : corpus.files) {
+    std::vector<BodySpan> bodies;
+    scan_file_structure(f, model, bodies);
+    all_bodies.emplace_back(&f, std::move(bodies));
+  }
+  for (const auto& [name, cls] : model.classes)
+    for (const auto& [member, guard] : cls.guarded_by)
+      model.guarded_names.insert(member);
+
+  for (auto& [file, bodies] : all_bodies) {
+    for (const BodySpan& span : bodies) {
+      MethodModel m;
+      m.cls = span.cls;
+      m.name = span.name;
+      m.file = file;
+      m.line = span.line + 1;
+      m.ctor_dtor = span.ctor_dtor;
+      m.entry_locks = span.entry_locks;
+      // REQUIRES declared on the in-class declaration applies to the
+      // out-of-class definition too.
+      if (m.entry_locks.empty()) {
+        const auto cit = model.classes.find(m.cls);
+        if (cit != model.classes.end()) {
+          const auto rit = cit->second.method_requires.find(m.name);
+          if (rit != cit->second.method_requires.end())
+            m.entry_locks = rit->second;
+        }
+      }
+      BodyScanner scanner{*file, model.guarded_names, m};
+      scanner.scan(span.line, span.col);
+      model.methods.push_back(std::move(m));
+    }
+  }
+  return model;
+}
+
+}  // namespace lobster::lint

@@ -2,11 +2,13 @@
 // tree.  See lint.hpp for the rule catalogue.
 //
 // Usage: lobster_lint [--allow-entropy SUFFIX]... [--hotpath-root FRAG]...
-//        <path>...
+//        [--doc FILE]... [--baseline FILE | --write-baseline FILE]
+//        [--format text|json] [--sarif FILE] <path>...
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+// Exit codes: 0 clean, 1 findings (or baseline drift), 2 usage/IO error.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,46 +17,103 @@
 namespace {
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: lobster_lint [--allow-entropy SUFFIX]... <path>...\n"
-               "\n"
-               "Scans .hpp/.cpp/.h/.cc files under each path for determinism\n"
-               "and concurrency hygiene violations (entropy sources, unordered\n"
-               "iteration feeding order-sensitive work, unannotated members of\n"
-               "mutex-holding classes, non-[[nodiscard]] metrics accessors,\n"
-               "map members in DES hot-path classes).\n"
-               "\n"
-               "  --allow-entropy SUFFIX   path suffix permitted to read wall\n"
-               "                           clocks / entropy (repeatable)\n"
-               "  --hotpath-root FRAG      path fragment whose classes may not\n"
-               "                           hold std::map members (repeatable;\n"
-               "                           default: src/des/ src/lobsim/)\n");
+  std::fprintf(
+      stderr,
+      "usage: lobster_lint [options] <path>...\n"
+      "\n"
+      "Scans .hpp/.cpp/.h/.cc files under each path for determinism\n"
+      "and concurrency hygiene violations (entropy sources, unordered\n"
+      "iteration feeding order-sensitive work, unannotated members of\n"
+      "mutex-holding classes, non-[[nodiscard]] metrics accessors,\n"
+      "map members in DES hot-path classes, lock-order cycles and\n"
+      "undeclared cross-class lock edges, guarded-member accesses\n"
+      "outside the mutex, and counter-plane contract violations).\n"
+      "\n"
+      "  --allow-entropy SUFFIX   path suffix permitted to read wall\n"
+      "                           clocks / entropy (repeatable)\n"
+      "  --hotpath-root FRAG      path fragment whose classes may not\n"
+      "                           hold std::map members (repeatable;\n"
+      "                           default: src/des/ src/lobsim/)\n"
+      "  --doc FILE               documentation file whose backticked\n"
+      "                           counter names must exist in code\n"
+      "                           (repeatable)\n"
+      "  --baseline FILE          known-findings baseline; exit 1 only on\n"
+      "                           drift (new findings OR stale entries)\n"
+      "  --write-baseline FILE    write the current findings as the\n"
+      "                           baseline and exit 0\n"
+      "  --format text|json       findings format on stdout/stderr\n"
+      "                           (default text, to stderr)\n"
+      "  --sarif FILE             also write SARIF 2.1.0 to FILE\n");
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << text;
+  return static_cast<bool>(os);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+void print_findings(const std::vector<lobster::lint::Finding>& findings) {
+  for (const auto& f : findings)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::vector<std::string> docs;
   lobster::lint::Options opts;
+  std::string baseline_path, write_baseline_path, sarif_path;
+  std::string format = "text";
   bool hotpath_overridden = false;
+
+  const auto need_value = [&](int i) {
+    if (i + 1 < argc) return true;
+    usage();
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--allow-entropy") {
-      if (i + 1 >= argc) {
-        usage();
-        return 2;
-      }
+      if (!need_value(i)) return 2;
       opts.entropy_allowlist.push_back(argv[++i]);
     } else if (arg == "--hotpath-root") {
-      if (i + 1 >= argc) {
-        usage();
-        return 2;
-      }
+      if (!need_value(i)) return 2;
       if (!hotpath_overridden) {
         opts.hotpath_roots.clear();
         hotpath_overridden = true;
       }
       opts.hotpath_roots.push_back(argv[++i]);
+    } else if (arg == "--doc") {
+      if (!need_value(i)) return 2;
+      docs.push_back(argv[++i]);
+    } else if (arg == "--baseline") {
+      if (!need_value(i)) return 2;
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (!need_value(i)) return 2;
+      write_baseline_path = argv[++i];
+    } else if (arg == "--sarif") {
+      if (!need_value(i)) return 2;
+      sarif_path = argv[++i];
+    } else if (arg == "--format") {
+      if (!need_value(i)) return 2;
+      format = argv[++i];
+      if (format != "text" && format != "json") {
+        std::fprintf(stderr, "lobster_lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -66,18 +125,62 @@ int main(int argc, char** argv) {
       roots.push_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (roots.empty() ||
+      (!baseline_path.empty() && !write_baseline_path.empty())) {
     usage();
     return 2;
   }
 
   try {
-    const lobster::lint::Corpus corpus = lobster::lint::load_corpus(roots);
+    lobster::lint::Corpus corpus = lobster::lint::load_corpus(roots);
+    for (const std::string& doc : docs) lobster::lint::load_doc(corpus, doc);
     const std::vector<lobster::lint::Finding> findings =
         lobster::lint::run(corpus, opts);
-    for (const auto& f : findings)
-      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                   f.rule.c_str(), f.message.c_str());
+
+    if (!sarif_path.empty() &&
+        !write_file(sarif_path, lobster::lint::findings_to_sarif(findings))) {
+      std::fprintf(stderr, "lobster_lint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    if (!write_baseline_path.empty()) {
+      const lobster::lint::Baseline b = lobster::lint::make_baseline(findings);
+      if (!write_file(write_baseline_path,
+                      lobster::lint::baseline_to_json(b))) {
+        std::fprintf(stderr, "lobster_lint: cannot write %s\n",
+                     write_baseline_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "lobster_lint: wrote baseline with %zu entry(ies) "
+                   "covering %zu finding(s)\n",
+                   b.entries.size(), findings.size());
+      return 0;
+    }
+
+    if (format == "json") std::fputs(
+        lobster::lint::findings_to_json(findings).c_str(), stdout);
+
+    if (!baseline_path.empty()) {
+      const lobster::lint::Baseline baseline =
+          lobster::lint::parse_baseline_json(read_file(baseline_path));
+      const lobster::lint::BaselineDiff diff =
+          lobster::lint::diff_against_baseline(baseline, findings);
+      if (format == "text") print_findings(diff.fresh);
+      for (const auto& e : diff.stale)
+        std::fprintf(stderr,
+                     "%s: [%s] stale baseline entry (%zux): %s\n",
+                     e.file.c_str(), e.rule.c_str(), e.count,
+                     e.message.c_str());
+      std::fprintf(stderr,
+                   "lobster_lint: %zu file(s), %zu finding(s), %zu new, "
+                   "%zu stale baseline entry(ies)\n",
+                   corpus.files.size(), findings.size(), diff.fresh.size(),
+                   diff.stale.size());
+      return diff.fresh.empty() && diff.stale.empty() ? 0 : 1;
+    }
+
+    if (format == "text") print_findings(findings);
     std::fprintf(stderr, "lobster_lint: %zu file(s), %zu finding(s)\n",
                  corpus.files.size(), findings.size());
     return findings.empty() ? 0 : 1;

@@ -1,0 +1,290 @@
+// report.cpp — baseline bookkeeping and machine-readable output for
+// lobster_lint.
+//
+// The baseline fingerprints each finding as (rule, normalized path,
+// message, count) — no line numbers, so unrelated edits above a baselined
+// finding don't churn the file.  CI fails on drift in either direction:
+// fresh findings mean a regression, stale entries mean the baseline lies
+// about the tree and must be re-generated (--write-baseline).
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "lint/lint.hpp"
+
+namespace lobster::lint {
+
+namespace {
+
+const char* const kRoots[] = {"src/", "tools/", "bench/", "tests/",
+                              "examples/"};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---- a tiny strict JSON reader (objects/arrays/strings/numbers only; just
+// enough for baseline files, which this tool also writes) ------------------
+
+struct JsonReader {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  explicit JsonReader(const std::string& t) : text(t) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("baseline JSON: " + what + " at offset " +
+                             std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) fail("unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("short \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (v < 0x80) out.push_back(static_cast<char>(v));
+            else fail("non-ASCII \\u escape unsupported");
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+  std::size_t number() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos == start) fail("expected a number");
+    return static_cast<std::size_t>(
+        std::stoull(text.substr(start, pos - start)));
+  }
+};
+
+}  // namespace
+
+std::string normalize_path(const std::string& path) {
+  // Prefer the latest (deepest) marker so an absolute build path like
+  // /home/x/repo/tools/lint/foo.cpp trims to tools/lint/foo.cpp.
+  std::size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t hit = path.find(root, from);
+      if (hit == std::string::npos) break;
+      if (hit == 0 || path[hit - 1] == '/')
+        if (best == std::string::npos || hit > best) best = hit;
+      from = hit + 1;
+    }
+  }
+  if (best == std::string::npos) return path;
+  return path.substr(best);
+}
+
+Baseline make_baseline(const std::vector<Finding>& findings) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      counts;
+  for (const Finding& f : findings)
+    ++counts[{f.rule, normalize_path(f.file), f.message}];
+  Baseline b;
+  for (const auto& [key, count] : counts)
+    b.entries.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), count});
+  return b;
+}
+
+std::string baseline_to_json(const Baseline& b) {
+  std::ostringstream os;
+  os << "{\n  \"version\": 1,\n  \"findings\": [";
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    const BaselineEntry& e = b.entries[i];
+    os << (i ? "," : "") << "\n    {\"rule\": \"" << json_escape(e.rule)
+       << "\", \"file\": \"" << json_escape(e.file) << "\", \"count\": "
+       << e.count << ",\n     \"message\": \"" << json_escape(e.message)
+       << "\"}";
+  }
+  if (!b.entries.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+Baseline parse_baseline_json(const std::string& text) {
+  JsonReader r(text);
+  Baseline b;
+  r.expect('{');
+  while (r.peek() != '}') {
+    const std::string key = r.string();
+    r.expect(':');
+    if (key == "version") {
+      if (r.number() != 1)
+        throw std::runtime_error("baseline JSON: unsupported version");
+    } else if (key == "findings") {
+      r.expect('[');
+      while (r.peek() != ']') {
+        r.expect('{');
+        BaselineEntry e;
+        while (r.peek() != '}') {
+          const std::string k = r.string();
+          r.expect(':');
+          if (k == "rule") e.rule = r.string();
+          else if (k == "file") e.file = r.string();
+          else if (k == "message") e.message = r.string();
+          else if (k == "count") e.count = r.number();
+          else r.fail("unknown entry key `" + k + "`");
+          if (r.peek() == ',') ++r.pos;
+        }
+        r.expect('}');
+        if (e.rule.empty() || e.file.empty() || e.message.empty() ||
+            e.count == 0)
+          r.fail("incomplete baseline entry");
+        b.entries.push_back(e);
+        if (r.peek() == ',') ++r.pos;
+      }
+      r.expect(']');
+    } else {
+      r.fail("unknown top-level key `" + key + "`");
+    }
+    if (r.peek() == ',') ++r.pos;
+  }
+  r.expect('}');
+  return b;
+}
+
+BaselineDiff diff_against_baseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      budget;
+  for (const BaselineEntry& e : baseline.entries)
+    budget[{e.rule, e.file, e.message}] += e.count;
+
+  BaselineDiff diff;
+  for (const Finding& f : findings) {
+    const auto key =
+        std::make_tuple(f.rule, normalize_path(f.file), f.message);
+    const auto it = budget.find(key);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    diff.fresh.push_back(f);
+  }
+  for (const auto& [key, left] : budget) {
+    if (left == 0) continue;
+    diff.stale.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), left});
+  }
+  return diff;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \""
+       << json_escape(f.rule) << "\",\n     \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  if (!findings.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+std::string findings_to_sarif(const std::vector<Finding>& findings) {
+  // Rule catalogue: one reportingDescriptor per distinct rule seen.
+  std::vector<std::string> rules;
+  std::map<std::string, std::size_t> rule_index;
+  for (const Finding& f : findings)
+    if (rule_index.emplace(f.rule, rules.size()).second)
+      rules.push_back(f.rule);
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\"name\": \"lobster_lint\", "
+        "\"informationUri\": \"tools/lint\", \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    os << (i ? ", " : "") << "{\"id\": \"" << json_escape(rules[i]) << "\"}";
+  os << "]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i ? "," : "") << "\n      {\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"ruleIndex\": " << rule_index[f.rule]
+       << ", \"level\": \"error\",\n       \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"},\n       \"locations\": "
+       << "[{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(normalize_path(f.file))
+       << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+  }
+  if (!findings.empty()) os << "\n    ";
+  os << "]\n  }]\n}\n";
+  return os.str();
+}
+
+}  // namespace lobster::lint

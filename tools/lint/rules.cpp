@@ -250,20 +250,6 @@ class OrderedIterationRule final : public Rule {
   }
 };
 
-/// Does the buffered statement text introduce a class/struct body?  Shared
-/// by the rules that track class scopes by brace counting.
-bool opens_class_body(const std::string& stmt) {
-  const std::string t = trimmed(stmt);
-  if (t.empty()) return false;
-  if (has_token(t, "enum")) return false;  // enum class bodies: enumerators
-  if (!has_token(t, "class") && !has_token(t, "struct")) return false;
-  // `struct Entry* p = ...` or a function returning a struct would carry
-  // '=' or '(' before the brace.
-  if (t.find('=') != std::string::npos) return false;
-  if (t.find('(') != std::string::npos) return false;
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Rule: guarded — mutex-holding classes annotate every member.
 // ---------------------------------------------------------------------------
@@ -727,6 +713,9 @@ std::vector<std::unique_ptr<Rule>> make_rules(const Options& opts) {
   rules.push_back(std::make_unique<GuardedByRule>());
   rules.push_back(std::make_unique<NodiscardRule>());
   rules.push_back(std::make_unique<HotpathRule>(opts.hotpath_roots));
+  rules.push_back(make_lockorder_rule());
+  rules.push_back(make_guardeduse_rule());
+  rules.push_back(make_counterplane_rule());
   return rules;
 }
 
