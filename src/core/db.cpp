@@ -1,5 +1,6 @@
 #include "core/db.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -247,6 +248,30 @@ double Db::total_lost_time() const {
   double sum = 0.0;
   for (const auto& [id, rec] : tasks_) sum += rec.lost_time;
   return sum;
+}
+
+std::vector<std::pair<std::string, double>> Db::counter_plane() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.emplace_back("core.db.cpu_seconds", total_cpu_time());
+  out.emplace_back("core.db.lost_seconds", total_lost_time());
+  double output_bytes = 0.0;
+  for (const auto& [id, rec] : outputs_) output_bytes += rec.bytes;
+  out.emplace_back("core.db.output_bytes", output_bytes);
+  out.emplace_back("core.db.outputs_total",
+                   static_cast<double>(outputs_.size()));
+  const std::vector<double> seg = segment_totals();
+  for (std::size_t s = 0; s < kNumSegments; ++s)
+    out.emplace_back(std::string("core.db.segment_") +
+                         to_string(static_cast<Segment>(s)) + "_seconds",
+                     seg[s]);
+  for (const auto& [status, n] : tasklet_status_counts())
+    out.emplace_back(std::string("core.db.tasklets_") + to_string(status),
+                     static_cast<double>(n));
+  for (const auto& [status, n] : task_status_counts())
+    out.emplace_back(std::string("core.db.tasks_") + to_string(status),
+                     static_cast<double>(n));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // ---- persistence ------------------------------------------------------------

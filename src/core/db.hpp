@@ -18,6 +18,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/workflow.hpp"
@@ -133,6 +134,13 @@ class Db {
   std::vector<double> segment_totals() const;
   [[nodiscard]] double total_cpu_time() const;
   [[nodiscard]] double total_lost_time() const;
+  /// The journal's view of the counter plane, name-ordered: task/tasklet
+  /// status counts, per-segment wall sums, cpu/lost totals and output
+  /// volume, under dotted core.db names.  A journal has no live
+  /// CounterRegistry, so this synthesises the same shape the trace path
+  /// records, letting lobster_report render both through one code path.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> counter_plane()
+      const;
 
   // ---- persistence ------------------------------------------------------------
 

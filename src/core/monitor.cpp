@@ -30,10 +30,12 @@ void Monitor::on_task_finished(const TaskRecord& rec) {
       seg[static_cast<std::size_t>(Segment::Cleanup)] + rec.lost_time;
 
   if (rec.status == TaskStatus::Failed || rec.status == TaskStatus::Evicted) {
-    if (rec.status == TaskStatus::Failed)
+    if (rec.status == TaskStatus::Failed) {
       ++failures_;
-    else
+      breakdown_.hard_failed += wall_all;
+    } else {
       ++evictions_;
+    }
     failed_.add(t);
     // All wall time of a failed/evicted task is charged to "Task Failed" —
     // the Figure 8 accounting.
@@ -99,56 +101,85 @@ std::vector<double> Monitor::stageout_time_timeline() const {
   return per_bin_mean(stageout_in_bin_, stageout_count_);
 }
 
-std::vector<Diagnosis> Monitor::diagnose(
-    const AdvisorThresholds& th) const {
+const char* to_string(DiagnosisRule r) {
+  switch (r) {
+    case DiagnosisRule::LostRuntime: return "lost_runtime";
+    case DiagnosisRule::DispatchWait: return "dispatch_wait";
+    case DiagnosisRule::SetupTime: return "setup_time";
+    case DiagnosisRule::Staging: return "staging";
+    case DiagnosisRule::FailureBurst: return "failure_burst";
+  }
+  return "?";
+}
+
+std::vector<Diagnosis> diagnose_breakdown(const RuntimeBreakdown& breakdown,
+                                          double lost, double dispatch,
+                                          const AdvisorThresholds& th) {
   std::vector<Diagnosis> out;
-  const double total = breakdown_.total();
+  const double total = breakdown.total();
   if (total <= 0.0) return out;
 
   auto severity = [](double value, double threshold) {
     return std::min(1.0, (value - threshold) / std::max(threshold, 1e-9));
   };
 
-  const double lost_frac = lost_ / total;
+  const double lost_frac = lost / total;
   if (lost_frac > th.lost_fraction)
     out.push_back(
         {"high lost runtime (" + std::to_string(lost_frac) + " of wall)",
          "target task size is too high: eviction limits the available "
          "computation time — reduce tasklets per task",
-         severity(lost_frac, th.lost_fraction)});
+         severity(lost_frac, th.lost_fraction), DiagnosisRule::LostRuntime});
 
-  const double dispatch_frac = dispatch_ / total;
+  const double dispatch_frac = dispatch / total;
   if (dispatch_frac > th.dispatch_fraction)
     out.push_back(
         {"long sandbox stage-in / dispatch wait (" +
              std::to_string(dispatch_frac) + " of wall)",
          "use more foremen to spread the load of sending out the sandbox",
-         severity(dispatch_frac, th.dispatch_fraction)});
+         severity(dispatch_frac, th.dispatch_fraction),
+         DiagnosisRule::DispatchWait});
 
   const double setup_frac =
-      (breakdown_.other > 0.0 ? breakdown_.other : 0.0) / total;
+      (breakdown.other > 0.0 ? breakdown.other : 0.0) / total;
   if (setup_frac > th.setup_fraction)
     out.push_back(
         {"consistently long setup times (" + std::to_string(setup_frac) +
              " of wall)",
          "squid proxy overloaded: increase cores per worker (shared cache) "
          "or deploy more proxies",
-         severity(setup_frac, th.setup_fraction)});
+         severity(setup_frac, th.setup_fraction), DiagnosisRule::SetupTime});
 
   const double staging_frac =
-      (breakdown_.stage_in + breakdown_.stage_out) / total;
+      (breakdown.stage_in + breakdown.stage_out) / total;
   if (staging_frac > th.staging_fraction)
     out.push_back(
         {"increased stage-in and stage-out times (" +
              std::to_string(staging_frac) + " of wall)",
          "Chirp server overloaded: adjust the number of concurrent "
          "connections permitted",
-         severity(staging_frac, th.staging_fraction)});
+         severity(staging_frac, th.staging_fraction), DiagnosisRule::Staging});
+
+  // Hard failures only: evictions are the expected opportunistic climate,
+  // not an infrastructure symptom.
+  const double failed_frac = breakdown.hard_failed / total;
+  if (failed_frac > th.failed_fraction)
+    out.push_back(
+        {"transient failure burst (" + std::to_string(failed_frac) +
+             " of wall in failed tasks)",
+         "infrastructure outage suspected: throttle dispatch to probe rate "
+         "until the failure rate recovers",
+         severity(failed_frac, th.failed_fraction),
+         DiagnosisRule::FailureBurst});
 
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.severity > b.severity;
   });
   return out;
+}
+
+std::vector<Diagnosis> Monitor::diagnose(const AdvisorThresholds& th) const {
+  return diagnose_breakdown(breakdown_, lost_, dispatch_, th);
 }
 
 }  // namespace lobster::core

@@ -33,6 +33,11 @@ struct RuntimeBreakdown {
   double cpu = 0.0;        ///< "Task CPU Time"
   double io = 0.0;         ///< "Task I/O Time" (streaming reads inside run)
   double failed = 0.0;     ///< wall time of failed tasks
+  /// Subset of `failed`: wall of tasks that exited non-zero (infrastructure
+  /// failures), excluding evictions.  Not part of total().  The
+  /// failure-burst rule keys on this so the opportunistic climate's routine
+  /// evictions do not read as an outage.
+  double hard_failed = 0.0;
   double stage_in = 0.0;   ///< "WQ Stage In" (sandbox + input staging)
   double stage_out = 0.0;  ///< "WQ Stage Out"
   double other = 0.0;      ///< env setup, dispatch, cleanup
@@ -41,11 +46,24 @@ struct RuntimeBreakdown {
   }
 };
 
+/// Which §5 troubleshooting rule fired.  The online advisor
+/// (lobsim::Advisor) keys its actuation off this, so the mapping from
+/// symptom to intervention is explicit rather than string-matched.
+enum class DiagnosisRule : std::uint8_t {
+  LostRuntime,   ///< lost / total wall too high — task size too large
+  DispatchWait,  ///< sandbox stage-in / dispatch wait — need more foremen
+  SetupTime,     ///< env setup — overloaded squid proxy
+  Staging,       ///< stage-in + stage-out — overloaded Chirp server
+  FailureBurst,  ///< failed-task wall — transient infrastructure outage
+};
+const char* to_string(DiagnosisRule r);
+
 /// One diagnosis from the advisor.
 struct Diagnosis {
   std::string symptom;
   std::string advice;
   double severity = 0.0;  ///< 0..1, how far past the trigger threshold
+  DiagnosisRule rule = DiagnosisRule::LostRuntime;
 };
 
 /// Tunable trigger thresholds for the advisor.
@@ -54,7 +72,17 @@ struct AdvisorThresholds {
   double dispatch_fraction = 0.05;   ///< dispatch wait / total wall
   double setup_fraction = 0.15;      ///< env setup / total wall
   double staging_fraction = 0.25;    ///< (stage_in + stage_out) / total wall
+  double failed_fraction = 0.20;     ///< failed-task wall / total wall
 };
+
+/// The §5 rules as a pure function over an aggregated breakdown — callable
+/// on the cumulative run totals (Monitor::diagnose) or on a windowed delta
+/// (the online advisor diffs two breakdown snapshots per tick).  `lost` and
+/// `dispatch` are the lost-runtime and dispatch-wait wall sums over the
+/// same window.  Results are sorted by severity, descending.
+std::vector<Diagnosis> diagnose_breakdown(const RuntimeBreakdown& breakdown,
+                                          double lost, double dispatch,
+                                          const AdvisorThresholds& thresholds);
 
 class Monitor {
  public:
@@ -74,6 +102,10 @@ class Monitor {
   [[nodiscard]] std::uint64_t tasks_seen() const { return seen_; }
   [[nodiscard]] std::uint64_t tasks_failed() const { return failures_; }
   [[nodiscard]] std::uint64_t tasks_evicted() const { return evictions_; }
+  /// Wall sums the diagnosis rules consume alongside the breakdown; exposed
+  /// so the online advisor can window them (delta between two ticks).
+  [[nodiscard]] double lost_time() const { return lost_; }
+  [[nodiscard]] double dispatch_time() const { return dispatch_; }
 
   [[nodiscard]] const util::TimeSeries& completed_timeline() const {
     return completed_;

@@ -1,0 +1,116 @@
+#include "core/trace_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lobster::core {
+
+const char* diff_bucket_name(std::size_t bucket) {
+  if (bucket < kNumSegments)
+    return to_string(static_cast<Segment>(bucket));
+  if (bucket == kBucketFailed) return "failed";
+  if (bucket == kBucketLost) return "lost";
+  return "?";
+}
+
+namespace {
+
+/// Per-task wall seconds this record contributes to `bucket` (the Figure 8
+/// accounting: failed/evicted tasks charge everything to "failed").
+double bucket_value(const TaskRecord& rec, std::size_t bucket) {
+  const bool failed =
+      rec.status == TaskStatus::Failed || rec.status == TaskStatus::Evicted;
+  if (failed) {
+    if (bucket != kBucketFailed) return 0.0;
+    double wall = rec.lost_time;
+    for (std::size_t s = 0; s < kNumSegments; ++s) wall += rec.segment_time[s];
+    return wall;
+  }
+  if (bucket < kNumSegments) return rec.segment_time[bucket];
+  if (bucket == kBucketLost) return rec.lost_time;
+  return 0.0;
+}
+
+}  // namespace
+
+RunAttribution attribute_records(const std::vector<TaskRecord>& records,
+                                 std::string label) {
+  RunAttribution out;
+  out.label = std::move(label);
+  for (const TaskRecord& rec : records) {
+    ++out.tasks;
+    const bool failed =
+        rec.status == TaskStatus::Failed || rec.status == TaskStatus::Evicted;
+    if (failed) ++out.failures;
+    if (!failed && rec.kind == TaskKind::Analysis)
+      out.tasklets_processed += rec.tasklets.size();
+    out.makespan = std::max(out.makespan, rec.finish_time);
+    for (std::size_t bkt = 0; bkt < kNumDiffBuckets; ++bkt)
+      out.bucket_seconds[bkt] += bucket_value(rec, bkt);
+  }
+  if (out.makespan > 0.0)
+    out.goodput =
+        static_cast<double>(out.tasklets_processed) / (out.makespan / 3600.0);
+  return out;
+}
+
+TraceDiff diff_task_records(const std::vector<TaskRecord>& a,
+                            const std::vector<TaskRecord>& b,
+                            std::string label_a, std::string label_b,
+                            std::size_t hist_bins) {
+  TraceDiff out;
+  out.a = attribute_records(a, std::move(label_a));
+  out.b = attribute_records(b, std::move(label_b));
+  out.makespan_delta = out.b.makespan - out.a.makespan;
+  out.goodput_delta = out.b.goodput - out.a.goodput;
+
+  double abs_sum = 0.0;
+  for (std::size_t bkt = 0; bkt < kNumDiffBuckets; ++bkt)
+    abs_sum += std::fabs(out.b.bucket_seconds[bkt] - out.a.bucket_seconds[bkt]);
+  out.movers.reserve(kNumDiffBuckets);
+  for (std::size_t bkt = 0; bkt < kNumDiffBuckets; ++bkt) {
+    DiffMover m;
+    m.bucket = diff_bucket_name(bkt);
+    m.before = out.a.bucket_seconds[bkt];
+    m.after = out.b.bucket_seconds[bkt];
+    m.delta = m.after - m.before;
+    m.share = abs_sum > 0.0 ? std::fabs(m.delta) / abs_sum : 0.0;
+    out.movers.push_back(std::move(m));
+  }
+  // |delta| descending; stable sort so equal movers keep bucket order and
+  // the ranking stays deterministic.
+  std::stable_sort(out.movers.begin(), out.movers.end(),
+                   [](const DiffMover& x, const DiffMover& y) {
+                     return std::fabs(x.delta) > std::fabs(y.delta);
+                   });
+
+  // Shared-edge histograms: one range per bucket spanning both runs, so a
+  // distribution shift is visible bin by bin rather than hidden by
+  // per-run auto-ranging.
+  if (hist_bins > 0) {
+    out.histograms.reserve(kNumDiffBuckets);
+    for (std::size_t bkt = 0; bkt < kNumDiffBuckets; ++bkt) {
+      double hi = 0.0;
+      for (const TaskRecord& rec : a)
+        hi = std::max(hi, bucket_value(rec, bkt));
+      for (const TaskRecord& rec : b)
+        hi = std::max(hi, bucket_value(rec, bkt));
+      if (!(hi > 0.0)) hi = 1.0;  // empty bucket: keep a valid [0, 1) range
+      BucketHistograms bh{diff_bucket_name(bkt),
+                          util::Histogram(hist_bins, 0.0, hi * (1.0 + 1e-12)),
+                          util::Histogram(hist_bins, 0.0, hi * (1.0 + 1e-12))};
+      for (const TaskRecord& rec : a) {
+        const double v = bucket_value(rec, bkt);
+        if (v > 0.0) bh.before.fill(v);
+      }
+      for (const TaskRecord& rec : b) {
+        const double v = bucket_value(rec, bkt);
+        if (v > 0.0) bh.after.fill(v);
+      }
+      out.histograms.push_back(std::move(bh));
+    }
+  }
+  return out;
+}
+
+}  // namespace lobster::core

@@ -1,0 +1,93 @@
+// trace_diff.hpp — attribute a metric delta between two runs to the
+// lifecycle segment that moved (paper §5's compare-two-runs workflow).
+//
+// The operators in the paper — and the 200 Gbps Coffea-casa campaign after
+// them — tuned the facility by running a configuration twice and asking
+// *where the time went*: which wrapper segment absorbed the goodput or
+// makespan difference.  This module does that arithmetic over replayed
+// TaskRecords (core/trace_replay.hpp): each run is reduced to wall seconds
+// per attribution bucket, the buckets are diffed, and the movers come back
+// ranked by |delta| with their share of the total movement.
+//
+// Attribution buckets follow the Figure 8 accounting: the seven wrapper
+// segments count successful tasks only, while the whole wall time of a
+// failed or evicted task lands in "failed" and the discarded runtime of
+// successful tasks lands in "lost".  That way a squid collapse shows up as
+// an env_setup mover, an outage as a failed mover, and oversized tasks as a
+// lost mover — exactly the categories the diagnosis rules speak.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/db.hpp"
+#include "util/histogram.hpp"
+
+namespace lobster::core {
+
+/// Buckets a run's wall time is attributed to: the seven wrapper segments
+/// (successful tasks), plus "failed" (all wall of failed/evicted tasks)
+/// and "lost" (eviction-discarded runtime of successful tasks).
+constexpr std::size_t kNumDiffBuckets = kNumSegments + 2;
+constexpr std::size_t kBucketFailed = kNumSegments;
+constexpr std::size_t kBucketLost = kNumSegments + 1;
+/// "dispatch" ... "cleanup", "failed", "lost".
+const char* diff_bucket_name(std::size_t bucket);
+
+/// One run reduced to the attribution plane.
+struct RunAttribution {
+  std::string label;
+  std::uint64_t tasks = 0;
+  std::uint64_t failures = 0;  ///< failed + evicted task records
+  std::uint64_t tasklets_processed = 0;
+  double makespan = 0.0;  ///< latest finish_time over all records
+  /// Tasklets per hour of makespan (the fig14 goodput convention).
+  double goodput = 0.0;
+  std::array<double, kNumDiffBuckets> bucket_seconds{};
+};
+
+/// Reduce replayed records to per-bucket wall seconds and headline metrics.
+[[nodiscard]] RunAttribution attribute_records(
+    const std::vector<TaskRecord>& records, std::string label);
+
+/// One bucket's movement between two runs.
+struct DiffMover {
+  std::string bucket;
+  double before = 0.0;  ///< seconds in run A
+  double after = 0.0;   ///< seconds in run B
+  double delta = 0.0;   ///< after - before
+  double share = 0.0;   ///< |delta| / sum of all |delta| (0 when no movement)
+};
+
+/// Per-bucket span-time distributions of both runs on shared edges, so the
+/// histograms are directly comparable bin by bin.
+struct BucketHistograms {
+  std::string bucket;
+  util::Histogram before;
+  util::Histogram after;
+};
+
+/// The full comparison: headline deltas plus every bucket ranked by how
+/// much of the movement it explains.
+struct TraceDiff {
+  RunAttribution a;
+  RunAttribution b;
+  double makespan_delta = 0.0;  ///< b - a
+  double goodput_delta = 0.0;   ///< b - a
+  /// All buckets, |delta| descending (ties broken by bucket index).
+  std::vector<DiffMover> movers;
+  /// Per-task span-time histograms per bucket, shared edges across runs.
+  std::vector<BucketHistograms> histograms;
+};
+
+/// Diff two runs' replayed records.  `hist_bins` sets the resolution of the
+/// per-bucket histograms (their range spans both runs' observations).
+[[nodiscard]] TraceDiff diff_task_records(const std::vector<TaskRecord>& a,
+                                          const std::vector<TaskRecord>& b,
+                                          std::string label_a,
+                                          std::string label_b,
+                                          std::size_t hist_bins = 20);
+
+}  // namespace lobster::core

@@ -103,8 +103,9 @@ SquidSim::SquidSim(des::Simulation& sim, const Params& params)
       ctr_misses_(&sim.counters().counter("cvmfs.squid.misses")),
       ctr_timeouts_(&sim.counters().counter("cvmfs.squid.timeouts")),
       ctr_bytes_served_(&sim.counters().gauge("cvmfs.squid.bytes_served")),
-      ctr_bytes_upstream_(&sim.counters().gauge("cvmfs.squid.bytes_upstream")) {
-}
+      ctr_bytes_upstream_(&sim.counters().gauge("cvmfs.squid.bytes_upstream")),
+      ctr_bytes_thrashed_(
+          &sim.counters().gauge("cvmfs.squid.bytes_thrashed")) {}
 
 bool SquidSim::note_request(const std::string& path) {
   auto [it, inserted] = seen_.emplace(path, true);
@@ -136,8 +137,22 @@ des::Task<double> SquidSim::fetch(double bytes, bool proxy_hit) {
     co_await upstream_link_.transfer(bytes);
     ctr_bytes_upstream_->add(bytes);
   }
-  co_await service_link_.transfer(bytes);
-  ctr_bytes_served_->add(bytes);
+  // Overload thrash (the Figure 5 knee): a request admitted past the knee
+  // pays retransmit-inflated service volume.  bytes_served deliberately
+  // counts the inflated total — that is what the proxy NIC actually moved.
+  double service_bytes = bytes;
+  if (params_.thrash > 0.0 && params_.thrash_knee > 0) {
+    const std::int64_t over = connections_.in_use() - params_.thrash_knee;
+    if (over > 0)
+      service_bytes *= 1.0 + params_.thrash * static_cast<double>(over) /
+                                 static_cast<double>(params_.thrash_knee);
+  }
+  // The waste counter ticks at admission, before the inflated transfer
+  // drains: the advisor's windowed rate then sees the overload while it is
+  // still live, not a transfer-time later.
+  if (service_bytes > bytes) ctr_bytes_thrashed_->add(service_bytes - bytes);
+  co_await service_link_.transfer(service_bytes);
+  ctr_bytes_served_->add(service_bytes);
   co_return sim_.now() - t0;
 }
 

@@ -91,6 +91,17 @@ class SquidSim {
     /// in connecting to the squid proxy cache" are the dominant failure at
     /// 20k scale).  <= 0 disables.
     double connect_timeout = 0.0;
+    /// Overload thrash: the Figure 5 knee.  A proxy past its comfortable
+    /// connection count stops being work-conserving — TCP retransmits,
+    /// aborted-and-retried segments, and connection-table churn mean each
+    /// object costs more than its size to deliver.  A request admitted
+    /// while `in_use > thrash_knee` pays an inflated service volume of
+    /// bytes * (1 + thrash * (in_use - knee) / knee), sampled at admission
+    /// (deterministic — no RNG, no mid-flight re-rating).  The inflation is
+    /// bounded by max_connections, so an overloaded proxy degrades instead
+    /// of livelocking.  thrash_knee <= 0 or thrash <= 0 disables.
+    double thrash = 0.0;
+    std::int64_t thrash_knee = 0;
   };
 
   SquidSim(des::Simulation& sim, const Params& params);
@@ -131,6 +142,7 @@ class SquidSim {
   util::Counter* ctr_timeouts_;
   util::Gauge* ctr_bytes_served_;
   util::Gauge* ctr_bytes_upstream_;
+  util::Gauge* ctr_bytes_thrashed_;
 };
 
 }  // namespace lobster::cvmfs

@@ -59,6 +59,7 @@ RunStats Campaign::execute(const RunSpec& spec,
                 spec.metric_bin_seconds);
   if (!spec.trace_path.empty())
     engine.enable_tracing(spec.trace_path, spec.trace_format);
+  if (spec.advisor.enabled) engine.enable_advisor(spec.advisor);
   if (spec.outage_start > 0.0 && spec.outage_duration > 0.0)
     engine.schedule_outage(spec.outage_start, spec.outage_duration);
   const EngineMetrics& m = engine.run(spec.time_cap);
@@ -79,6 +80,11 @@ RunStats Campaign::execute(const RunSpec& spec,
   s.steal_attempts = m.steal_attempts;
   s.steal_tasks = m.steal_tasks;
   s.steal_bytes_penalty = m.steal_bytes_penalty;
+  s.advisor_ticks = m.advisor_ticks;
+  s.advisor_shrinks = m.advisor_shrinks;
+  s.advisor_throttles = m.advisor_throttles;
+  s.advisor_drains = m.advisor_drains;
+  s.advisor_restores = m.advisor_restores;
   s.peak_running = m.peak_running;
   s.completed = m.completed;
   s.breakdown = m.monitor.breakdown();

@@ -45,6 +45,9 @@ struct RunSpec {
   /// Campaign::trace_to fills these per run when a whole campaign traces.
   std::string trace_path;
   util::TraceFormat trace_format = util::TraceFormat::Jsonl;
+  /// Online advisor loop (advisor.hpp); enabled=false leaves the engine —
+  /// and its trace bytes — exactly as before.
+  AdvisorConfig advisor;
 };
 
 /// Scalar outcome of one run — the copyable subset of EngineMetrics that
@@ -65,6 +68,11 @@ struct RunStats {
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_tasks = 0;
   double steal_bytes_penalty = 0.0;
+  std::uint64_t advisor_ticks = 0;
+  std::uint64_t advisor_shrinks = 0;
+  std::uint64_t advisor_throttles = 0;
+  std::uint64_t advisor_drains = 0;
+  std::uint64_t advisor_restores = 0;
   std::size_t peak_running = 0;
   /// False when the run hit its time cap (or stalled) before the workflow
   /// finished — `makespan` is then a lower bound, not a completion time.

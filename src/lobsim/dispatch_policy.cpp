@@ -36,7 +36,7 @@ std::optional<TaskUnit> DispatchPolicy::next(const DispatchContext& ctx) {
   }
   if (tasklets_pending_ > 0) {
     TaskUnit t;
-    const std::uint64_t size = std::max<std::uint32_t>(1, task_size(ctx));
+    const std::uint64_t size = capped_size(ctx);
     t.n_tasklets = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(size, tasklets_pending_));
     tasklets_pending_ -= t.n_tasklets;
@@ -114,7 +114,7 @@ std::optional<TaskUnit> PartitionedDispatch::next(const DispatchContext& ctx) {
   std::uint64_t& pool = site_pending_[ctx.site];
   if (pool == 0) return std::nullopt;
   TaskUnit t;
-  const std::uint64_t size = std::max<std::uint32_t>(1, task_size(ctx));
+  const std::uint64_t size = capped_size(ctx);
   t.n_tasklets =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(size, pool));
   pool -= t.n_tasklets;
@@ -146,8 +146,9 @@ std::optional<TaskUnit> StealingDispatch::next(const DispatchContext& ctx) {
   // backlog exceeds its slot count, single tasklets in the drain phase —
   // stealing long chunks at the tail would re-create the straggler problem
   // tail-shrink exists to prevent.
-  const std::uint64_t chunk =
+  std::uint64_t chunk =
       deepest <= site_slots_[victim] ? 1 : tasklets_per_task_;
+  if (size_cap()) chunk = std::min<std::uint64_t>(chunk, size_cap());
   t.n_tasklets = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(chunk, deepest));
   site_pending_[victim] -= t.n_tasklets;

@@ -122,6 +122,13 @@ class DispatchPolicy {
   /// the per-site policies, when this site has nothing to dispatch).
   virtual std::optional<TaskUnit> next(const DispatchContext& ctx);
 
+  /// Online ceiling on the analysis-task size, applied on top of whatever
+  /// the concrete policy chooses (0 = no cap).  The advisor's lost-runtime
+  /// actuation: shrinking the cap bounds the work an eviction can discard
+  /// without replacing the policy mid-run.
+  void set_size_cap(std::uint32_t cap) { size_cap_ = cap; }
+  [[nodiscard]] std::uint32_t size_cap() const { return size_cap_; }
+
  protected:
   explicit DispatchPolicy(std::uint32_t tasklets_per_task)
       : tasklets_per_task_(tasklets_per_task ? tasklets_per_task : 1) {}
@@ -129,7 +136,16 @@ class DispatchPolicy {
   /// Preferred analysis-task size for this request (clamped to the pool).
   virtual std::uint32_t task_size(const DispatchContext& ctx) const = 0;
 
+  /// task_size() clamped to [1, size_cap] — every next() override sizes
+  /// through this so the advisor cap binds in all dispatch paths.
+  [[nodiscard]] std::uint32_t capped_size(const DispatchContext& ctx) const {
+    std::uint32_t size = std::max<std::uint32_t>(1, task_size(ctx));
+    if (size_cap_) size = std::min(size, size_cap_);
+    return size;
+  }
+
   std::uint32_t tasklets_per_task_;
+  std::uint32_t size_cap_ = 0;
   std::uint64_t tasklets_pending_ = 0;
   std::deque<double> merge_queue_;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace lobster::lobsim {
 
@@ -17,6 +18,31 @@ constexpr int kExitStageOutFailure = 173;
 constexpr int kExitEvicted = 179;
 
 constexpr double kIdleRetryDelay = 60.0;
+
+// Charges the simulated time elapsed in its scope to one segment of a
+// TaskRecord — on normal exit AND on exception unwind.  Without this, a
+// segment that aborts mid-flight (squid connect timeout, stream-open
+// failure during an outage) leaves its wall uncharged, the failed task
+// finishes with near-zero recorded wall, and the monitor's failure-burst
+// signal — the only *timely* symptom of an infrastructure outage, since
+// completion statistics lag by a full task length — stays dark exactly
+// when the advisor needs it.
+class SegmentCharge {
+ public:
+  SegmentCharge(des::Simulation& sim, core::TaskRecord& record,
+                core::Segment segment)
+      : sim_(sim),
+        slot_(record.segment_time[static_cast<std::size_t>(segment)]),
+        t0_(sim.now()) {}
+  SegmentCharge(const SegmentCharge&) = delete;
+  SegmentCharge& operator=(const SegmentCharge&) = delete;
+  ~SegmentCharge() { slot_ += sim_.now() - t0_; }
+
+ private:
+  des::Simulation& sim_;
+  double& slot_;
+  double t0_;
+};
 }  // namespace
 
 Engine::Engine(ClusterParams cluster, WorkloadParams workload,
@@ -30,6 +56,7 @@ Engine::Engine(ClusterParams cluster, WorkloadParams workload,
   chirp_ = std::make_unique<chirp::ChirpSim>(sim_, cluster_.chirp);
   sites_ = std::make_unique<SiteManager>(sim_, cluster_, rng_);
   per_site_tasklets_.assign(sites_->num_sites(), 0);
+  site_running_.assign(sites_->num_sites(), 0);
 
   // The legacy tail_shrink switch upgrades the default policy.
   DispatchMode mode = workload_.dispatch;
@@ -74,6 +101,44 @@ void Engine::enable_tracing(const std::string& path, util::TraceFormat format) {
   sim_.tracer().set_sink(util::make_trace_sink(format, path));
 }
 
+/// The whole actuation surface the advisor may touch (advisor.hpp's
+/// AdvisorActions): task sizing through the dispatch policy's cap, dispatch
+/// share through the per-site gate in next_task().
+struct Engine::AdvisorPort final : AdvisorActions {
+  explicit AdvisorPort(Engine& engine) : engine_(engine) {}
+
+  void set_task_size_cap(std::uint32_t cap) override {
+    engine_.dispatch_->set_size_cap(cap);
+  }
+
+  void set_dispatch_share(std::size_t site, double share) override {
+    if (site >= engine_.site_share_.size()) return;
+    engine_.site_share_[site] = share;
+  }
+
+ private:
+  Engine& engine_;
+};
+
+void Engine::enable_advisor(const AdvisorConfig& config) {
+  advisor_cfg_ = config;
+  advisor_cfg_.enabled = true;
+  advisor_ =
+      std::make_unique<Advisor>(advisor_cfg_, workload_.tasklets_per_task,
+                                sites_->num_sites());
+  advisor_port_ = std::make_unique<AdvisorPort>(*this);
+  site_share_.assign(sites_->num_sites(), 1.0);
+  auto& counters = sim_.counters();
+  ctr_advisor_ticks_ = &counters.counter("lobsim.advisor.ticks");
+  ctr_advisor_shrinks_ = &counters.counter("lobsim.advisor.shrinks");
+  ctr_advisor_throttles_ = &counters.counter("lobsim.advisor.throttles");
+  ctr_advisor_drains_ = &counters.counter("lobsim.advisor.drains");
+  ctr_advisor_restores_ = &counters.counter("lobsim.advisor.restores");
+  ctr_advisor_share_ = &counters.gauge("lobsim.advisor.dispatch_share");
+  ctr_advisor_ewma_ = &counters.gauge("lobsim.advisor.failure_ewma");
+  ctr_advisor_share_->set(1.0);
+}
+
 std::uint64_t Engine::task_track(const WorkerNode& node, std::size_t slot) {
   // 64-bit track id: site in the top bits, 24 bits of node id, 16 bits of
   // slot — wide enough that concurrently running tasks never collide (a
@@ -96,6 +161,7 @@ const EngineMetrics& Engine::run(double time_cap) {
       [this] { return done_; }, time_cap);
   sim_.spawn(
       gauge_sampler(metrics_->monitor.running_timeline().bin_width() / 3.0));
+  if (advisor_) sim_.spawn(advisor_loop(advisor_cfg_.period));
   // Advance in slices so progress is observable at Debug log level and a
   // stuck scenario is diagnosable.
   double t = 0.0;
@@ -148,6 +214,77 @@ des::Process Engine::gauge_sampler(double period) {
   }
 }
 
+des::Process Engine::advisor_loop(double period) {
+  // Baseline for the first window: the counter plane at advisor start.
+  advisor_prev_snap_ = sim_.counters().snapshot();
+  while (!done_ && sim_.now() < end_time_cap_) {
+    co_await sim_.delay(period);
+    if (done_ || sim_.now() >= end_time_cap_) break;
+    // Windowed counter rates via snapshot_delta: what moved since the last
+    // tick, without scanning traces.
+    const auto snap = sim_.counters().snapshot();
+    const auto delta =
+        util::CounterRegistry::snapshot_delta(advisor_prev_snap_, snap);
+    advisor_prev_snap_ = snap;
+    double failed_window = 0.0;
+    double retried_window = 0.0;
+    AdvisorGauges gauges;
+    for (const auto& sample : delta) {
+      if (sample.name == "lobsim.engine.tasks_failed")
+        failed_window = sample.value;
+      else if (sample.name == "lobsim.engine.tasklets_retried")
+        retried_window = sample.value;
+      else if (sample.name == "cvmfs.squid.bytes_served")
+        gauges.proxy_bytes_served = sample.value;
+      else if (sample.name == "cvmfs.squid.bytes_thrashed")
+        gauges.proxy_bytes_thrashed = sample.value;
+    }
+
+    const std::vector<AdvisorDecision> decisions =
+        advisor_->tick(sim_.now(), metrics_->monitor, gauges, *advisor_port_);
+    ++metrics_->advisor_ticks;
+    ctr_advisor_ticks_->add();
+    ctr_advisor_share_->set(advisor_->dispatch_share());
+    ctr_advisor_ewma_->set(advisor_->failure_ewma());
+    sim_.tracer().instant(
+        "lobsim", "advisor_tick", 0,
+        {{"failed_tasks", failed_window},
+         {"retried_tasklets", retried_window},
+         {"failure_ewma", advisor_->failure_ewma()},
+         {"proxy_waste_frac", advisor_->proxy_waste_frac()},
+         {"share", advisor_->dispatch_share()},
+         {"cap", static_cast<double>(advisor_->task_size_cap())}});
+    for (const AdvisorDecision& d : decisions) {
+      switch (d.kind) {
+        case AdvisorDecision::Kind::Shrink:
+          ++metrics_->advisor_shrinks;
+          ctr_advisor_shrinks_->add();
+          break;
+        case AdvisorDecision::Kind::Throttle:
+          ++metrics_->advisor_throttles;
+          ctr_advisor_throttles_->add();
+          break;
+        case AdvisorDecision::Kind::Drain:
+          ++metrics_->advisor_drains;
+          ctr_advisor_drains_->add();
+          break;
+        case AdvisorDecision::Kind::Restore:
+          ++metrics_->advisor_restores;
+          ctr_advisor_restores_->add();
+          break;
+        case AdvisorDecision::Kind::Advise:
+          break;
+      }
+      const std::string name = std::string("advisor_") + to_string(d.kind);
+      sim_.tracer().instant(
+          "lobsim", name.c_str(), 0,
+          {{"rule", static_cast<double>(static_cast<int>(d.rule))},
+           {"value", d.value},
+           {"severity", d.severity}});
+    }
+  }
+}
+
 des::Process Engine::core_slot(NodeHandle handle, std::size_t slot) {
   WorkerNode& node = sites_->node(handle);  // stable dense-array slot
   while (!done_ && sim_.now() < node.death && sim_.now() < end_time_cap_) {
@@ -159,6 +296,7 @@ des::Process Engine::core_slot(NodeHandle handle, std::size_t slot) {
       continue;
     }
     ++running_tasks_;
+    if (node.site < site_running_.size()) ++site_running_[node.site];
     metrics_->peak_running = std::max(metrics_->peak_running, running_tasks_);
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
     ctr_tasks_dispatched_->add();
@@ -181,6 +319,7 @@ des::Process Engine::core_slot(NodeHandle handle, std::size_t slot) {
       record.exit_code = kExitEnvFailure;
     }
     --running_tasks_;
+    if (node.site < site_running_.size()) --site_running_[node.site];
     metrics_->monitor.sample_running(sim_.now(), running_tasks_);
     const bool failed = !success && !evicted;
     finish_task(*task, record, success, evicted, node.site);
@@ -208,7 +347,7 @@ des::Task<void> Engine::setup_software(WorkerNode& node, std::size_t slot,
                                        core::TaskRecord& record) {
   auto& squid = sites_->squid(node.site, node.squid);
   const auto mode = workload_.cache_mode;
-  const double t0 = sim_.now();
+  SegmentCharge charge(sim_, record, core::Segment::EnvSetup);
   util::Span span =
       sim_.tracer().span("segment", "env_setup", task_track(node, slot));
 
@@ -269,8 +408,6 @@ des::Task<void> Engine::setup_software(WorkerNode& node, std::size_t slot,
   } else {
     co_await squid.fetch(workload_.hot_setup_bytes, true);
   }
-  record.segment_time[static_cast<std::size_t>(core::Segment::EnvSetup)] +=
-      sim_.now() - t0;
 }
 
 des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
@@ -290,12 +427,11 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
   if (task.is_merge) {
     // Merge task: inputs via XrootD, CPU ~ proportional to volume, output
     // staged via Chirp (paper §4.4).
-    const double t_in0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "stage_in", track);
+      SegmentCharge charge(sim_, record, core::Segment::StageIn);
       co_await sites_->federation(node.site).stage(task.merge_input_bytes);
     }
-    seg(core::Segment::StageIn) += sim_.now() - t_in0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
@@ -308,12 +444,11 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
     }
     record.cpu_time += cpu;
     seg(core::Segment::Execute) += cpu;
-    const double t_out0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "stage_out", track);
+      SegmentCharge charge(sim_, record, core::Segment::StageOut);
       co_await chirp_->put(task.merge_input_bytes);
     }
-    seg(core::Segment::StageOut) += sim_.now() - t_out0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
@@ -331,13 +466,12 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
 
   // Sandbox + task payload from the master through the foreman fan-out.
   if (workload_.sandbox_bytes > 0.0) {
-    const double t0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "stage_in", track);
       s.arg("sandbox_bytes", workload_.sandbox_bytes);
+      SegmentCharge charge(sim_, record, core::Segment::StageIn);
       co_await foreman_fanout_->transfer(workload_.sandbox_bytes);
     }
-    seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
@@ -352,17 +486,16 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
   // penalty fraction of the input must come across the WAN through the
   // thief site's own uplink before the task can run.
   if (task.stolen) {
-    const double t0 = sim_.now();
     const double wan_bytes = workload_.steal_penalty_factor * input_bytes;
     {
       util::Span s = sim_.tracer().span("segment", "steal_penalty", track);
       s.arg("bytes", wan_bytes);
+      SegmentCharge charge(sim_, record, core::Segment::StageIn);
       co_await sites_->squid(node.site, node.squid)
           .fetch(workload_.hot_setup_bytes, false);
       if (wan_bytes > 0.0)
         co_await sites_->federation(node.site).stage(wan_bytes);
     }
-    seg(core::Segment::StageIn) += sim_.now() - t0;
     const double charged = wan_bytes + workload_.hot_setup_bytes;
     metrics_->steal_bytes_penalty += charged;
     util::bump(ctr_steal_bytes_penalty_, charged);
@@ -373,13 +506,12 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
   }
 
   if (workload_.access == core::DataAccessMode::Stage && input_bytes > 0.0) {
-    const double t0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "stage_in", track);
       s.arg("input_bytes", input_bytes);
+      SegmentCharge charge(sim_, record, core::Segment::StageIn);
       co_await sites_->federation(node.site).stage(input_bytes);
     }
-    seg(core::Segment::StageIn) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
@@ -403,13 +535,12 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
     stream_bytes = workload_.pileup_bytes * task.n_tasklets;  // MC overlay
 
   if (stream_bytes > 0.0) {
-    const double t0 = sim_.now();
     {
       util::Span s = sim_.tracer().span("segment", "execute_io", track);
       s.arg("stream_bytes", stream_bytes);
+      SegmentCharge charge(sim_, record, core::Segment::ExecuteIo);
       co_await sites_->federation(node.site).stream(stream_bytes);
     }
-    seg(core::Segment::ExecuteIo) += sim_.now() - t0;
     if (evicted_now()) {
       mark_evicted();
       co_return false;
@@ -436,12 +567,9 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
 
   // Stage out through the Chirp server.
   {
-    const double t0 = sim_.now();
-    {
-      util::Span s = sim_.tracer().span("segment", "stage_out", track);
-      co_await chirp_->put(workload_.tasklet_output_bytes * task.n_tasklets);
-    }
-    seg(core::Segment::StageOut) += sim_.now() - t0;
+    util::Span s = sim_.tracer().span("segment", "stage_out", track);
+    SegmentCharge charge(sim_, record, core::Segment::StageOut);
+    co_await chirp_->put(workload_.tasklet_output_bytes * task.n_tasklets);
   }
   if (evicted_now()) {
     mark_evicted();
@@ -452,6 +580,23 @@ des::Task<bool> Engine::run_task(WorkerNode& node, std::size_t slot,
 }
 
 std::optional<TaskUnit> Engine::next_task(const WorkerNode& node) {
+  // Advisor dispatch-share gate: a throttled site runs at most
+  // ceil(share * slots) concurrent tasks.  A denied slot idles through the
+  // usual retry delay and re-checks, so a drain (share 0) leaves running
+  // tasks untouched and the site refills promptly once the share recovers.
+  // The cap bounds *concurrency*, which is what actually sheds load from
+  // the shared services (squid, chirp, uplinks); a pull-ratio pacing
+  // cannot, because denied slots retry and Little's law pins steady-state
+  // concurrency at the slot count regardless of the grant ratio.
+  if (advisor_ && node.site < site_share_.size()) {
+    const double share = site_share_[node.site];
+    if (share < 1.0) {
+      const double slots = static_cast<double>(
+          sites_->site_params(node.site).target_cores);
+      const auto cap = static_cast<std::size_t>(std::ceil(share * slots));
+      if (site_running_[node.site] >= cap) return std::nullopt;
+    }
+  }
   DispatchContext ctx;
   ctx.total_slots = sites_->total_slots();
   ctx.site = node.site;

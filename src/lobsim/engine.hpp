@@ -37,6 +37,7 @@
 #include "cvmfs/squid.hpp"
 #include "des/queue.hpp"
 #include "des/simulation.hpp"
+#include "lobsim/advisor.hpp"
 #include "lobsim/dispatch_policy.hpp"
 #include "lobsim/merge_planner.hpp"
 #include "lobsim/site_manager.hpp"
@@ -141,6 +142,13 @@ struct EngineMetrics {
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_tasks = 0;
   double steal_bytes_penalty = 0.0;
+  /// Online advisor activity (Engine::enable_advisor): observation ticks
+  /// and actuations by kind.  All zero when the advisor is off.
+  std::uint64_t advisor_ticks = 0;
+  std::uint64_t advisor_shrinks = 0;
+  std::uint64_t advisor_throttles = 0;
+  std::uint64_t advisor_drains = 0;
+  std::uint64_t advisor_restores = 0;
   double last_analysis_finish = 0.0;
   double last_merge_finish = 0.0;
   double bytes_streamed = 0.0;
@@ -198,8 +206,20 @@ class Engine {
   void enable_tracing(const std::string& path,
                       util::TraceFormat format = util::TraceFormat::Jsonl);
 
+  /// Switch on the online advisor loop (advisor.hpp): ticked every
+  /// `config.period` simulated seconds, it runs the §5 diagnosis rules over
+  /// windowed aggregates and actuates task sizing and per-site dispatch
+  /// share.  Call before run().  The lobsim.advisor.* counters are
+  /// registered here, so advisor-off runs keep byte-identical traces.
+  void enable_advisor(const AdvisorConfig& config);
+  /// Null when the advisor is off.
+  [[nodiscard]] const Advisor* advisor() const { return advisor_.get(); }
+
  private:
+  struct AdvisorPort;  // the AdvisorActions adapter (engine.cpp)
+
   des::Process gauge_sampler(double period);
+  des::Process advisor_loop(double period);
   des::Process core_slot(NodeHandle node, std::size_t slot);
   des::Process hadoop_merge();
   /// run_task/setup_software take the resolved node reference: WorkerNode
@@ -248,6 +268,33 @@ class Engine {
   util::Counter* ctr_steal_attempts_ = nullptr;
   util::Counter* ctr_steal_tasks_ = nullptr;
   util::Gauge* ctr_steal_bytes_penalty_ = nullptr;
+  // Registered only by enable_advisor (same byte-identical-trace contract).
+  util::Counter* ctr_advisor_ticks_ = nullptr;
+  util::Counter* ctr_advisor_shrinks_ = nullptr;
+  util::Counter* ctr_advisor_throttles_ = nullptr;
+  util::Counter* ctr_advisor_drains_ = nullptr;
+  util::Counter* ctr_advisor_restores_ = nullptr;
+  util::Gauge* ctr_advisor_share_ = nullptr;
+  util::Gauge* ctr_advisor_ewma_ = nullptr;
+
+  // ---- online advisor state (empty when the advisor is off) ----
+  AdvisorConfig advisor_cfg_;
+  std::unique_ptr<Advisor> advisor_;
+  std::unique_ptr<AdvisorPort> advisor_port_;
+  /// Previous counter snapshot, diffed per tick into the windowed rates
+  /// attached to advisor_tick instants.
+  std::vector<util::CounterRegistry::Sample> advisor_prev_snap_;
+  /// Per-site dispatch-share gate (1 = unthrottled).  The share is a
+  /// *concurrency* cap: a throttled site runs at most ceil(share * slots)
+  /// tasks at once.  A pull-ratio pacing was tried first and discarded —
+  /// denied slots re-pull after the idle delay, so by Little's law any
+  /// share > 0 only adds a small per-task latency tax while steady-state
+  /// concurrency (and hence squid/chirp load) stays pinned at the slot
+  /// count.  The cap actually sheds load.  Deterministic, no RNG.
+  std::vector<double> site_share_;
+  /// Tasks currently running per site (maintained unconditionally; the
+  /// advisor gate in next_task compares it against the share cap).
+  std::vector<std::size_t> site_running_;
 
   // ---- workload state ----
   std::uint64_t tasklets_done_ = 0;

@@ -1,0 +1,24 @@
+// spec_config.hpp — INI scenario -> RunSpec, shared by the CLIs.
+//
+// lobster_sim and lobster_compare both accept the same `[cluster]` /
+// `[workflow]` / `[failures]` / `[run]` / `[advisor]` scenario grammar
+// (documented in tools/lobster_sim.cpp); this is the one parser behind
+// both, so a scenario file means the same run everywhere.  Unknown enum
+// values throw std::invalid_argument — a typo must not silently fall back
+// to a default workload.
+//
+// The `[trace]` section is deliberately *not* consumed here: where a trace
+// goes is a per-tool decision (lobster_sim honours the section plus
+// --trace; lobster_compare derives per-run paths from --trace-dir).
+#pragma once
+
+#include "lobsim/campaign.hpp"
+#include "util/config.hpp"
+
+namespace lobster::lobsim {
+
+/// Build a RunSpec from a parsed scenario file.  Seeds default to the
+/// `[workflow] seed` key (2015 when absent); callers override per run.
+RunSpec spec_from_config(const util::Config& cfg);
+
+}  // namespace lobster::lobsim

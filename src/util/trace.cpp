@@ -1,6 +1,7 @@
 #include "util/trace.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -264,6 +265,39 @@ std::vector<CounterRegistry::Sample> CounterRegistry::snapshot() const {
   return out;
 }
 
+std::vector<CounterRegistry::Sample> CounterRegistry::snapshot_delta(
+    const std::vector<Sample>& before, const std::vector<Sample>& after) {
+  // Both inputs are name-ordered (snapshot() guarantees it), so a merge
+  // walk pairs them up in one pass.
+  std::vector<Sample> out;
+  out.reserve(after.size());
+  std::size_t b = 0;
+  for (const Sample& a : after) {
+    while (b < before.size() && before[b].name < a.name) ++b;
+    const double prev =
+        (b < before.size() && before[b].name == a.name) ? before[b].value : 0.0;
+    out.push_back({a.name, a.value - prev, a.is_gauge});
+  }
+  return out;
+}
+
+double EwmaRate::update(double now, double total) {
+  if (!primed_) {
+    primed_ = true;
+    last_t_ = now;
+    last_total_ = total;
+    return rate_;
+  }
+  const double dt = now - last_t_;
+  if (!(dt > 0.0)) return rate_;  // same-instant resample: keep the level
+  const double inst = (total - last_total_) / dt;
+  const double alpha = 1.0 - std::exp(-dt / tau_);
+  rate_ += alpha * (inst - rate_);
+  last_t_ = now;
+  last_total_ = total;
+  return rate_;
+}
+
 // ---------------------------------------------------------------------------
 // Trace reading
 // ---------------------------------------------------------------------------
@@ -418,15 +452,24 @@ std::vector<TraceEvent> read_trace_jsonl(const std::string& path) {
 }
 
 std::string validate_trace(const std::vector<TraceEvent>& events) {
+  // Every message names the offending span, its track and its timestamp so
+  // a failing compare/advisor run can be debugged from the error alone,
+  // without opening the JSONL.
+  const auto describe = [](const TraceEvent& ev) {
+    return "span '" + ev.name + "' on track " + std::to_string(ev.track) +
+           " at t=" + std::to_string(ev.t);
+  };
   double last_t = 0.0;
   std::map<std::uint64_t, std::vector<const TraceEvent*>> open;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& ev = events[i];
     const std::string where = "event " + std::to_string(i + 1);
-    if (!(ev.t >= 0.0)) return where + ": negative timestamp";
+    if (!(ev.t >= 0.0))
+      return where + ": negative timestamp (" + describe(ev) + ")";
     if (ev.t < last_t)
       return where + ": timestamp " + std::to_string(ev.t) +
-             " goes backwards (previous " + std::to_string(last_t) + ")";
+             " goes backwards (previous " + std::to_string(last_t) + ", " +
+             describe(ev) + ")";
     last_t = ev.t;
     if (ev.phase == 'B') {
       open[ev.track].push_back(&ev);
@@ -434,19 +477,23 @@ std::string validate_trace(const std::vector<TraceEvent>& events) {
       auto& stack = open[ev.track];
       if (stack.empty())
         return where + ": end of '" + ev.name + "' with no open span on track " +
-               std::to_string(ev.track);
+               std::to_string(ev.track) + " at t=" + std::to_string(ev.t);
       if (stack.back()->name != ev.name)
-        return where + ": end of '" + ev.name + "' but innermost open span is '" +
-               stack.back()->name + "'";
+        return where + ": end of '" + ev.name + "' at t=" +
+               std::to_string(ev.t) + " but innermost open span on track " +
+               std::to_string(ev.track) + " is '" + stack.back()->name +
+               "' (opened at t=" + std::to_string(stack.back()->t) + ")";
       stack.pop_back();
     } else if (ev.phase != 'i' && ev.phase != 'C') {
-      return where + ": unknown phase '" + std::string(1, ev.phase) + "'";
+      return where + ": unknown phase '" + std::string(1, ev.phase) + "' (" +
+             describe(ev) + ")";
     }
   }
   for (const auto& [track, stack] : open) {
     if (!stack.empty())
       return "track " + std::to_string(track) + ": span '" +
-             stack.back()->name + "' never ended";
+             stack.back()->name + "' opened at t=" +
+             std::to_string(stack.back()->t) + " never ended";
   }
   return "";
 }

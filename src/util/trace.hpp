@@ -312,12 +312,52 @@ class CounterRegistry {
   /// Every counter and gauge, name-ordered (deterministic export order).
   [[nodiscard]] std::vector<Sample> snapshot() const;
 
+  /// Windowed view: `after - before` for two name-ordered snapshots of the
+  /// same registry.  The result carries one Sample per name in `after`
+  /// (value = after minus before, 0 when the name is new); names present
+  /// only in `before` are dropped — a registry never unregisters, so that
+  /// case only arises when comparing unrelated registries.  This is the
+  /// primitive behind "retries/s over the last 300 s": take a snapshot per
+  /// advisor tick and diff against the previous one instead of scanning
+  /// traces.
+  [[nodiscard]] static std::vector<Sample> snapshot_delta(
+      const std::vector<Sample>& before, const std::vector<Sample>& after);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_
       LOBSTER_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_
       LOBSTER_GUARDED_BY(mutex_);
+};
+
+/// Exponentially-weighted moving-average *rate* of a cumulative total,
+/// bound to simulated time: feed it (now, total) observations and read back
+/// a smoothed events-per-second level whose memory decays with time
+/// constant `tau` seconds.  Irregular sampling intervals are handled by the
+/// standard alpha = 1 - exp(-dt/tau) correction, so an advisor ticking
+/// every 300 s and a gauge sampler ticking every 60 s see consistent
+/// semantics.  Pure arithmetic over doubles — deterministic wherever the
+/// inputs are.
+class EwmaRate {
+ public:
+  /// `tau` must be > 0 (seconds of smoothing memory).
+  explicit EwmaRate(double tau) : tau_(tau > 0.0 ? tau : 1.0) {}
+
+  /// Observe the cumulative total at simulated time `now`.  The first call
+  /// only primes the baseline (rate stays 0); calls that do not advance
+  /// time are ignored.  Returns the updated rate.
+  double update(double now, double total);
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double tau() const { return tau_; }
+
+ private:
+  double tau_;
+  double rate_ = 0.0;
+  double last_t_ = 0.0;
+  double last_total_ = 0.0;
+  bool primed_ = false;
 };
 
 /// Null-tolerant increments for call sites whose registry wiring is

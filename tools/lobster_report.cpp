@@ -21,6 +21,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/db.hpp"
 #include "core/monitor.hpp"
@@ -32,6 +34,34 @@
 using namespace lobster;
 
 namespace {
+
+/// Counter-plane table, shared by the journal and trace reports (the
+/// journal synthesises the same name->value shape via Db::counter_plane so
+/// both paths render identically).
+void print_counter_plane(
+    const char* title,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  if (counters.empty()) return;
+  std::printf("\n%s:\n", title);
+  util::Table table({"counter", "value"});
+  for (const auto& [name, value] : counters) {
+    // Casting a double >= 2^63 to long long is UB, so range-check before
+    // treating the value as an integer; out-of-range counters fall through
+    // to %.0f, which renders them exactly for any uint64-backed counter.
+    const bool integral =
+        std::floor(value) == value && std::fabs(value) < 9.2e18;
+    if (integral) {
+      table.row({name, util::Table::integer(static_cast<long long>(value))});
+    } else if (std::floor(value) == value) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0f", value);
+      table.row({name, buf});
+    } else {
+      table.row({name, util::Table::num(value, 1)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
 
 /// The Figure 8 table, shared by the journal and trace reports.
 void print_breakdown_and_diagnosis(const core::Monitor& monitor) {
@@ -106,28 +136,7 @@ int report_trace(const std::string& path) {
 
   print_breakdown_and_diagnosis(monitor);
 
-  if (!replay.final_counters.empty()) {
-    std::puts("\nfinal counter plane:");
-    util::Table counters({"counter", "value"});
-    for (const auto& [name, value] : replay.final_counters) {
-      // Casting a double >= 2^63 to long long is UB, so range-check before
-      // treating the value as an integer; out-of-range counters fall through
-      // to %.0f, which renders them exactly for any uint64-backed counter.
-      const bool integral =
-          std::floor(value) == value && std::fabs(value) < 9.2e18;
-      if (integral) {
-        counters.row({name, util::Table::integer(
-                                static_cast<long long>(value))});
-      } else if (std::floor(value) == value) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%.0f", value);
-        counters.row({name, buf});
-      } else {
-        counters.row({name, util::Table::num(value, 1)});
-      }
-    }
-    std::fputs(counters.str().c_str(), stdout);
-  }
+  print_counter_plane("final counter plane", replay.final_counters);
   return 0;
 }
 
@@ -214,6 +223,10 @@ int main(int argc, char** argv) {
       monitor.on_task_finished(rec);
   }
   print_breakdown_and_diagnosis(monitor);
+
+  // The journal's aggregates rendered in the trace plane's counter shape —
+  // one renderer for both modes, so operators compare like with like.
+  print_counter_plane("counter plane (from journal)", db.counter_plane());
 
   if (want_csv) {
     std::puts("\n-- task table (CSV) --");

@@ -5,15 +5,17 @@
 // diagnosis.
 //
 // Usage: lobster_sim <scenario.ini> [--seeds N] [--jobs M]
-//                    [--availability SPEC] [--trace PATH]
-//                    [--trace-format jsonl|chrome]
+//                    [--availability SPEC] [--advisor on|off]
+//                    [--trace PATH] [--trace-format jsonl|chrome]
 //
 // With --seeds N the scenario becomes a campaign: N runs seeded
 // base..base+N-1 execute across M worker threads (lobsim::Campaign), the
 // first run is reported in full, and a mean +/- stddev table summarises the
 // sweep.  Aggregates are submission-ordered, so --jobs does not change them.
 // --availability overrides the scenario's availability model (what-if: the
-// same workflow under a harsher climate).
+// same workflow under a harsher climate).  --advisor on|off overrides the
+// scenario's `[advisor]` section (the online mitigation loop; see
+// src/lobsim/advisor.hpp).
 //
 // --trace PATH writes a structured trace of the run: per-task lifecycle
 // spans, segment spans and the final counter snapshot.  jsonl is the
@@ -69,6 +71,15 @@
 //   time_cap = 30d             # simulated-time budget; unfinished runs are
 //                              # reported as INCOMPLETE, not as finished
 //
+//   [advisor]
+//   enabled = true             # online mitigation loop (default off)
+//   period = 5m                # observation window / tick period
+//   failed_fraction = 0.2      # thresholds; see core::AdvisorThresholds
+//   proxy_waste_fraction = 0.05 # squid thrash-bytes fraction that throttles
+//   throttle_share = 0.3       # dispatch share under squid/chirp overload
+//   probe_share = 0.05         # probe trickle during an outage
+//   restore_step = 0.25        # share added per clean tick while restoring
+//
 //   [trace]
 //   file = run-trace.jsonl     # where the structured trace goes
 //   format = jsonl             # or chrome (Perfetto-loadable)
@@ -76,6 +87,7 @@
 #include <string>
 
 #include "lobsim/campaign.hpp"
+#include "lobsim/spec_config.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 #include "util/trace.hpp"
@@ -87,7 +99,7 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: %s <scenario.ini> [--seeds N] [--jobs M] "
-                 "[--availability SPEC] [--trace PATH] "
+                 "[--availability SPEC] [--advisor on|off] [--trace PATH] "
                  "[--trace-format jsonl|chrome]\n",
                  argv[0]);
     return 2;
@@ -102,109 +114,37 @@ int main(int argc, char** argv) {
   }
 
   lobsim::RunSpec spec;
-  spec.time_cap = 30.0 * 86400.0;
-  auto& cluster = spec.cluster;
-  cluster.target_cores = static_cast<std::size_t>(
-      cfg.get_int("cluster", "cores", 5000));
-  cluster.cores_per_worker = static_cast<std::size_t>(
-      cfg.get_int("cluster", "cores_per_worker", 8));
-  cluster.ramp_seconds = cfg.get_duration("cluster", "ramp", 3600.0);
-  // Availability model: the `availability = kind[:key=value,...]` spec,
-  // with the legacy `availability_hours` shorthand still honoured (it sets
-  // the scale of whichever model is selected).  A --availability flag
-  // overrides both.
   try {
-    if (const auto spec = cfg.get("cluster", "availability"))
-      cluster.availability = lobsim::parse_availability_spec(*spec);
-    else
-      cluster.availability.scale_hours = 8.0;
-    cluster.availability.scale_hours = cfg.get_double(
-        "cluster", "availability_hours", cluster.availability.scale_hours);
+    spec = lobsim::spec_from_config(cfg);
+    // Flag overrides on top of the scenario (what-if knobs).  Values are
+    // consumed here so a value that itself starts with "--" (or a later
+    // scan such as parse_campaign_flags) is never re-read as a flag.
     for (int i = 2; i < argc; ++i) {
-      if (std::string(argv[i]) == "--availability") {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: --availability needs a value\n");
-          return 2;
-        }
-        // Consume the value here so a spec that itself starts with "--"
-        // (or a later scan such as parse_campaign_flags) never re-reads it
-        // as a flag.
-        cluster.availability = lobsim::parse_availability_spec(argv[++i]);
+      const std::string arg = argv[i];
+      if (arg != "--availability" && arg != "--advisor") continue;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--availability") {
+        spec.cluster.availability = lobsim::parse_availability_spec(value);
+      } else if (value == "on") {
+        spec.advisor.enabled = true;
+      } else if (value == "off") {
+        spec.advisor.enabled = false;
+      } else {
+        std::fprintf(stderr, "error: --advisor takes on|off, got '%s'\n",
+                     value.c_str());
+        return 2;
       }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  cluster.evictions = cfg.get_bool("cluster", "evictions", true);
-  cluster.federation.campus_uplink_rate =
-      util::gbit_per_s(cfg.get_double("cluster", "uplink", 10.0));
-  cluster.num_squids =
-      static_cast<std::size_t>(cfg.get_int("cluster", "squids", 1));
-  cluster.chirp.max_connections =
-      cfg.get_int("cluster", "chirp_connections", 24);
-
-  auto& workload = spec.workload;
-  workload.num_tasklets = static_cast<std::uint64_t>(
-      cfg.get_int("workflow", "tasklets", 30000));
-  workload.tasklets_per_task = static_cast<std::uint32_t>(
-      cfg.get_int("workflow", "tasklets_per_task", 6));
-  workload.tasklet_cpu_mean =
-      cfg.get_duration("workflow", "tasklet_cpu", 600.0);
-  workload.tasklet_cpu_sigma = workload.tasklet_cpu_mean / 2.0;
-  workload.tasklet_input_bytes =
-      cfg.get_size("workflow", "input_per_tasklet", 350e6);
-  workload.read_fraction = cfg.get_double("workflow", "read_fraction", 0.3);
-  workload.tasklet_output_bytes =
-      cfg.get_size("workflow", "output_per_tasklet", 20e6);
-
-  const std::string access = cfg.get_string("workflow", "access", "stream");
-  if (access == "stage")
-    workload.access = core::DataAccessMode::Stage;
-  else if (access != "stream") {
-    std::fprintf(stderr, "error: unknown access mode '%s'\n", access.c_str());
-    return 1;
-  }
-  const std::string merge = cfg.get_string("workflow", "merge", "interleaved");
-  if (merge == "sequential")
-    workload.merge_mode = core::MergeMode::Sequential;
-  else if (merge == "hadoop")
-    workload.merge_mode = core::MergeMode::Hadoop;
-  else if (merge != "interleaved") {
-    std::fprintf(stderr, "error: unknown merge mode '%s'\n", merge.c_str());
-    return 1;
-  }
-  const std::string dispatch = cfg.get_string("workflow", "dispatch", "fifo");
-  if (dispatch == "tail-shrink")
-    workload.dispatch = lobsim::DispatchMode::TailShrink;
-  else if (dispatch == "site-aware")
-    workload.dispatch = lobsim::DispatchMode::SiteAware;
-  else if (dispatch == "lifetime")
-    workload.dispatch = lobsim::DispatchMode::Lifetime;
-  else if (dispatch == "partitioned")
-    workload.dispatch = lobsim::DispatchMode::Partitioned;
-  else if (dispatch == "stealing")
-    workload.dispatch = lobsim::DispatchMode::Stealing;
-  else if (dispatch != "fifo") {
-    std::fprintf(stderr, "error: unknown dispatch mode '%s'\n",
-                 dispatch.c_str());
-    return 1;
-  }
-  workload.lifetime_safety =
-      cfg.get_double("workflow", "lifetime_safety", workload.lifetime_safety);
-  workload.lifetime_max_tasklets = static_cast<std::uint32_t>(cfg.get_int(
-      "workflow", "lifetime_max_tasklets", workload.lifetime_max_tasklets));
-  workload.steal_penalty_factor = cfg.get_double(
-      "workflow", "steal_penalty_factor", workload.steal_penalty_factor);
-  workload.steal_min_backlog = static_cast<std::uint64_t>(cfg.get_int(
-      "workflow", "steal_min_backlog",
-      static_cast<long long>(workload.steal_min_backlog)));
-
-  spec.outage_start = cfg.get_duration("failures", "outage_start", 0.0);
-  spec.outage_duration = cfg.get_duration("failures", "outage_duration", 0.0);
-  // Simulated-time budget; runs still unfinished at the cap are reported
-  // as INCOMPLETE rather than pretending the cap was the makespan.
-  spec.time_cap = cfg.get_duration("run", "time_cap", spec.time_cap);
+  const auto& cluster = spec.cluster;
+  const auto& workload = spec.workload;
 
   // Trace destination: `[trace]` section first, then the flags on top
   // (CLI wins).  The format may be given on its own; it then applies to the
@@ -238,7 +178,7 @@ int main(int argc, char** argv) {
   try {
     opts = lobsim::parse_campaign_flags(
         argc, argv, base_seed, 1,
-        {"--availability", "--trace", "--trace-format"});
+        {"--availability", "--advisor", "--trace", "--trace-format"});
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
